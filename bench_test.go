@@ -1,0 +1,403 @@
+// Benchmarks: one per table and figure of the paper, plus substrate
+// micro-benchmarks and the ablation benches DESIGN.md calls out. Each
+// experiment bench reports the headline quantity it regenerates via
+// b.ReportMetric, so `go test -bench` output doubles as a compact
+// reproduction summary.
+package crossborder
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"crossborder/internal/blocklist"
+	"crossborder/internal/classify"
+	"crossborder/internal/core"
+	"crossborder/internal/experiments"
+	"crossborder/internal/geodata"
+	"crossborder/internal/netflow"
+	"crossborder/internal/netsim"
+	"crossborder/internal/scenario"
+	"crossborder/internal/webgraph"
+)
+
+// benchSuite is built once: benchmarks measure experiment aggregation,
+// not world construction (which has its own bench below).
+var (
+	benchOnce sync.Once
+	benchVal  *experiments.Suite
+)
+
+func benchSuiteGet(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchVal = experiments.NewSuite(scenario.Build(scenario.Params{
+			Seed: 1, Scale: 0.1, VisitsPerUser: 60,
+		}))
+	})
+	return benchVal
+}
+
+func BenchmarkScenarioBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scenario.Build(scenario.Params{Seed: int64(i + 1), Scale: 0.02, VisitsPerUser: 10})
+	}
+}
+
+func BenchmarkTable1Dataset(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Table1Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Table1()
+	}
+	b.ReportMetric(float64(r.Stats.ThirdPartyReqs), "3p-requests")
+}
+
+func BenchmarkTable2Classification(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Table2Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Table2()
+	}
+	b.ReportMetric(r.SemiToABPRatio(), "semi/abp-ratio")
+	b.ReportMetric(100*r.Acc.Recall(), "recall-pct")
+}
+
+func BenchmarkFig2RequestsCDF(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Fig2Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Fig2()
+	}
+	b.ReportMetric(100*r.TrackingDominatesShare, "tracking-dominates-pct")
+}
+
+func BenchmarkFig3TopTLDs(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Fig3Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Fig3()
+	}
+	b.ReportMetric(float64(len(r.Top)), "tlds")
+}
+
+func BenchmarkFig4DomainsPerIP(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Fig4Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Fig4()
+	}
+	b.ReportMetric(100*r.Sharing.SingleTLDRequestShare(), "dedicated-req-pct")
+	b.ReportMetric(r.ExtraSharePct(), "pdns-extra-pct")
+}
+
+func BenchmarkFig5SharedIPs(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Fig5Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Fig5()
+	}
+	b.ReportMetric(float64(len(r.SharedIPs)), "shared-ips")
+}
+
+func BenchmarkTable3GeoAgreement(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Table3Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Table3()
+	}
+	b.ReportMetric(r.IPAPIvMaxMind.Country, "commercial-agree-pct")
+	b.ReportMetric(r.MaxMindvIPMap.Country, "maxmind-ipmap-agree-pct")
+}
+
+func BenchmarkTable4MaxMindErrors(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Table4Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Table4()
+	}
+	b.ReportMetric(r.Rows[0].WrongCountryPct(), "google-wrong-country-pct")
+}
+
+func BenchmarkFig6ContinentSankey(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Fig6Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Fig6()
+	}
+	b.ReportMetric(r.Confinement[geodata.EU28], "eu28-confinement-pct")
+}
+
+func BenchmarkFig7GeoComparison(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Fig7Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Fig7()
+	}
+	b.ReportMetric(r.IPMapEU28(), "ipmap-eu28-pct")
+	b.ReportMetric(r.MaxMindEU28(), "maxmind-eu28-pct")
+}
+
+func BenchmarkFig8CountrySankey(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Fig8Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Fig8()
+	}
+	if v, ok := r.NationalConfinement("GB"); ok {
+		b.ReportMetric(v, "uk-national-pct")
+	}
+}
+
+func BenchmarkTable5Localization(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Table5Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Table5()
+	}
+	b.ReportMetric(r.Rows[2].InCountry-r.Default.InCountry, "tld-improvement-pts")
+}
+
+func BenchmarkTable6CloudMigration(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Table6Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Table6()
+	}
+	if gr, ok := r.Row("GR"); ok {
+		b.ReportMetric(gr.MigrationOverTLD, "greece-migration-pts")
+	}
+}
+
+func BenchmarkFig9SensitiveShare(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Fig9Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Fig9()
+	}
+	b.ReportMetric(r.Report.PctOfAll(), "sensitive-pct")
+}
+
+func BenchmarkFig10SensitiveDest(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Fig10Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Fig10()
+	}
+	b.ReportMetric(r.OverallEU28Share(), "sensitive-eu28-pct")
+}
+
+func BenchmarkFig11SensitiveCountry(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Fig11Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Fig11()
+	}
+	b.ReportMetric(float64(len(r.Leaks)), "countries")
+}
+
+func BenchmarkTable7ISPProfiles(b *testing.B) {
+	su := benchSuiteGet(b)
+	for i := 0; i < b.N; i++ {
+		_ = su.Table7()
+	}
+}
+
+func BenchmarkTable8ISPConfinement(b *testing.B) {
+	su := benchSuiteGet(b)
+	var r experiments.Table8Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Table8()
+	}
+	if rep, ok := r.Report("DE-Broadband", experiments.SnapshotDates()[1]); ok {
+		b.ReportMetric(rep.EU28, "de-broadband-eu28-pct")
+	}
+}
+
+func BenchmarkFig12ISPTopCountries(b *testing.B) {
+	su := benchSuiteGet(b)
+	t8 := su.Table8()
+	var r experiments.Fig12Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = su.Fig12(t8)
+	}
+	b.ReportMetric(r.NationalShare("DE-Broadband", "DE"), "de-national-pct")
+}
+
+func BenchmarkTable9RelatedWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RenderTable9()
+	}
+}
+
+// --- Ablation benches (DESIGN.md §6) ---
+
+// BenchmarkAblationClassifierABPOnly measures how much tracking the
+// filter lists alone catch versus the full multi-stage classifier.
+func BenchmarkAblationClassifierABPOnly(b *testing.B) {
+	su := benchSuiteGet(b)
+	ds := su.S.Dataset
+	var abpOnly, full int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		abpOnly, full = 0, 0
+		for _, r := range ds.Rows {
+			if r.Class == classify.ClassABP {
+				abpOnly++
+			}
+			if r.Class.IsTracking() {
+				full++
+			}
+		}
+	}
+	b.ReportMetric(100*float64(abpOnly)/float64(full), "abp-share-of-full-pct")
+}
+
+// BenchmarkAblationGeolocation quantifies how the geolocation service
+// choice moves the headline EU28 confinement.
+func BenchmarkAblationGeolocation(b *testing.B) {
+	su := benchSuiteGet(b)
+	var truthEU, mmEU, ipmapEU float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, truthEU, _, _ = su.TruthAnalysis().RegionConfinement(core.EU28Origin)
+		_, mmEU, _, _ = su.MaxMindAnalysis().RegionConfinement(core.EU28Origin)
+		_, ipmapEU, _, _ = su.IPMapAnalysis().RegionConfinement(core.EU28Origin)
+	}
+	b.ReportMetric(truthEU, "truth-eu28-pct")
+	b.ReportMetric(ipmapEU, "ipmap-eu28-pct")
+	b.ReportMetric(mmEU, "maxmind-eu28-pct")
+}
+
+// BenchmarkAblationPDNS measures the inventory with and without passive
+// DNS completion.
+func BenchmarkAblationPDNS(b *testing.B) {
+	su := benchSuiteGet(b)
+	inv := su.S.Inventory
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = inv.NumObserved()
+	}
+	b.ReportMetric(float64(inv.NumObserved()), "observed-ips")
+	b.ReportMetric(float64(inv.NumExtra()), "pdns-only-ips")
+}
+
+// BenchmarkAblationDNSPolicy compares confinement under the org's real
+// policy mix with an all-
+
+// HQ counterfactual resolved over the same zones.
+func BenchmarkAblationDNSPolicy(b *testing.B) {
+	su := benchSuiteGet(b)
+	s := su.S
+	rng := rand.New(rand.NewSource(7))
+	day := time.Date(2017, 10, 15, 0, 0, 0, 0, time.UTC)
+	zones := s.DNS.Zones()
+	if len(zones) > 400 {
+		zones = zones[:400]
+	}
+	b.ResetTimer()
+	var inDE int
+	for i := 0; i < b.N; i++ {
+		inDE = 0
+		for _, z := range zones {
+			ip, err := s.DNS.Resolve(rng, z, "DE", day)
+			if err != nil {
+				continue
+			}
+			if loc, ok := s.Truth.Locate(ip); ok && loc.Country == "DE" {
+				inDE++
+			}
+		}
+	}
+	b.ReportMetric(100*float64(inDE)/float64(len(zones)), "de-local-zone-pct")
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkV9EncodeDecode(b *testing.B) {
+	enc := &netflow.Encoder{SourceID: 1, Boot: time.Now().Add(-time.Hour)}
+	dec := netflow.NewDecoder()
+	now := time.Now()
+	if _, err := dec.Decode(enc.EncodeTemplate(now)); err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]netflow.Record, 256)
+	for i := range recs {
+		recs[i] = netflow.Record{
+			First: now, Last: now, InputIf: 1, Proto: netflow.ProtoTCP,
+			SrcIP: 0x60000000 + netsim.IP(i), DstIP: 0x10000000, DstPort: 443,
+			Packets: 10, Bytes: 1000,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt, n := enc.EncodeData(now, recs)
+		got, err := dec.Decode(pkt)
+		if err != nil || len(got) != n {
+			b.Fatal("round trip failed")
+		}
+	}
+	b.SetBytes(int64(len(recs) * 34))
+}
+
+func BenchmarkBlocklistMatch(b *testing.B) {
+	g := webgraph.Build(rand.New(rand.NewSource(1)), webgraph.Config{}.Scale(0.1))
+	el, ep := blocklist.Generate(rand.New(rand.NewSource(2)), g, blocklist.Coverage{})
+	l1, _ := blocklist.Parse("easylist", el)
+	l2, _ := blocklist.Parse("easyprivacy", ep)
+	reqs := []blocklist.Request{
+		{URL: "https://pagead2.googlesyndication.com/adserv/slot?sz=1", PageDomain: "site1.com"},
+		{URL: "https://static.cdn001.com/lib/main.js", PageDomain: "site1.com"},
+		{URL: "https://sync.dmp0001.com/cookiesync?uid=5", PageDomain: "site2.com"},
+		{URL: "https://www.google-analytics.com/collect?tid=1", PageDomain: "site3.com"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := reqs[i%len(reqs)]
+		blocklist.MatchAny(q, l1, l2)
+	}
+}
+
+func BenchmarkIPMapLocate(b *testing.B) {
+	su := benchSuiteGet(b)
+	ips := su.S.Inventory.IPs()
+	if len(ips) == 0 {
+		b.Skip("no IPs")
+	}
+	// Warm the cache first so the bench measures steady-state lookups.
+	for _, ip := range ips {
+		su.S.IPMap.Locate(ip)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		su.S.IPMap.Locate(ips[i%len(ips)])
+	}
+}
+
+func BenchmarkCoreAnalyze(b *testing.B) {
+	su := benchSuiteGet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Analyze(su.S.Dataset, su.S.Truth, nil)
+	}
+	b.ReportMetric(float64(len(su.S.Dataset.Rows)), "rows")
+}

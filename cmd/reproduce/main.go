@@ -1,0 +1,100 @@
+// Command reproduce runs the full reproduction of "Tracing Cross Border
+// Web Tracking" (IMC 2018) and prints every table and figure of the
+// paper's evaluation as plain-text artifacts.
+//
+// Usage:
+//
+//	reproduce [-scale 0.25] [-seed 1] [-visits 219] [-only Fig7]
+//
+// At -scale 1 the run simulates the paper's full 7M-request study and
+// takes on the order of a minute; smaller scales keep every shape and
+// finish in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"crossborder"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "population scale (1.0 = the paper's 350 users / 7.2M requests)")
+	seed := flag.Int64("seed", 1, "world seed; same seed, same study")
+	visits := flag.Int("visits", 0, "mean page visits per user (0 = the paper's 219)")
+	only := flag.String("only", "", "render a single experiment (e.g. Table5, Fig7); empty = all")
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building scenario (scale=%.2f seed=%d)...\n", *scale, *seed)
+	study := crossborder.NewStudy(crossborder.Options{
+		Seed: *seed, Scale: *scale, VisitsPerUser: *visits,
+	})
+	fmt.Fprintf(os.Stderr, "scenario ready in %v; running experiments\n", time.Since(start).Round(time.Millisecond))
+
+	if *only != "" {
+		render, ok := renderOne(study, *only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use Table1..Table9 or Fig2..Fig12\n", *only)
+			os.Exit(2)
+		}
+		fmt.Println(render)
+		return
+	}
+
+	for _, artifact := range study.RenderAll() {
+		fmt.Println(artifact)
+		fmt.Println(strings.Repeat("=", 78))
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func renderOne(st *crossborder.Study, name string) (string, bool) {
+	switch strings.ToLower(name) {
+	case "table1":
+		return st.Table1().Render(), true
+	case "table2":
+		return st.Table2().Render(), true
+	case "fig2":
+		return st.Fig2().Render(), true
+	case "fig3":
+		return st.Fig3().Render(), true
+	case "fig4":
+		return st.Fig4().Render(), true
+	case "fig5":
+		return st.Fig5().Render(), true
+	case "table3":
+		return st.Table3().Render(), true
+	case "table4":
+		return st.Table4().Render(), true
+	case "fig6":
+		return st.Fig6().Render(), true
+	case "fig7":
+		return st.Fig7().Render(), true
+	case "fig8":
+		return st.Fig8().Render(), true
+	case "table5":
+		return st.Table5().Render(), true
+	case "table6":
+		return st.Table6().Render(), true
+	case "fig9":
+		return st.Fig9().Render(), true
+	case "fig10":
+		return st.Fig10().Render(), true
+	case "fig11":
+		return st.Fig11().Render(), true
+	case "table7":
+		return st.Table7().Render(), true
+	case "table8":
+		return st.Table8().Render(), true
+	case "fig12":
+		return st.Fig12(st.Table8()).Render(), true
+	case "table9":
+		return crossborder.RenderTable9(), true
+	default:
+		return "", false
+	}
+}

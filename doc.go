@@ -1,0 +1,33 @@
+// Package crossborder reproduces "Tracing Cross Border Web Tracking"
+// (Iordanou, Smaragdakis, Poese, Laoutaris — IMC 2018): a measurement
+// methodology that quantifies how many web tracking flows cross national
+// and EU28/GDPR borders.
+//
+// The library rebuilds the paper's entire pipeline on a synthetic, fully
+// deterministic substrate:
+//
+//   - a browser-extension study over a synthetic web with real RTB
+//     cascades and cookie syncing (internal/browser, internal/webgraph,
+//     internal/rtb);
+//   - the multi-stage tracking-flow classifier: easylist/easyprivacy
+//     filter matching plus referrer propagation and URL-keyword
+//     heuristics (internal/blocklist, internal/classify);
+//   - tracker IP inventory completion via passive DNS with per-binding
+//     validity windows (internal/pdns, internal/trackerdb);
+//   - three geolocation services — ground truth, commercial databases
+//     with legal-entity HQ bias, and a RIPE IPmap-style active
+//     geolocator (internal/geo);
+//   - the border-crossing analysis itself (internal/core), the §5
+//     localization what-ifs (internal/locality), the §6 sensitive-category
+//     tracing (internal/sensitive), and the §7 ISP NetFlow scale-up
+//     (internal/netflow).
+//
+// The simplest entry point is Study:
+//
+//	study := crossborder.NewStudy(crossborder.Options{Scale: 0.1})
+//	fmt.Println(study.Fig7().Render()) // the MaxMind-vs-IPmap flip
+//
+// Every table and figure of the paper has a corresponding method; see
+// EXPERIMENTS.md for the paper-vs-measured record and DESIGN.md for the
+// system inventory.
+package crossborder

@@ -1,0 +1,126 @@
+// GDPR audit: the view a national Data Protection Authority would want.
+// For one EU28 member state, the example reports where its citizens'
+// tracking flows terminate, which tracking organizations carry personal
+// data out of GDPR jurisdiction, and how the sensitive data categories
+// (health, sexual orientation, ...) fare — the §2.1 "investigation &
+// enforcement" use case the paper motivates.
+//
+// Run with:
+//
+//	go run ./examples/gdpr-audit -country ES
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"crossborder"
+	"crossborder/internal/geodata"
+	"crossborder/internal/webgraph"
+)
+
+func main() {
+	country := flag.String("country", "ES", "EU28 member state to audit (ISO code)")
+	scale := flag.Float64("scale", 0.08, "study scale")
+	flag.Parse()
+
+	home := geodata.Country(*country)
+	if !geodata.IsEU28(home) {
+		fmt.Printf("%s is not an EU28 member state\n", home)
+		return
+	}
+
+	study := crossborder.NewStudy(crossborder.Options{Seed: 1, Scale: *scale})
+	s := study.Scenario()
+
+	type orgStat struct {
+		flows, outsideEU int64
+	}
+	byOrg := map[string]*orgStat{}
+	var total, inCountry, inEU, outsideEU, sensitive, sensitiveOut int64
+
+	for _, row := range s.Dataset.Rows {
+		if !row.Class.IsTracking() || s.Dataset.Country(row) != home {
+			continue
+		}
+		loc, ok := s.IPMap.Locate(row.IP)
+		if !ok {
+			continue
+		}
+		total++
+		if loc.Country == home {
+			inCountry++
+		}
+		euDest := geodata.IsEU28(loc.Country)
+		if euDest {
+			inEU++
+		} else {
+			outsideEU++
+		}
+
+		org := "unknown"
+		if svc, ok := s.Graph.ServiceByFQDN(s.Dataset.FQDN(row)); ok {
+			org = svc.Org
+		}
+		st := byOrg[org]
+		if st == nil {
+			st = &orgStat{}
+			byOrg[org] = st
+		}
+		st.flows++
+		if !euDest {
+			st.outsideEU++
+		}
+
+		if cat, ok := s.Identification.ByPublisher[s.Dataset.Publisher(row)]; ok && webgraph.IsSensitive(cat) {
+			sensitive++
+			if !euDest {
+				sensitiveOut++
+			}
+		}
+	}
+
+	if total == 0 {
+		fmt.Printf("no tracking flows observed for users in %s at this scale\n", home)
+		return
+	}
+
+	pct := func(n int64) float64 { return 100 * float64(n) / float64(total) }
+	fmt.Printf("GDPR audit for %s (%d tracking flows from resident users)\n\n", geodata.Name(home), total)
+	fmt.Printf("  terminate in %-20s %6.1f%%  (national jurisdiction)\n", geodata.Name(home)+":", pct(inCountry))
+	fmt.Printf("  terminate in EU28:                %6.1f%%  (GDPR jurisdiction)\n", pct(inEU))
+	fmt.Printf("  leave GDPR jurisdiction:          %6.1f%%\n\n", pct(outsideEU))
+
+	if sensitive > 0 {
+		fmt.Printf("  sensitive-category flows: %d (%.2f%% of tracking), of which %.1f%% leave EU28\n\n",
+			sensitive, pct(sensitive), 100*float64(sensitiveOut)/float64(sensitive))
+	}
+
+	// The organizations a DPA would subpoena first: most extra-EU volume.
+	type kv struct {
+		org string
+		st  *orgStat
+	}
+	ranked := make([]kv, 0, len(byOrg))
+	for org, st := range byOrg {
+		if st.outsideEU > 0 {
+			ranked = append(ranked, kv{org, st})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].st.outsideEU != ranked[j].st.outsideEU {
+			return ranked[i].st.outsideEU > ranked[j].st.outsideEU
+		}
+		return ranked[i].org < ranked[j].org
+	})
+	fmt.Println("  top organizations moving data outside EU28:")
+	for i, e := range ranked {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("    %-14s %7d flows outside EU28 (%.0f%% of its %d)\n",
+			e.org, e.st.outsideEU,
+			100*float64(e.st.outsideEU)/float64(e.st.flows), e.st.flows)
+	}
+}

@@ -1,0 +1,63 @@
+// Localization planner: the §5 what-if engine as a tool for a tracking
+// operator (or a regulator drafting guidance). It evaluates how much of
+// the observed EU28 tracking traffic could be kept inside the user's
+// country or inside Europe under each mechanism — DNS redirection at
+// FQDN/TLD level, PoP mirroring over the clouds trackers already use,
+// and full migration onto the nine major clouds — and prints a
+// per-country plan.
+//
+// Run with:
+//
+//	go run ./examples/localize
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"crossborder"
+	"crossborder/internal/geodata"
+	"crossborder/internal/locality"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.08, "study scale")
+	flag.Parse()
+
+	study := crossborder.NewStudy(crossborder.Options{Seed: 1, Scale: *scale})
+
+	// The Table 5 ladder: each mechanism's aggregate potential.
+	t5 := study.Table5()
+	fmt.Print(t5.Render())
+	fmt.Println()
+
+	// Per-country guidance: where does each mechanism actually help?
+	t6 := study.Table6()
+	fmt.Print(t6.Render())
+	fmt.Println()
+
+	fmt.Println("Recommendations:")
+	for _, row := range t6.Rows {
+		name := geodata.Name(row.Country)
+		switch {
+		case row.MigrationOverTLD < 1 && !geodata.AnyCloudPoP(row.Country):
+			fmt.Printf("  %-10s no public-cloud PoP exists; national confinement needs\n", name+":")
+			fmt.Printf("             new local datacenter capacity (the paper's Cyprus case).\n")
+		case row.PoPOverTLD >= 1:
+			fmt.Printf("  %-10s mirroring onto already-leased clouds adds %.1f points on\n", name+":", row.PoPOverTLD)
+			fmt.Printf("             top of TLD-level DNS redirection.\n")
+		case row.MigrationOverTLD >= 5:
+			fmt.Printf("  %-10s DNS redirection alone is not enough; migrating onto a\n", name+":")
+			fmt.Printf("             cloud with a local PoP adds %.1f points.\n", row.MigrationOverTLD)
+		default:
+			fmt.Printf("  %-10s TLD-level DNS redirection captures nearly all of the\n", name+":")
+			fmt.Printf("             achievable confinement.\n")
+		}
+	}
+
+	d := t5.Row(locality.Default)
+	tl := t5.Row(locality.RedirectTLD)
+	fmt.Printf("\nHeadline: GDPR-friendly DNS redirection alone lifts national confinement\n"+
+		"from %.1f%% to %.1f%% at near-zero cost (the paper's §5.1 conclusion).\n",
+		d.InCountry, tl.InCountry)
+}

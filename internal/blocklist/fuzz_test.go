@@ -1,0 +1,81 @@
+package blocklist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: filter lists come from the outside world; any
+// line may be malformed. Parse must degrade to per-line errors, never
+// panic, and the surviving rules must still match safely.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(lines []string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		l, _ := Parse("fuzz", strings.Join(lines, "\n"))
+		// Whatever survived parsing must be matchable without panics.
+		l.Match(Request{URL: "https://example.com/x?y=1", PageDomain: "page.com"})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchArbitraryURLs throws random URL-ish strings at a realistic
+// rule set.
+func TestMatchArbitraryURLs(t *testing.T) {
+	l := mustParse(t, strings.Join([]string{
+		"||tracker.com^$third-party",
+		"/adserv/*",
+		"|https://exact.test/pixel|",
+		"@@||tracker.com/allow^",
+		"||wide.org^$domain=a.com|~b.a.com",
+	}, "\n"))
+	rng := rand.New(rand.NewSource(7))
+	alphabet := "abc.:/?&=%|^*$@-_~#"
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(60)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", sb.String(), r)
+				}
+			}()
+			l.Match(Request{URL: sb.String(), PageDomain: "page.com"})
+		}()
+	}
+}
+
+// TestRuleMatchSubsetProperty: a rule with a $third-party restriction
+// matches a subset of what the unrestricted rule matches.
+func TestRuleMatchSubsetProperty(t *testing.T) {
+	wide := mustParse(t, "||sub.example.net^")
+	narrow := mustParse(t, "||sub.example.net^$third-party")
+	f := func(path uint16, thirdParty bool) bool {
+		page := "sub.example.net"
+		if thirdParty {
+			page = "other.org"
+		}
+		q := Request{
+			URL:        "https://sub.example.net/p" + string(rune('a'+path%26)),
+			PageDomain: page,
+		}
+		if narrow.Match(q) && !wide.Match(q) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

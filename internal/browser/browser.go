@@ -1,0 +1,299 @@
+// Package browser simulates the measurement study's user population: real
+// users browsing the synthetic web with the measurement extension
+// installed. Each page visit fully renders the publisher's embeds — direct
+// tracker tags, RTB ad cascades with cookie syncing, widgets and CDN
+// assets — resolves every contacted FQDN through the DNS substrate, and
+// emits one Event per third-party request, exactly the tuple the paper's
+// Chrome extension logged: (first-party domain, third-party URL, serving
+// IP), §3.1.
+package browser
+
+import (
+	"math/rand"
+	"time"
+
+	"crossborder/internal/dns"
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+	"crossborder/internal/rtb"
+	"crossborder/internal/webgraph"
+)
+
+// User is one extension-running participant.
+type User struct {
+	ID      int
+	Country geodata.Country
+}
+
+// Event is one captured third-party request.
+type Event struct {
+	User      *User
+	Publisher *webgraph.Publisher
+	// Call describes the request (FQDN, URL shape, referrer, keyword).
+	Call rtb.Call
+	// IP is the server that answered, as the extension reads it from the
+	// response (§3.1: the browser API reports the final serving IP).
+	IP netsim.IP
+	// At is the request time.
+	At time.Time
+	// HTTPS mirrors §7.2's observation that ~83% of tracking traffic is
+	// already encrypted.
+	HTTPS bool
+}
+
+// Sink consumes the capture stream. OnVisit precedes the OnRequest calls
+// of that visit. Implementations are driven from a single goroutine.
+type Sink interface {
+	OnVisit(u *User, p *webgraph.Publisher, at time.Time)
+	OnRequest(ev Event)
+}
+
+// CountryCount declares part of the user population.
+type CountryCount struct {
+	Country geodata.Country
+	Users   int
+}
+
+// DefaultPopulation reproduces the paper's 350-user geography: 183 users
+// in EU28 countries, 86 in South America, 23 in the rest of Europe, 22 in
+// Africa, 20 in Asia and 16 in North America (§4, Fig 6 and Fig 8).
+func DefaultPopulation() []CountryCount {
+	return []CountryCount{
+		// EU28: 183 users, Spain the largest base (Fig 8).
+		{"ES", 40}, {"GB", 25}, {"DE", 20}, {"FR", 15}, {"IT", 12},
+		{"PL", 10}, {"GR", 10}, {"RO", 8}, {"HU", 8}, {"BG", 7},
+		{"CY", 6}, {"DK", 6}, {"BE", 5}, {"CZ", 4}, {"PT", 3},
+		{"SE", 2}, {"AT", 2},
+		// South America: 86.
+		{"BR", 40}, {"AR", 25}, {"CL", 11}, {"CO", 10},
+		// Rest of Europe: 23.
+		{"CH", 8}, {"RU", 8}, {"RS", 4}, {"TR", 3},
+		// Africa: 22.
+		{"ZA", 8}, {"TN", 6}, {"EG", 5}, {"NG", 3},
+		// Asia: 20.
+		{"IN", 6}, {"JP", 5}, {"MY", 4}, {"TH", 3}, {"TW", 2},
+		// North America: 16.
+		{"US", 10}, {"CA", 4}, {"MX", 2},
+	}
+}
+
+// MakeUsers expands population declarations into user records.
+func MakeUsers(pop []CountryCount) []*User {
+	var users []*User
+	id := 0
+	for _, cc := range pop {
+		for i := 0; i < cc.Users; i++ {
+			users = append(users, &User{ID: id, Country: cc.Country})
+			id++
+		}
+	}
+	return users
+}
+
+// Config tunes the browsing simulation.
+type Config struct {
+	// Start and End bound the measurement window (defaults: Sep 1 2017 to
+	// Jan 15 2018, the paper's four and a half months).
+	Start, End time.Time
+	// VisitsPerUser is the mean number of page visits per user
+	// (default 219, reproducing 76.5K first-party requests for 350 users).
+	VisitsPerUser int
+	// TrackerRepeats bounds how many requests one direct tracker tag
+	// fires per visit (default 2..5).
+	TrackerRepeatsMin, TrackerRepeatsMax int
+	// CreativeAssets bounds the extra ad-asset fetches per won auction
+	// (default 2..6).
+	CreativeAssetsMin, CreativeAssetsMax int
+	// WidgetAssets bounds asset fetches per widget embed (default 3..8).
+	WidgetAssetsMin, WidgetAssetsMax int
+	// CDNAssets bounds asset fetches per CDN embed (default 8..24).
+	CDNAssetsMin, CDNAssetsMax int
+	// HTTPSShare is the fraction of requests over TLS (default 0.83).
+	HTTPSShare float64
+	// RTB tunes the auction cascades.
+	RTB rtb.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.End.IsZero() {
+		c.End = time.Date(2018, 1, 15, 0, 0, 0, 0, time.UTC)
+	}
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.VisitsPerUser, 219)
+	def(&c.TrackerRepeatsMin, 2)
+	def(&c.TrackerRepeatsMax, 5)
+	def(&c.CreativeAssetsMin, 2)
+	def(&c.CreativeAssetsMax, 6)
+	def(&c.WidgetAssetsMin, 3)
+	def(&c.WidgetAssetsMax, 8)
+	def(&c.CDNAssetsMin, 8)
+	def(&c.CDNAssetsMax, 24)
+	if c.HTTPSShare == 0 {
+		c.HTTPSShare = 0.83
+	}
+	return c
+}
+
+// Simulator drives the population over the synthetic web.
+type Simulator struct {
+	cfg      Config
+	graph    *webgraph.Graph
+	resolver *dns.Server
+	auction  *rtb.Auction
+	pubPick  *weightedPicker
+}
+
+// NewSimulator wires a simulator. The resolver must have every tracking
+// and widget FQDN registered.
+func NewSimulator(graph *webgraph.Graph, resolver *dns.Server, cfg Config) *Simulator {
+	cfg = cfg.withDefaults()
+	return &Simulator{
+		cfg:      cfg,
+		graph:    graph,
+		resolver: resolver,
+		auction:  rtb.NewAuction(graph, cfg.RTB),
+		pubPick:  newWeightedPicker(graph.Publishers),
+	}
+}
+
+// Run simulates every user's browsing and streams events into the sinks.
+// Deterministic for a given rng seed.
+func (s *Simulator) Run(rng *rand.Rand, users []*User, sinks ...Sink) {
+	for _, u := range users {
+		visits := s.visitCount(rng)
+		for v := 0; v < visits; v++ {
+			s.visit(rng, u, sinks)
+		}
+	}
+}
+
+// visitCount draws the number of visits for one user around the mean.
+func (s *Simulator) visitCount(rng *rand.Rand) int {
+	mean := float64(s.cfg.VisitsPerUser)
+	n := int(mean/2 + rng.Float64()*mean)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// visit renders one page.
+func (s *Simulator) visit(rng *rand.Rand, u *User, sinks []Sink) {
+	cfg := s.cfg
+	p := s.pubPick.pick(rng)
+	at := cfg.Start.Add(time.Duration(rng.Int63n(int64(cfg.End.Sub(cfg.Start)))))
+	for _, sk := range sinks {
+		sk.OnVisit(u, p, at)
+	}
+
+	// Per-visit DNS cache: repeated requests to one FQDN reuse the answer,
+	// like a real browser inside one TTL.
+	cache := make(map[string]netsim.IP)
+	emit := func(call rtb.Call) {
+		ip, ok := cache[call.FQDN]
+		if !ok {
+			resolved, err := s.resolver.Resolve(rng, call.FQDN, u.Country, at)
+			if err != nil {
+				return // dead embed; the extension never sees a request
+			}
+			ip = resolved
+			cache[call.FQDN] = ip
+		}
+		ev := Event{
+			User:      u,
+			Publisher: p,
+			Call:      call,
+			IP:        ip,
+			At:        at,
+			HTTPS:     rng.Float64() < cfg.HTTPSShare,
+		}
+		for _, sk := range sinks {
+			sk.OnRequest(ev)
+		}
+	}
+
+	between := func(lo, hi int) int { return lo + rng.Intn(hi-lo+1) }
+
+	// 1. Direct tracker tags (first-party context, referrer = page).
+	for _, svc := range p.DirectTrackers {
+		for i, n := 0, between(cfg.TrackerRepeatsMin, cfg.TrackerRepeatsMax); i < n; i++ {
+			emit(rtb.DirectTrackerCall(rng, svc))
+		}
+	}
+
+	// 2. Ad slots: full RTB cascade plus creative asset fetches.
+	for _, adNet := range p.AdSlots {
+		calls := s.auction.Run(rng, adNet)
+		for _, c := range calls {
+			emit(c)
+		}
+		if len(calls) > 0 {
+			last := calls[len(calls)-1]
+			for i, n := 0, between(cfg.CreativeAssetsMin, cfg.CreativeAssetsMax); i < n; i++ {
+				asset := rtb.Call{
+					Service: last.Service,
+					FQDN:    last.FQDN,
+					Path:    assetPath(rng),
+					HasArgs: false,
+					RefFQDN: last.FQDN,
+				}
+				emit(asset)
+			}
+		}
+	}
+
+	// 3. Widgets and CDNs (clean traffic).
+	for _, svc := range p.Widgets {
+		for i, n := 0, between(cfg.WidgetAssetsMin, cfg.WidgetAssetsMax); i < n; i++ {
+			emit(rtb.WidgetCall(rng, svc))
+		}
+	}
+	for _, svc := range p.CDNs {
+		for i, n := 0, between(cfg.CDNAssetsMin, cfg.CDNAssetsMax); i < n; i++ {
+			emit(rtb.WidgetCall(rng, svc))
+		}
+	}
+}
+
+var assetPaths = []string{"/img/banner1.jpg", "/img/banner2.jpg", "/vid/preroll.mp4", "/fonts/ad.woff", "/js/render.js"}
+
+func assetPath(rng *rand.Rand) string {
+	return assetPaths[rng.Intn(len(assetPaths))]
+}
+
+// weightedPicker samples publishers proportionally to popularity weight.
+type weightedPicker struct {
+	pubs []*webgraph.Publisher
+	cum  []float64
+}
+
+func newWeightedPicker(pubs []*webgraph.Publisher) *weightedPicker {
+	w := &weightedPicker{pubs: pubs, cum: make([]float64, len(pubs))}
+	var total float64
+	for i, p := range pubs {
+		total += p.Weight
+		w.cum[i] = total
+	}
+	return w
+}
+
+func (w *weightedPicker) pick(rng *rand.Rand) *webgraph.Publisher {
+	x := rng.Float64() * w.cum[len(w.cum)-1]
+	lo, hi := 0, len(w.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return w.pubs[lo]
+}

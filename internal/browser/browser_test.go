@@ -1,0 +1,241 @@
+package browser
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"crossborder/internal/dns"
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+	"crossborder/internal/webgraph"
+)
+
+// collector is a Sink that accumulates everything.
+type collector struct {
+	visits   int
+	events   []Event
+	pubSeen  map[string]bool
+	fqdnSeen map[string]bool
+}
+
+func newCollector() *collector {
+	return &collector{pubSeen: map[string]bool{}, fqdnSeen: map[string]bool{}}
+}
+
+func (c *collector) OnVisit(u *User, p *webgraph.Publisher, at time.Time) {
+	c.visits++
+	c.pubSeen[p.Domain] = true
+}
+
+func (c *collector) OnRequest(ev Event) {
+	c.events = append(c.events, ev)
+	c.fqdnSeen[ev.Call.FQDN] = true
+}
+
+// testRig builds a small graph and a DNS server covering all its FQDNs.
+func testRig(t *testing.T, seed int64) (*webgraph.Graph, *dns.Server) {
+	t.Helper()
+	g := webgraph.Build(rand.New(rand.NewSource(seed)), webgraph.Config{}.Scale(0.04))
+	srv := dns.NewServer(nil)
+	start := time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2018, 1, 15, 0, 0, 0, 0, time.UTC)
+	countries := []geodata.Country{"US", "DE", "NL", "GB", "IE", "FR"}
+	ipCounter := uint32(0x20000000)
+	for i, f := range allFQDNs(g) {
+		var servers []dns.ServerIP
+		for k := 0; k < 2; k++ {
+			servers = append(servers, dns.ServerIP{
+				IP:      netsim.IP(ipCounter),
+				Country: countries[(i+k)%len(countries)],
+				From:    start, To: end,
+			})
+			ipCounter++
+		}
+		srv.Register(f, "org", dns.PolicyNearest, 300*time.Second, servers)
+	}
+	return g, srv
+}
+
+func allFQDNs(g *webgraph.Graph) []string {
+	var out []string
+	for _, s := range g.Services {
+		out = append(out, s.FQDNs...)
+	}
+	return out
+}
+
+func TestDefaultPopulation(t *testing.T) {
+	pop := DefaultPopulation()
+	users := MakeUsers(pop)
+	if len(users) != 350 {
+		t.Fatalf("users = %d, want 350 (Table 1)", len(users))
+	}
+	byCont := map[geodata.Continent]int{}
+	for _, u := range users {
+		byCont[geodata.ContinentOf(u.Country)]++
+	}
+	if byCont[geodata.EU28] != 183 {
+		t.Errorf("EU28 users = %d, want 183 (§4.1)", byCont[geodata.EU28])
+	}
+	if byCont[geodata.SouthAmerica] != 86 {
+		t.Errorf("S.America users = %d, want 86", byCont[geodata.SouthAmerica])
+	}
+	if byCont[geodata.RestOfEurope] != 23 || byCont[geodata.Africa] != 22 ||
+		byCont[geodata.Asia] != 20 || byCont[geodata.NorthAmerica] != 16 {
+		t.Errorf("continent mix = %v", byCont)
+	}
+	// IDs are sequential and unique.
+	for i, u := range users {
+		if u.ID != i {
+			t.Fatalf("user %d has ID %d", i, u.ID)
+		}
+	}
+}
+
+func TestSimulationProducesEvents(t *testing.T) {
+	g, srv := testRig(t, 1)
+	sim := NewSimulator(g, srv, Config{VisitsPerUser: 10})
+	users := MakeUsers([]CountryCount{{"DE", 3}, {"ES", 2}})
+	col := newCollector()
+	sim.Run(rand.New(rand.NewSource(2)), users, col)
+
+	if col.visits == 0 {
+		t.Fatal("no visits")
+	}
+	if len(col.events) == 0 {
+		t.Fatal("no events")
+	}
+	perVisit := float64(len(col.events)) / float64(col.visits)
+	if perVisit < 20 || perVisit > 250 {
+		t.Errorf("requests per visit = %.1f, want realistic page volume", perVisit)
+	}
+	// Every event has a resolved IP and a valid time window.
+	start := time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2018, 1, 15, 0, 0, 0, 0, time.UTC)
+	for _, ev := range col.events {
+		if ev.IP == 0 {
+			t.Fatal("event without IP")
+		}
+		if ev.At.Before(start) || ev.At.After(end) {
+			t.Fatalf("event time %v outside window", ev.At)
+		}
+		if ev.User == nil || ev.Publisher == nil {
+			t.Fatal("event missing user/publisher")
+		}
+	}
+}
+
+func TestSimulationDeterministic(t *testing.T) {
+	g, srv := testRig(t, 3)
+	users := MakeUsers([]CountryCount{{"DE", 2}})
+	run := func() []Event {
+		sim := NewSimulator(g, srv, Config{VisitsPerUser: 5})
+		col := newCollector()
+		sim.Run(rand.New(rand.NewSource(7)), users, col)
+		return col.events
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Call.FQDN != b[i].Call.FQDN || a[i].IP != b[i].IP {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestHTTPSShare(t *testing.T) {
+	g, srv := testRig(t, 4)
+	sim := NewSimulator(g, srv, Config{VisitsPerUser: 30})
+	users := MakeUsers([]CountryCount{{"DE", 3}})
+	col := newCollector()
+	sim.Run(rand.New(rand.NewSource(5)), users, col)
+	https := 0
+	for _, ev := range col.events {
+		if ev.HTTPS {
+			https++
+		}
+	}
+	share := float64(https) / float64(len(col.events))
+	if share < 0.75 || share > 0.92 {
+		t.Errorf("HTTPS share = %.3f, want ~0.83 (§7.2)", share)
+	}
+}
+
+func TestTrafficMixTrackingDominates(t *testing.T) {
+	// Fig 2: most third-party requests are ad/tracking related.
+	g, srv := testRig(t, 6)
+	sim := NewSimulator(g, srv, Config{VisitsPerUser: 40})
+	users := MakeUsers([]CountryCount{{"DE", 5}})
+	col := newCollector()
+	sim.Run(rand.New(rand.NewSource(8)), users, col)
+	tracking := 0
+	for _, ev := range col.events {
+		if ev.Call.Service.Role.IsTracking() {
+			tracking++
+		}
+	}
+	share := float64(tracking) / float64(len(col.events))
+	if share < 0.45 || share > 0.80 {
+		t.Errorf("tracking share = %.3f, want ~0.61 (4.4M/7.2M)", share)
+	}
+}
+
+func TestPerVisitDNSCache(t *testing.T) {
+	// Within one visit the same FQDN must resolve to one IP even under
+	// PolicyRandom: the per-visit cache models browser DNS caching.
+	g := webgraph.Build(rand.New(rand.NewSource(9)), webgraph.Config{}.Scale(0.04))
+	srv := dns.NewServer(nil)
+	start := time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2018, 1, 15, 0, 0, 0, 0, time.UTC)
+	ip := uint32(0x30000000)
+	for _, f := range allFQDNs(g) {
+		srv.Register(f, "org", dns.PolicyRandom, time.Minute, []dns.ServerIP{
+			{IP: netsim.IP(ip), Country: "US", From: start, To: end},
+			{IP: netsim.IP(ip + 1), Country: "DE", From: start, To: end},
+		})
+		ip += 2
+	}
+	sim := NewSimulator(g, srv, Config{VisitsPerUser: 3})
+	users := MakeUsers([]CountryCount{{"DE", 2}})
+
+	type visitKey struct {
+		visit int
+		fqdn  string
+	}
+	seen := map[visitKey]netsim.IP{}
+	visit := 0
+	checker := &funcSink{
+		onVisit: func(*User, *webgraph.Publisher, time.Time) { visit++ },
+		onRequest: func(ev Event) {
+			k := visitKey{visit, ev.Call.FQDN}
+			if prev, ok := seen[k]; ok && prev != ev.IP {
+				t.Fatalf("visit %d FQDN %s resolved to both %s and %s", visit, ev.Call.FQDN, prev, ev.IP)
+			}
+			seen[k] = ev.IP
+		},
+	}
+	sim.Run(rand.New(rand.NewSource(10)), users, checker)
+}
+
+type funcSink struct {
+	onVisit   func(*User, *webgraph.Publisher, time.Time)
+	onRequest func(Event)
+}
+
+func (f *funcSink) OnVisit(u *User, p *webgraph.Publisher, at time.Time) { f.onVisit(u, p, at) }
+func (f *funcSink) OnRequest(ev Event)                                   { f.onRequest(ev) }
+
+func TestVisitCountScaling(t *testing.T) {
+	g, srv := testRig(t, 11)
+	sim := NewSimulator(g, srv, Config{VisitsPerUser: 100})
+	users := MakeUsers([]CountryCount{{"DE", 20}})
+	col := newCollector()
+	sim.Run(rand.New(rand.NewSource(12)), users, col)
+	mean := float64(col.visits) / float64(len(users))
+	if mean < 60 || mean > 140 {
+		t.Errorf("mean visits per user = %.1f, want ~100", mean)
+	}
+}

@@ -1,0 +1,335 @@
+// Package classify implements the paper's multi-stage tracking-flow
+// classifier (§3.2). Stage 1 matches every third-party request against the
+// easylist + easyprivacy filter lists, producing the initial list of
+// tracking flows (LTF) and non-tracking flows (NTF). Stage 2 iteratively
+// moves NTF requests to the LTF when their referrer is an already-detected
+// tracking URL and the request URL carries arguments (the cookie-sync /
+// RTB cascade signature). Stage 3 moves the remaining argument-carrying
+// requests whose URL contains tracking vocabulary ("usermatch", "rtb",
+// "cookiesync", ...). The combined stages roughly double detected tracking
+// flows versus the lists alone (Table 2).
+//
+// The classifier doubles as the dataset builder: it consumes the browser
+// capture stream and stores each request as a compact interned row, so the
+// full 7.2M-request study fits comfortably in memory.
+package classify
+
+import (
+	"strings"
+	"time"
+
+	"crossborder/internal/blocklist"
+	"crossborder/internal/browser"
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+	"crossborder/internal/webgraph"
+)
+
+// Class is the final label of one request.
+type Class uint8
+
+const (
+	// ClassClean is a non-tracking third-party request (NTF).
+	ClassClean Class = iota
+	// ClassABP was matched by the easylist/easyprivacy lists (stage 1).
+	ClassABP
+	// ClassSemiReferrer was recovered by referrer propagation (stage 2).
+	ClassSemiReferrer
+	// ClassSemiKeyword was recovered by the URL keyword + arguments
+	// heuristic (stage 3).
+	ClassSemiKeyword
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassClean:
+		return "clean"
+	case ClassABP:
+		return "abp"
+	case ClassSemiReferrer:
+		return "semi-referrer"
+	case ClassSemiKeyword:
+		return "semi-keyword"
+	default:
+		return "unknown"
+	}
+}
+
+// IsTracking reports whether the class marks the request as a tracking flow.
+func (c Class) IsTracking() bool { return c != ClassClean }
+
+// IsSemi reports whether the request was recovered by the semi-automatic
+// stages rather than the lists.
+func (c Class) IsSemi() bool {
+	return c == ClassSemiReferrer || c == ClassSemiKeyword
+}
+
+// Keywords is the empirically built tracking vocabulary of stage 3 (§3.2
+// names "usermatch", "rtb", "cookiesync" as examples).
+var Keywords = []string{
+	"usermatch", "cookiesync", "rtb", "adserv", "bid", "pixel",
+	"collect", "sync", "track",
+}
+
+// Row is one captured request in compact interned form (~40 bytes).
+type Row struct {
+	URLHash   uint64
+	IP        netsim.IP
+	FQDN      uint32 // interner id
+	RefFQDN   uint32 // interner id; 0 = first-party page context
+	Publisher int32  // index into Dataset.Publishers
+	User      int32
+	Day       uint16 // days since dataset start
+	Country   uint8  // index into Dataset.Countries
+	Flags     uint8
+	Class     Class
+}
+
+// Flag bits of Row.Flags.
+const (
+	FlagHasArgs uint8 = 1 << iota
+	FlagHTTPS
+	FlagKeyword  // URL contains stage-3 vocabulary
+	FlagTruthing // ground truth: the serving service role is tracking
+)
+
+// HasArgs reports whether the request URL carried query arguments.
+func (r Row) HasArgs() bool { return r.Flags&FlagHasArgs != 0 }
+
+// HTTPS reports whether the request was encrypted.
+func (r Row) HTTPS() bool { return r.Flags&FlagHTTPS != 0 }
+
+// HasKeyword reports whether the URL contains tracking vocabulary.
+func (r Row) HasKeyword() bool { return r.Flags&FlagKeyword != 0 }
+
+// TruthTracking reports the generator-side ground truth for the request.
+func (r Row) TruthTracking() bool { return r.Flags&FlagTruthing != 0 }
+
+// Interner maps strings to dense uint32 ids. Id 0 is reserved for "".
+type Interner struct {
+	ids  map[string]uint32
+	strs []string
+}
+
+// NewInterner returns an interner with "" pre-assigned id 0.
+func NewInterner() *Interner {
+	return &Interner{ids: map[string]uint32{"": 0}, strs: []string{""}}
+}
+
+// ID returns (assigning if needed) the id for s.
+func (in *Interner) ID(s string) uint32 {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	id := uint32(len(in.strs))
+	in.ids[s] = id
+	in.strs = append(in.strs, s)
+	return id
+}
+
+// Lookup returns the id for s without assigning.
+func (in *Interner) Lookup(s string) (uint32, bool) {
+	id, ok := in.ids[s]
+	return id, ok
+}
+
+// Str returns the string for an id.
+func (in *Interner) Str(id uint32) string {
+	if int(id) >= len(in.strs) {
+		return ""
+	}
+	return in.strs[id]
+}
+
+// Len returns the number of interned strings including "".
+func (in *Interner) Len() int { return len(in.strs) }
+
+// Dataset is the collected, classified request log.
+type Dataset struct {
+	Rows []Row
+	// FQDNs interns every third-party hostname (and referrer hostnames).
+	FQDNs *Interner
+	// Countries indexes Row.Country.
+	Countries []geodata.Country
+	// Publishers indexes Row.Publisher.
+	Publishers []*webgraph.Publisher
+	// Visits counts first-party requests (page loads).
+	Visits int
+	// Start anchors Row.Day.
+	Start time.Time
+}
+
+// Country returns the user country of a row.
+func (d *Dataset) Country(r Row) geodata.Country { return d.Countries[r.Country] }
+
+// FQDN returns the contacted hostname of a row.
+func (d *Dataset) FQDN(r Row) string { return d.FQDNs.Str(r.FQDN) }
+
+// Publisher returns the first-party publisher of a row.
+func (d *Dataset) Publisher(r Row) *webgraph.Publisher { return d.Publishers[r.Publisher] }
+
+// Time reconstructs the (day-granular) timestamp of a row.
+func (d *Dataset) Time(r Row) time.Time { return d.Start.AddDate(0, 0, int(r.Day)) }
+
+// Collector is a browser.Sink that builds the Dataset and runs stage 1
+// (filter-list matching) online as requests arrive.
+type Collector struct {
+	ds *Dataset
+
+	easylist    *blocklist.List
+	easyprivacy *blocklist.List
+
+	countryIdx map[geodata.Country]uint8
+	pubIdx     map[*webgraph.Publisher]int32
+	graph      *webgraph.Graph
+}
+
+// NewCollector returns a collector classifying against the two lists.
+func NewCollector(graph *webgraph.Graph, easylist, easyprivacy *blocklist.List, start time.Time) *Collector {
+	return &Collector{
+		ds: &Dataset{
+			FQDNs: NewInterner(),
+			Start: start,
+		},
+		easylist:    easylist,
+		easyprivacy: easyprivacy,
+		countryIdx:  make(map[geodata.Country]uint8),
+		pubIdx:      make(map[*webgraph.Publisher]int32),
+		graph:       graph,
+	}
+}
+
+// OnVisit implements browser.Sink.
+func (c *Collector) OnVisit(u *browser.User, p *webgraph.Publisher, at time.Time) {
+	c.ds.Visits++
+	if _, ok := c.pubIdx[p]; !ok {
+		c.pubIdx[p] = int32(len(c.ds.Publishers))
+		c.ds.Publishers = append(c.ds.Publishers, p)
+	}
+}
+
+// OnRequest implements browser.Sink: stage-1 classification + row storage.
+func (c *Collector) OnRequest(ev browser.Event) {
+	url := ev.Call.URL()
+	row := Row{
+		URLHash:   fnv64(url),
+		IP:        ev.IP,
+		FQDN:      c.ds.FQDNs.ID(ev.Call.FQDN),
+		RefFQDN:   c.ds.FQDNs.ID(ev.Call.RefFQDN),
+		Publisher: c.pubIdx[ev.Publisher],
+		User:      int32(ev.User.ID),
+		Day:       uint16(ev.At.Sub(c.ds.Start) / (24 * time.Hour)),
+	}
+	cID, ok := c.countryIdx[ev.User.Country]
+	if !ok {
+		cID = uint8(len(c.ds.Countries))
+		c.countryIdx[ev.User.Country] = cID
+		c.ds.Countries = append(c.ds.Countries, ev.User.Country)
+	}
+	row.Country = cID
+
+	if ev.Call.HasArgs {
+		row.Flags |= FlagHasArgs
+	}
+	if ev.HTTPS {
+		row.Flags |= FlagHTTPS
+	}
+	if containsKeyword(url) {
+		row.Flags |= FlagKeyword
+	}
+	if svc, ok := c.graph.ServiceByFQDN(ev.Call.FQDN); ok && svc.Role.IsTracking() {
+		row.Flags |= FlagTruthing
+	}
+
+	q := blocklist.Request{URL: url, PageDomain: ev.Publisher.Domain}
+	if c.easylist.Match(q) || c.easyprivacy.Match(q) {
+		row.Class = ClassABP
+	} else {
+		row.Class = ClassClean
+	}
+	c.ds.Rows = append(c.ds.Rows, row)
+}
+
+// containsKeyword scans a URL for the stage-3 vocabulary.
+func containsKeyword(url string) bool {
+	l := strings.ToLower(url)
+	for _, k := range Keywords {
+		if strings.Contains(l, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// fnv64 is FNV-1a over the URL for unique-request counting.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Finalize runs stages 2 and 3 over the collected rows and returns the
+// dataset. The collector must not be used afterwards.
+func (c *Collector) Finalize() *Dataset {
+	ds := c.ds
+	runSemiStages(ds)
+	return ds
+}
+
+// runSemiStages performs referrer propagation (stage 2) and the keyword
+// heuristic (stage 3), iterating the pair to a fixpoint: a keyword-caught
+// cascade head admits the requests it referred on the next round.
+func runSemiStages(ds *Dataset) {
+	// LTF membership at FQDN granularity: an FQDN is "in the LTF" once
+	// any request to it is classified as tracking. (The paper keys on
+	// URLs; FQDN granularity is the conservative compaction.)
+	inLTF := make([]bool, ds.FQDNs.Len())
+	for _, r := range ds.Rows {
+		if r.Class == ClassABP {
+			inLTF[r.FQDN] = true
+		}
+	}
+
+	for {
+		changed := false
+
+		// Stage 2: a request with arguments whose referrer FQDN is
+		// already tracking becomes tracking.
+		for i := range ds.Rows {
+			r := &ds.Rows[i]
+			if r.Class != ClassClean || !r.HasArgs() || r.RefFQDN == 0 {
+				continue
+			}
+			if inLTF[r.RefFQDN] {
+				r.Class = ClassSemiReferrer
+				if !inLTF[r.FQDN] {
+					inLTF[r.FQDN] = true
+					changed = true
+				}
+			}
+		}
+
+		// Stage 3: keyword + arguments heuristic for the remainder.
+		for i := range ds.Rows {
+			r := &ds.Rows[i]
+			if r.Class == ClassClean && r.HasArgs() && r.HasKeyword() {
+				r.Class = ClassSemiKeyword
+				if !inLTF[r.FQDN] {
+					inLTF[r.FQDN] = true
+					changed = true
+				}
+			}
+		}
+
+		if !changed {
+			break
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package classify
+
+import (
+	"sort"
+
+	"crossborder/internal/webgraph"
+)
+
+// MethodStats summarizes one classification method's catch (a row of
+// Table 2): distinct FQDNs, distinct eTLD+1s, unique request URLs, and
+// total requests.
+type MethodStats struct {
+	FQDNs          int
+	TLDs           int
+	UniqueRequests int64
+	TotalRequests  int64
+}
+
+// Table2 reproduces the paper's Table 2: the AdBlockPlus-list catch, the
+// semi-automatic catch, and their union.
+type Table2 struct {
+	ABP   MethodStats
+	Semi  MethodStats
+	Total MethodStats
+}
+
+// ComputeTable2 aggregates the classified dataset.
+func ComputeTable2(ds *Dataset) Table2 {
+	type agg struct {
+		fqdns map[uint32]struct{}
+		tlds  map[string]struct{}
+		urls  map[uint64]struct{}
+		total int64
+	}
+	newAgg := func() *agg {
+		return &agg{
+			fqdns: make(map[uint32]struct{}),
+			tlds:  make(map[string]struct{}),
+			urls:  make(map[uint64]struct{}),
+		}
+	}
+	abp, semi, tot := newAgg(), newAgg(), newAgg()
+	add := func(a *agg, r Row, tld string) {
+		a.fqdns[r.FQDN] = struct{}{}
+		a.tlds[tld] = struct{}{}
+		a.urls[r.URLHash] = struct{}{}
+		a.total++
+	}
+	for _, r := range ds.Rows {
+		if !r.Class.IsTracking() {
+			continue
+		}
+		tld := webgraph.ETLDPlusOne(ds.FQDN(r))
+		add(tot, r, tld)
+		if r.Class == ClassABP {
+			add(abp, r, tld)
+		} else {
+			add(semi, r, tld)
+		}
+	}
+	toStats := func(a *agg) MethodStats {
+		return MethodStats{
+			FQDNs:          len(a.fqdns),
+			TLDs:           len(a.tlds),
+			UniqueRequests: int64(len(a.urls)),
+			TotalRequests:  a.total,
+		}
+	}
+	return Table2{ABP: toStats(abp), Semi: toStats(semi), Total: toStats(tot)}
+}
+
+// SiteCounts is the per-website request tally behind Fig 2.
+type SiteCounts struct {
+	Domain   string
+	Clean    int64
+	Tracking int64
+}
+
+// All returns the total third-party requests of the site.
+func (s SiteCounts) All() int64 { return s.Clean + s.Tracking }
+
+// PerSiteCounts aggregates requests per first-party website.
+func PerSiteCounts(ds *Dataset) []SiteCounts {
+	clean := make([]int64, len(ds.Publishers))
+	tracking := make([]int64, len(ds.Publishers))
+	for _, r := range ds.Rows {
+		if r.Class.IsTracking() {
+			tracking[r.Publisher]++
+		} else {
+			clean[r.Publisher]++
+		}
+	}
+	out := make([]SiteCounts, 0, len(ds.Publishers))
+	for i, p := range ds.Publishers {
+		if clean[i]+tracking[i] == 0 {
+			continue
+		}
+		out = append(out, SiteCounts{Domain: p.Domain, Clean: clean[i], Tracking: tracking[i]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// TLDSplit is one bar of Fig 3: a tracking eTLD+1 with its request counts
+// split by detection method.
+type TLDSplit struct {
+	TLD  string
+	ABP  int64
+	Semi int64
+}
+
+// Total returns the combined request count.
+func (t TLDSplit) Total() int64 { return t.ABP + t.Semi }
+
+// TopTrackingTLDs returns the n busiest tracking eTLD+1s with their
+// ABP-vs-semi split (Fig 3). Ties break lexicographically.
+func TopTrackingTLDs(ds *Dataset, n int) []TLDSplit {
+	abp := make(map[string]int64)
+	semi := make(map[string]int64)
+	for _, r := range ds.Rows {
+		if !r.Class.IsTracking() {
+			continue
+		}
+		tld := webgraph.ETLDPlusOne(ds.FQDN(r))
+		if r.Class == ClassABP {
+			abp[tld]++
+		} else {
+			semi[tld]++
+		}
+	}
+	seen := make(map[string]struct{}, len(abp)+len(semi))
+	var out []TLDSplit
+	for tld := range abp {
+		seen[tld] = struct{}{}
+	}
+	for tld := range semi {
+		seen[tld] = struct{}{}
+	}
+	for tld := range seen {
+		out = append(out, TLDSplit{TLD: tld, ABP: abp[tld], Semi: semi[tld]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total() != out[j].Total() {
+			return out[i].Total() > out[j].Total()
+		}
+		return out[i].TLD < out[j].TLD
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Accuracy scores the classifier against the generator's ground truth.
+type Accuracy struct {
+	TruePositives  int64
+	FalsePositives int64
+	TrueNegatives  int64
+	FalseNegatives int64
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (a Accuracy) Precision() float64 {
+	if a.TruePositives+a.FalsePositives == 0 {
+		return 0
+	}
+	return float64(a.TruePositives) / float64(a.TruePositives+a.FalsePositives)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (a Accuracy) Recall() float64 {
+	if a.TruePositives+a.FalseNegatives == 0 {
+		return 0
+	}
+	return float64(a.TruePositives) / float64(a.TruePositives+a.FalseNegatives)
+}
+
+// Score compares the final classification with ground truth.
+func Score(ds *Dataset) Accuracy {
+	var a Accuracy
+	for _, r := range ds.Rows {
+		switch {
+		case r.Class.IsTracking() && r.TruthTracking():
+			a.TruePositives++
+		case r.Class.IsTracking() && !r.TruthTracking():
+			a.FalsePositives++
+		case !r.Class.IsTracking() && r.TruthTracking():
+			a.FalseNegatives++
+		default:
+			a.TrueNegatives++
+		}
+	}
+	return a
+}
+
+// DatasetStats reproduces Table 1's dataset summary.
+type DatasetStats struct {
+	Users            int
+	FirstPartySites  int
+	FirstPartyVisits int
+	ThirdPartyFQDNs  int
+	ThirdPartyReqs   int64
+}
+
+// ComputeStats summarizes the dataset.
+func ComputeStats(ds *Dataset) DatasetStats {
+	users := make(map[int32]struct{})
+	fqdns := make(map[uint32]struct{})
+	for _, r := range ds.Rows {
+		users[r.User] = struct{}{}
+		fqdns[r.FQDN] = struct{}{}
+	}
+	return DatasetStats{
+		Users:            len(users),
+		FirstPartySites:  len(ds.Publishers),
+		FirstPartyVisits: ds.Visits,
+		ThirdPartyFQDNs:  len(fqdns),
+		ThirdPartyReqs:   int64(len(ds.Rows)),
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"crossborder/internal/geodata"
+)
+
+// Jurisdiction is a set of countries under one data-protection regime.
+// The paper's analysis is GDPR/EU28-centric, but its §9 future work calls
+// for monitoring other regulations (US scope, COPPA); this type
+// generalizes the confinement computation to any membership predicate.
+type Jurisdiction struct {
+	// Name labels reports.
+	Name string
+	// Member reports whether a country is inside the jurisdiction.
+	Member func(geodata.Country) bool
+}
+
+// GDPR is the EU28 jurisdiction of the paper's headline analysis.
+func GDPR() Jurisdiction {
+	return Jurisdiction{Name: "GDPR (EU28)", Member: geodata.IsEU28}
+}
+
+// EEAPlus approximates the wider European Economic Area view some DPAs
+// take: EU28 plus the EFTA-style neighbors in the dataset.
+func EEAPlus() Jurisdiction {
+	extra := map[geodata.Country]bool{"CH": true, "NO": true}
+	return Jurisdiction{
+		Name: "EEA+",
+		Member: func(c geodata.Country) bool {
+			return geodata.IsEU28(c) || extra[c]
+		},
+	}
+}
+
+// USA is the single-country jurisdiction for COPPA-style analyses.
+func USA() Jurisdiction {
+	return Jurisdiction{Name: "USA", Member: func(c geodata.Country) bool { return c == "US" }}
+}
+
+// National is the one-country jurisdiction used for the paper's national
+// confinement numbers.
+func National(c geodata.Country) Jurisdiction {
+	return Jurisdiction{
+		Name:   geodata.Name(c),
+		Member: func(cc geodata.Country) bool { return cc == c },
+	}
+}
+
+// Continent covers one of the world regions.
+func Continent(region geodata.Continent) Jurisdiction {
+	return Jurisdiction{
+		Name: region.String(),
+		Member: func(c geodata.Country) bool {
+			return geodata.ContinentOf(c) == region
+		},
+	}
+}
+
+// JurisdictionConfinement returns the share of flows (with origin
+// satisfying originFilter, nil = all) terminating inside the
+// jurisdiction, along with the flow count considered.
+func (a *Analysis) JurisdictionConfinement(j Jurisdiction, originFilter func(geodata.Country) bool) (pct float64, flows int64) {
+	var inside, total int64
+	for f, n := range a.byFlow {
+		if originFilter != nil && !originFilter(f.Src) {
+			continue
+		}
+		total += n
+		if j.Member(f.Dst) {
+			inside += n
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return 100 * float64(inside) / float64(total), total
+}
+
+// CrossBorderMatrix returns, for each origin country satisfying filter,
+// the share of its flows that leave the jurisdiction — the per-regulator
+// monitoring view the paper's §9 proposes to productize.
+func (a *Analysis) CrossBorderMatrix(j Jurisdiction, filter func(geodata.Country) bool) []Confinement {
+	type acc struct{ total, inside int64 }
+	accs := make(map[geodata.Country]*acc)
+	for f, n := range a.byFlow {
+		if filter != nil && !filter(f.Src) {
+			continue
+		}
+		x := accs[f.Src]
+		if x == nil {
+			x = &acc{}
+			accs[f.Src] = x
+		}
+		x.total += n
+		if j.Member(f.Dst) {
+			x.inside += n
+		}
+	}
+	out := make([]Confinement, 0, len(accs))
+	for c, x := range accs {
+		out = append(out, Confinement{
+			Country: c,
+			Flows:   x.total,
+			// InEU28 is reused to carry the jurisdiction share here.
+			InEU28: 100 * float64(x.inside) / float64(x.total),
+		})
+	}
+	sortConfinements(out)
+	return out
+}
+
+func sortConfinements(out []Confinement) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if a.Flows > b.Flows || (a.Flows == b.Flows && a.Country < b.Country) {
+				break
+			}
+			out[j-1], out[j] = b, a
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"crossborder/internal/geodata"
+)
+
+func TestJurisdictionDefinitions(t *testing.T) {
+	g := GDPR()
+	if !g.Member("DE") || !g.Member("GB") || g.Member("CH") || g.Member("US") {
+		t.Error("GDPR membership wrong")
+	}
+	e := EEAPlus()
+	if !e.Member("CH") || !e.Member("DE") || e.Member("US") {
+		t.Error("EEA+ membership wrong")
+	}
+	u := USA()
+	if !u.Member("US") || u.Member("CA") {
+		t.Error("USA membership wrong")
+	}
+	n := National("GR")
+	if !n.Member("GR") || n.Member("CY") {
+		t.Error("National membership wrong")
+	}
+	c := Continent(geodata.SouthAmerica)
+	if !c.Member("BR") || c.Member("MX") {
+		t.Error("Continent membership wrong")
+	}
+	if g.Name == "" || e.Name == "" || u.Name == "" || n.Name != "Greece" {
+		t.Error("jurisdiction names missing")
+	}
+}
+
+func TestJurisdictionConfinement(t *testing.T) {
+	a := sample() // DE: 60 DE, 25 NL, 10 US, 5 CH; GR: 1 GR, 6 DE, 3 US
+	pct, flows := a.JurisdictionConfinement(GDPR(), nil)
+	if flows != 110 {
+		t.Fatalf("flows = %d", flows)
+	}
+	if math.Abs(pct-100*92.0/110) > 1e-9 {
+		t.Errorf("GDPR confinement = %f", pct)
+	}
+	// EEA+ adds the 5 CH flows.
+	pct, _ = a.JurisdictionConfinement(EEAPlus(), nil)
+	if math.Abs(pct-100*97.0/110) > 1e-9 {
+		t.Errorf("EEA+ confinement = %f", pct)
+	}
+	// National view matches RegionConfinement's in-country share.
+	pct, _ = a.JurisdictionConfinement(National("DE"), func(c geodata.Country) bool { return c == "DE" })
+	if math.Abs(pct-60) > 1e-9 {
+		t.Errorf("DE national = %f", pct)
+	}
+	// US scope.
+	pct, _ = a.JurisdictionConfinement(USA(), nil)
+	if math.Abs(pct-100*13.0/110) > 1e-9 {
+		t.Errorf("USA share = %f", pct)
+	}
+	// Empty filter result.
+	if pct, flows := a.JurisdictionConfinement(GDPR(), func(geodata.Country) bool { return false }); pct != 0 || flows != 0 {
+		t.Error("empty selection must be zeros")
+	}
+}
+
+func TestCrossBorderMatrix(t *testing.T) {
+	a := sample()
+	rows := a.CrossBorderMatrix(GDPR(), EU28Origin)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Country != "DE" || rows[0].Flows != 100 {
+		t.Errorf("first row = %+v", rows[0])
+	}
+	// DE: 85/100 inside GDPR; GR: 7/10.
+	if math.Abs(rows[0].InEU28-85) > 1e-9 {
+		t.Errorf("DE inside = %f", rows[0].InEU28)
+	}
+	if math.Abs(rows[1].InEU28-70) > 1e-9 {
+		t.Errorf("GR inside = %f", rows[1].InEU28)
+	}
+}
+
+func TestJurisdictionConsistencyWithRegionConfinement(t *testing.T) {
+	a := sample()
+	_, inEU, _, _ := a.RegionConfinement(EU28Origin)
+	pct, _ := a.JurisdictionConfinement(GDPR(), EU28Origin)
+	if math.Abs(inEU-pct) > 1e-9 {
+		t.Errorf("GDPR jurisdiction %f != RegionConfinement EU28 %f", pct, inEU)
+	}
+}

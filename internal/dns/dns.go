@@ -1,0 +1,303 @@
+// Package dns implements the authoritative DNS substrate for the tracking
+// domains of the synthetic world. Every tracking FQDN is backed by a set of
+// server IPs drawn from its organization's datacenter deployments, each
+// with an activity window (IPs rotate over the measurement period, which is
+// what gives passive-DNS records their first/last-seen semantics). A
+// per-organization selection policy decides which IP a resolver hands to a
+// user in a given country — this policy is exactly the knob the paper's §5
+// "what-if DNS redirection" analysis turns.
+package dns
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+)
+
+// Policy is an organization's server-selection strategy.
+type Policy uint8
+
+const (
+	// PolicyNearest prefers a server in the user's country, then the
+	// user's continent (closest by great-circle distance), then anywhere.
+	// Mobile carriers' resolvers see this behaviour most cleanly (§7.3).
+	PolicyNearest Policy = iota
+	// PolicyContinent balances across the org's servers within the user's
+	// continent without preferring the user's country, falling back to
+	// anywhere. This models CDN-style load-balancing that is
+	// continent-aware but not country-aware.
+	PolicyContinent
+	// PolicyHQ always serves from the org's home-country deployment:
+	// the behaviour of small trackers with a single serving site.
+	PolicyHQ
+	// PolicyRandom picks uniformly among all the org's servers; models
+	// third-party resolvers defeating geo-DNS (§7.3 broadband effect).
+	PolicyRandom
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNearest:
+		return "nearest"
+	case PolicyContinent:
+		return "continent"
+	case PolicyHQ:
+		return "hq"
+	case PolicyRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// ServerIP is one address serving an FQDN, with ground-truth location and
+// the window during which the (fqdn, ip) binding is active.
+type ServerIP struct {
+	IP      netsim.IP
+	Country geodata.Country
+	// Provider is the cloud hosting the address ("" for own facilities).
+	Provider geodata.CloudProvider
+	// Active window of the binding.
+	From, To time.Time
+}
+
+// ActiveAt reports whether the binding covers time t.
+func (s ServerIP) ActiveAt(t time.Time) bool {
+	return !t.Before(s.From) && !t.After(s.To)
+}
+
+// entry is the zone data for one FQDN.
+type entry struct {
+	org     string
+	policy  Policy
+	ttl     time.Duration
+	servers []ServerIP
+}
+
+// Resolution is one logged DNS answer, consumed by the passive-DNS
+// replication store.
+type Resolution struct {
+	FQDN string
+	IP   netsim.IP
+	At   time.Time
+}
+
+// Server is the authoritative resolver for the synthetic world.
+// Register all zones during construction; Resolve is then safe for
+// concurrent use as long as each goroutine passes its own *rand.Rand.
+type Server struct {
+	zones map[string]*entry
+	// log receives every resolution when non-nil.
+	log func(Resolution)
+	// Spill is the probability that a PolicyNearest answer falls back to
+	// a random same-continent server instead of the geographically
+	// nearest one, modelling imperfect geo load balancing. Zero by
+	// default. Set before serving queries.
+	Spill float64
+	// GeoMapping, when non-nil, reports whether the in-country geo-DNS
+	// mapping for (fqdn, user country) is active at time t. Real geo-DNS
+	// region mappings churn over months with capacity and cost; when the
+	// mapping is inactive, a PolicyNearest zone serves the user from the
+	// nearest *other* country even if it has local servers. nil means
+	// always active.
+	GeoMapping func(fqdn string, user geodata.Country, t time.Time) bool
+}
+
+// NewServer returns an empty authoritative server. logFn, when non-nil,
+// receives every successful resolution (the pDNS feed).
+func NewServer(logFn func(Resolution)) *Server {
+	return &Server{zones: make(map[string]*entry), log: logFn}
+}
+
+// Register adds a zone for fqdn. Later registrations for the same FQDN
+// replace earlier ones.
+func (s *Server) Register(fqdn, org string, policy Policy, ttl time.Duration, servers []ServerIP) {
+	if len(servers) == 0 {
+		panic("dns: Register with no servers for " + fqdn)
+	}
+	cp := make([]ServerIP, len(servers))
+	copy(cp, servers)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].IP < cp[j].IP })
+	s.zones[fqdn] = &entry{org: org, policy: policy, ttl: ttl, servers: cp}
+}
+
+// Zones returns the registered FQDNs in sorted order.
+func (s *Server) Zones() []string {
+	out := make([]string, 0, len(s.zones))
+	for f := range s.zones {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Servers returns all server bindings for an FQDN (active or not).
+func (s *Server) Servers(fqdn string) []ServerIP {
+	e, ok := s.zones[fqdn]
+	if !ok {
+		return nil
+	}
+	out := make([]ServerIP, len(e.servers))
+	copy(out, e.servers)
+	return out
+}
+
+// TTL returns the zone's record TTL, or zero if unknown.
+func (s *Server) TTL(fqdn string) time.Duration {
+	if e, ok := s.zones[fqdn]; ok {
+		return e.ttl
+	}
+	return 0
+}
+
+// Policy returns the zone's selection policy.
+func (s *Server) Policy(fqdn string) (Policy, bool) {
+	e, ok := s.zones[fqdn]
+	if !ok {
+		return 0, false
+	}
+	return e.policy, true
+}
+
+// ErrNXDomain is returned for unregistered names.
+var ErrNXDomain = errors.New("dns: NXDOMAIN")
+
+// ErrNoActiveServer is returned when every binding is outside its window.
+var ErrNoActiveServer = errors.New("dns: no active server for name")
+
+// Resolve answers a query from a user in the given country at time t.
+func (s *Server) Resolve(rng *rand.Rand, fqdn string, userCountry geodata.Country, t time.Time) (netsim.IP, error) {
+	e, ok := s.zones[fqdn]
+	if !ok {
+		return 0, ErrNXDomain
+	}
+	active := activeServers(e.servers, t)
+	if len(active) == 0 {
+		return 0, ErrNoActiveServer
+	}
+	policy := e.policy
+	if policy == PolicyNearest && s.Spill > 0 && rng.Float64() < s.Spill {
+		policy = PolicyContinent
+	}
+	localOK := true
+	if policy == PolicyNearest && s.GeoMapping != nil {
+		localOK = s.GeoMapping(fqdn, userCountry, t)
+	}
+	ip := pick(rng, policy, active, userCountry, localOK)
+	if s.log != nil {
+		s.log(Resolution{FQDN: fqdn, IP: ip, At: t})
+	}
+	return ip, nil
+}
+
+func activeServers(servers []ServerIP, t time.Time) []ServerIP {
+	out := make([]ServerIP, 0, len(servers))
+	for _, sv := range servers {
+		if sv.ActiveAt(t) {
+			out = append(out, sv)
+		}
+	}
+	return out
+}
+
+// pick applies the selection policy over the active bindings. localOK
+// gates PolicyNearest's in-country preference (see Server.GeoMapping).
+func pick(rng *rand.Rand, policy Policy, active []ServerIP, user geodata.Country, localOK bool) netsim.IP {
+	switch policy {
+	case PolicyRandom:
+		return active[rng.Intn(len(active))].IP
+	case PolicyHQ:
+		// HQ policy still has only the org's deployments to choose from;
+		// prefer the first (registration order puts HQ blocks first in
+		// practice) — deterministically the lowest IP.
+		return active[0].IP
+	case PolicyContinent:
+		cont := geodata.ContinentOf(user)
+		var same []ServerIP
+		for _, sv := range active {
+			if sameEurope(geodata.ContinentOf(sv.Country), cont) {
+				same = append(same, sv)
+			}
+		}
+		if len(same) > 0 {
+			return same[rng.Intn(len(same))].IP
+		}
+		// No server on the user's continent: serve from the nearest
+		// region (a South American user of a US/EU service lands in the
+		// US, not on a random European PoP).
+		return nearestServer(active, user)
+	default: // PolicyNearest
+		// 1. Same country, when the geo mapping for it is active.
+		if localOK {
+			var inCountry []ServerIP
+			for _, sv := range active {
+				if sv.Country == user {
+					inCountry = append(inCountry, sv)
+				}
+			}
+			if len(inCountry) > 0 {
+				return inCountry[rng.Intn(len(inCountry))].IP
+			}
+		}
+		// 2. Nearest within the user's continent (Europe is treated as
+		// one continent: EU28 + Rest of Europe). With an inactive local
+		// mapping, in-country servers are skipped: the geo-DNS routes
+		// the user's region to a neighboring serving site.
+		cont := geodata.ContinentOf(user)
+		best, bestDist := -1, 0.0
+		for i, sv := range active {
+			if !localOK && sv.Country == user {
+				continue
+			}
+			if !sameEurope(geodata.ContinentOf(sv.Country), cont) {
+				continue
+			}
+			d := geodata.DistanceKm(user, sv.Country)
+			if d < 0 {
+				continue
+			}
+			if best == -1 || d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		if best >= 0 {
+			return active[best].IP
+		}
+		// 3. Globally nearest.
+		return nearestServer(active, user)
+	}
+}
+
+// nearestServer returns the active server geographically closest to the
+// user (deterministic: ties resolve to the lowest-IP server because the
+// zone's servers are kept sorted).
+func nearestServer(active []ServerIP, user geodata.Country) netsim.IP {
+	best, bestDist := 0, -1.0
+	for i, sv := range active {
+		d := geodata.DistanceKm(user, sv.Country)
+		if d < 0 {
+			d = 1e9
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return active[best].IP
+}
+
+// sameEurope reports whether two regions count as the same continent for
+// server selection; EU28 and Rest-of-Europe are both "Europe".
+func sameEurope(a, b geodata.Continent) bool {
+	if a == b {
+		return true
+	}
+	isEU := func(c geodata.Continent) bool {
+		return c == geodata.EU28 || c == geodata.RestOfEurope
+	}
+	return isEU(a) && isEU(b)
+}

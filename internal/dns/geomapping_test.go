@@ -1,0 +1,138 @@
+package dns
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+)
+
+// spillServer builds a zone with DE + NL + US servers under PolicyNearest.
+func spillServer() *Server {
+	s := NewServer(nil)
+	s.Register("t.example.com", "t", PolicyNearest, time.Minute, []ServerIP{
+		sv(0x10000001, "DE"),
+		sv(0x10000002, "NL"),
+		sv(0x10000003, "US"),
+	})
+	return s
+}
+
+func TestSpillZeroIsDeterministicNearest(t *testing.T) {
+	s := spillServer()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		ip, err := s.Resolve(rng, "t.example.com", "DE", mid)
+		if err != nil || ip != 0x10000001 {
+			t.Fatalf("no-spill resolution = %v, %v", ip, err)
+		}
+	}
+}
+
+func TestSpillDivertsSomeAnswers(t *testing.T) {
+	s := spillServer()
+	s.Spill = 0.3
+	rng := rand.New(rand.NewSource(2))
+	counts := map[netsim.IP]int{}
+	for i := 0; i < 2000; i++ {
+		ip, err := s.Resolve(rng, "t.example.com", "DE", mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[ip]++
+	}
+	// Spilled answers use continent policy: DE or NL, never the US.
+	if counts[0x10000003] != 0 {
+		t.Error("spill leaked a European user to the US")
+	}
+	nl := counts[0x10000002]
+	// ~30% spill, half of which lands on NL: ~15% of 2000 = ~300.
+	if nl < 150 || nl > 500 {
+		t.Errorf("NL spill answers = %d, want ~300", nl)
+	}
+}
+
+func TestGeoMappingGateSkipsLocalServers(t *testing.T) {
+	s := spillServer()
+	s.GeoMapping = func(fqdn string, user geodata.Country, at time.Time) bool {
+		return false // mapping always inactive
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		ip, err := s.Resolve(rng, "t.example.com", "DE", mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip == 0x10000001 {
+			t.Fatal("inactive mapping must never serve the in-country server")
+		}
+		if ip != 0x10000002 {
+			t.Fatalf("expected nearest other-country server (NL), got %v", ip)
+		}
+	}
+}
+
+func TestGeoMappingActiveKeepsLocalPreference(t *testing.T) {
+	s := spillServer()
+	s.GeoMapping = func(fqdn string, user geodata.Country, at time.Time) bool {
+		return true
+	}
+	rng := rand.New(rand.NewSource(4))
+	ip, err := s.Resolve(rng, "t.example.com", "DE", mid)
+	if err != nil || ip != 0x10000001 {
+		t.Fatalf("active mapping resolution = %v, %v", ip, err)
+	}
+}
+
+func TestGeoMappingReceivesQueryContext(t *testing.T) {
+	s := spillServer()
+	var gotFQDN string
+	var gotCountry geodata.Country
+	var gotTime time.Time
+	s.GeoMapping = func(fqdn string, user geodata.Country, at time.Time) bool {
+		gotFQDN, gotCountry, gotTime = fqdn, user, at
+		return true
+	}
+	rng := rand.New(rand.NewSource(5))
+	if _, err := s.Resolve(rng, "t.example.com", "FR", mid); err != nil {
+		t.Fatal(err)
+	}
+	if gotFQDN != "t.example.com" || gotCountry != "FR" || !gotTime.Equal(mid) {
+		t.Errorf("mapping saw (%q, %q, %v)", gotFQDN, gotCountry, gotTime)
+	}
+}
+
+func TestGeoMappingOnlyGatesNearestPolicy(t *testing.T) {
+	s := NewServer(nil)
+	s.GeoMapping = func(string, geodata.Country, time.Time) bool { return false }
+	s.Register("c.example.com", "c", PolicyContinent, time.Minute, []ServerIP{
+		sv(0x10000011, "DE"),
+	})
+	rng := rand.New(rand.NewSource(6))
+	// Continent policy ignores the gate: the DE server still serves DE.
+	ip, err := s.Resolve(rng, "c.example.com", "DE", mid)
+	if err != nil || ip != 0x10000011 {
+		t.Fatalf("continent policy gated: %v, %v", ip, err)
+	}
+}
+
+func TestGeoMappingEpochChurnObservation(t *testing.T) {
+	// An epoch-hashed mapping exposes both the local and the remote
+	// server across the study period — the mechanism behind the paper's
+	// Table 5 redirection headroom.
+	s := spillServer()
+	s.GeoMapping = func(fqdn string, user geodata.Country, at time.Time) bool {
+		return at.Before(mid) // active only in the first half
+	}
+	rng := rand.New(rand.NewSource(7))
+	early, _ := s.Resolve(rng, "t.example.com", "DE", t0.Add(24*time.Hour))
+	late, _ := s.Resolve(rng, "t.example.com", "DE", tEnd.Add(-24*time.Hour))
+	if early != 0x10000001 {
+		t.Errorf("first epoch should serve DE, got %v", early)
+	}
+	if late != 0x10000002 {
+		t.Errorf("second epoch should divert to NL, got %v", late)
+	}
+}

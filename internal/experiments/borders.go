@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crossborder/internal/core"
+	"crossborder/internal/geodata"
+	"crossborder/internal/tablefmt"
+)
+
+// Fig6Result reproduces Fig 6: the continent-to-continent Sankey of all
+// tracking flows under IPmap geolocation.
+type Fig6Result struct {
+	Edges []core.Edge
+	// Confinement per origin region (the §4 prose: EU28 high, South
+	// America leaking ~90% into North America).
+	Confinement map[geodata.Continent]float64
+	// DestShare is each region's share of all flow terminations (EU28
+	// 51.65%, N. America 40.87% in the paper).
+	DestShare map[geodata.Continent]float64
+}
+
+// Fig6 aggregates continent flows.
+func (su *Suite) Fig6() Fig6Result {
+	a := su.IPMapAnalysis()
+	r := Fig6Result{
+		Edges:       a.ContinentEdges(),
+		Confinement: make(map[geodata.Continent]float64),
+		DestShare:   make(map[geodata.Continent]float64),
+	}
+	var total int64
+	destCount := make(map[string]int64)
+	for _, e := range r.Edges {
+		destCount[e.To] += e.Count
+		total += e.Count
+		if e.From == e.To {
+			r.Confinement[continentByName(e.From)] = e.Percent
+		}
+	}
+	for name, n := range destCount {
+		r.DestShare[continentByName(name)] = 100 * float64(n) / float64(total)
+	}
+	return r
+}
+
+func continentByName(name string) geodata.Continent {
+	for _, c := range geodata.AllContinents() {
+		if c.String() == name {
+			return c
+		}
+	}
+	return geodata.ContinentUnknown
+}
+
+// Render draws the Sankey summary.
+func (r Fig6Result) Render() string {
+	edges := make([]tablefmt.FlowEdge, 0, len(r.Edges))
+	for _, e := range r.Edges {
+		edges = append(edges, tablefmt.FlowEdge{From: e.From, To: e.To, Percent: e.Percent, Count: e.Count})
+	}
+	out := tablefmt.Sankey("Fig 6: ad + tracking flows between continents (RIPE IPmap)", edges)
+	out += fmt.Sprintf("destination shares: EU28 %.2f%%, N. America %.2f%%\n",
+		r.DestShare[geodata.EU28], r.DestShare[geodata.NorthAmerica])
+	return out
+}
+
+// Fig7Result reproduces Fig 7: EU28 users' destination continents under
+// MaxMind (a) vs RIPE IPmap (b) — the flip.
+type Fig7Result struct {
+	MaxMind []core.Edge
+	IPMap   []core.Edge
+}
+
+// share extracts a destination region's percentage from an edge list.
+func share(edges []core.Edge, region string) float64 {
+	for _, e := range edges {
+		if e.To == region {
+			return e.Percent
+		}
+	}
+	return 0
+}
+
+// MaxMindEU28 returns EU28 users' flows MaxMind places inside EU28.
+func (r Fig7Result) MaxMindEU28() float64 { return share(r.MaxMind, geodata.EU28.String()) }
+
+// MaxMindNA returns the MaxMind North America share.
+func (r Fig7Result) MaxMindNA() float64 { return share(r.MaxMind, geodata.NorthAmerica.String()) }
+
+// IPMapEU28 returns EU28 users' flows IPmap places inside EU28.
+func (r Fig7Result) IPMapEU28() float64 { return share(r.IPMap, geodata.EU28.String()) }
+
+// IPMapNA returns the IPmap North America share.
+func (r Fig7Result) IPMapNA() float64 { return share(r.IPMap, geodata.NorthAmerica.String()) }
+
+// Fig7 computes both views.
+func (su *Suite) Fig7() Fig7Result {
+	return Fig7Result{
+		MaxMind: su.MaxMindAnalysis().DestContinents(core.EU28Origin),
+		IPMap:   su.IPMapAnalysis().DestContinents(core.EU28Origin),
+	}
+}
+
+// Render shows the two pies side by side.
+func (r Fig7Result) Render() string {
+	out := "Fig 7: EU28 users' tracking-flow destinations by geolocation service\n"
+	t := tablefmt.NewTable("", "Destination", "(a) MaxMind %", "(b) RIPE IPmap %")
+	regions := map[string]bool{}
+	for _, e := range r.MaxMind {
+		regions[e.To] = true
+	}
+	for _, e := range r.IPMap {
+		regions[e.To] = true
+	}
+	for _, c := range geodata.AllContinents() {
+		name := c.String()
+		if !regions[name] {
+			continue
+		}
+		t.AddRow(name, share(r.MaxMind, name), share(r.IPMap, name))
+	}
+	return out + t.String()
+}
+
+// Fig8Result reproduces Fig 8: the EU28 country-to-country Sankey.
+type Fig8Result struct {
+	Edges       []core.Edge
+	Confinement []core.Confinement
+}
+
+// Fig8 aggregates per-country flows of EU28 users under IPmap.
+func (su *Suite) Fig8() Fig8Result {
+	a := su.IPMapAnalysis()
+	all := a.ConfinementByCountry()
+	var eu []core.Confinement
+	for _, c := range all {
+		if geodata.IsEU28(c.Country) {
+			eu = append(eu, c)
+		}
+	}
+	return Fig8Result{
+		Edges:       a.CountryEdges(core.EU28Origin),
+		Confinement: eu,
+	}
+}
+
+// NationalConfinement returns the in-country percentage for one origin.
+func (r Fig8Result) NationalConfinement(c geodata.Country) (float64, bool) {
+	for _, conf := range r.Confinement {
+		if conf.Country == c {
+			return conf.InCountry, true
+		}
+	}
+	return 0, false
+}
+
+// Render draws the per-country Sankey and the confinement list.
+func (r Fig8Result) Render() string {
+	edges := make([]tablefmt.FlowEdge, 0, len(r.Edges))
+	for _, e := range r.Edges {
+		if e.Percent < 0.5 {
+			continue // keep the artifact readable, like the figure
+		}
+		edges = append(edges, tablefmt.FlowEdge{
+			From:    geodata.Name(geodata.Country(e.From)),
+			To:      geodata.Name(geodata.Country(e.To)),
+			Percent: e.Percent,
+		})
+	}
+	out := tablefmt.Sankey("Fig 8: tracking flows from EU28 countries (RIPE IPmap)", edges)
+	t := tablefmt.NewTable("National confinement", "Country", "In-country %", "Flows")
+	for _, c := range r.Confinement {
+		t.AddRow(geodata.Name(c.Country), c.InCountry, c.Flows)
+	}
+	return out + t.String()
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crossborder/internal/classify"
+	"crossborder/internal/stats"
+	"crossborder/internal/tablefmt"
+)
+
+// Table1Result reproduces Table 1: the real-users dataset summary.
+type Table1Result struct {
+	Stats classify.DatasetStats
+}
+
+// Table1 computes the dataset statistics.
+func (su *Suite) Table1() Table1Result {
+	return Table1Result{Stats: classify.ComputeStats(su.S.Dataset)}
+}
+
+// Render formats the table.
+func (r Table1Result) Render() string {
+	t := tablefmt.NewTable("Table 1: The real users dataset statistics.",
+		"# Users", "# 1st party Domains", "# 1st party Requests",
+		"# 3rd party Domains", "# 3rd party Requests")
+	t.AddRow(r.Stats.Users, r.Stats.FirstPartySites, r.Stats.FirstPartyVisits,
+		r.Stats.ThirdPartyFQDNs, r.Stats.ThirdPartyReqs)
+	return t.String()
+}
+
+// Table2Result reproduces Table 2: filter lists vs the semi-automatic
+// classification.
+type Table2Result struct {
+	T classify.Table2
+	// Acc scores the combined classifier against generator ground truth
+	// (not in the paper — the synthetic world makes it measurable).
+	Acc classify.Accuracy
+}
+
+// Table2 runs the classification aggregate.
+func (su *Suite) Table2() Table2Result {
+	return Table2Result{
+		T:   classify.ComputeTable2(su.S.Dataset),
+		Acc: classify.Score(su.S.Dataset),
+	}
+}
+
+// SemiToABPRatio returns the semi-automatic catch relative to the lists'
+// (the paper's headline: the methodology roughly doubles detection).
+func (r Table2Result) SemiToABPRatio() float64 {
+	if r.T.ABP.TotalRequests == 0 {
+		return 0
+	}
+	return float64(r.T.Semi.TotalRequests) / float64(r.T.ABP.TotalRequests)
+}
+
+// Render formats the table.
+func (r Table2Result) Render() string {
+	t := tablefmt.NewTable(
+		"Table 2: AdBlockPlus lists vs semi-automatic classification.",
+		"Method", "# FQDN", "# TLD", "# Unique Requests", "# Total Requests")
+	t.AddRow("AdBlockPlus Lists", r.T.ABP.FQDNs, r.T.ABP.TLDs, r.T.ABP.UniqueRequests, r.T.ABP.TotalRequests)
+	t.AddRow("Semi-automatic", r.T.Semi.FQDNs, r.T.Semi.TLDs, r.T.Semi.UniqueRequests, r.T.Semi.TotalRequests)
+	t.AddRow("Total", r.T.Total.FQDNs, r.T.Total.TLDs, r.T.Total.UniqueRequests, r.T.Total.TotalRequests)
+	return t.String() + fmt.Sprintf(
+		"semi/ABP request ratio: %.2f   classifier precision %.4f recall %.4f\n",
+		r.SemiToABPRatio(), r.Acc.Precision(), r.Acc.Recall())
+}
+
+// Fig2Result reproduces Fig 2: the CDFs of third-party requests per
+// website (clean only / ad+tracking only / all).
+type Fig2Result struct {
+	Clean, Tracking, All *stats.CDF
+	// TrackingDominatesShare is the fraction of sites where tracking
+	// flows outnumber clean ones (the figure's takeaway).
+	TrackingDominatesShare float64
+}
+
+// Fig2 computes the per-site distributions.
+func (su *Suite) Fig2() Fig2Result {
+	sites := classify.PerSiteCounts(su.S.Dataset)
+	r := Fig2Result{Clean: &stats.CDF{}, Tracking: &stats.CDF{}, All: &stats.CDF{}}
+	dominates := 0
+	for _, s := range sites {
+		r.Clean.Add(float64(s.Clean))
+		r.Tracking.Add(float64(s.Tracking))
+		r.All.Add(float64(s.All()))
+		if s.Tracking > s.Clean {
+			dominates++
+		}
+	}
+	if len(sites) > 0 {
+		r.TrackingDominatesShare = float64(dominates) / float64(len(sites))
+	}
+	return r
+}
+
+// Render plots the three CDFs.
+func (r Fig2Result) Render() string {
+	out := "Fig 2: 3rd-party requests per website (CDF)\n"
+	plot := func(name string, c *stats.CDF) string {
+		pts := c.Points(40)
+		conv := make([]struct{ X, Y float64 }, len(pts))
+		for i, p := range pts {
+			conv[i] = struct{ X, Y float64 }{p.X, p.Y}
+		}
+		return tablefmt.CDFPlot(name, conv, 50, 8)
+	}
+	out += plot("Clean only", r.Clean)
+	out += plot("Ad + Tracking only", r.Tracking)
+	out += plot("All 3rd party", r.All)
+	out += fmt.Sprintf("tracking outnumbers clean on %.0f%% of websites\n",
+		100*r.TrackingDominatesShare)
+	return out
+}
+
+// Fig3Result reproduces Fig 3: the top-20 tracking eTLD+1s with the
+// ABP-vs-semi detection split.
+type Fig3Result struct {
+	Top []classify.TLDSplit
+}
+
+// Fig3 computes the top-20 list.
+func (su *Suite) Fig3() Fig3Result {
+	return Fig3Result{Top: classify.TopTrackingTLDs(su.S.Dataset, 20)}
+}
+
+// Render draws the split bar chart.
+func (r Fig3Result) Render() string {
+	bars := make([]tablefmt.Bar, 0, len(r.Top))
+	for _, s := range r.Top {
+		bars = append(bars, tablefmt.Bar{
+			Label: s.TLD,
+			Value: float64(s.Total()),
+			Note:  fmt.Sprintf("ABP=%d SEMI=%d", s.ABP, s.Semi),
+		})
+	}
+	return tablefmt.BarChart("Fig 3: top 20 TLDs of ad + tracking domains", 40, bars)
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crossborder/internal/geo"
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+	"crossborder/internal/tablefmt"
+	"crossborder/internal/trackerdb"
+)
+
+// Fig4Result reproduces Fig 4: how many registrable domains each tracking
+// IP serves, by IP count and by request volume.
+type Fig4Result struct {
+	Sharing trackerdb.SharingStats
+	// Inventory sizing (§3.3 text: 28,939 observed IPs, +2.78% via pDNS).
+	TotalIPs, ObservedIPs, ExtraIPs int
+}
+
+// ExtraSharePct returns the pDNS-only share of the inventory.
+func (r Fig4Result) ExtraSharePct() float64 {
+	if r.TotalIPs == 0 {
+		return 0
+	}
+	return 100 * float64(r.ExtraIPs) / float64(r.TotalIPs)
+}
+
+// Fig4 computes the sharing distribution.
+func (su *Suite) Fig4() Fig4Result {
+	inv := su.S.Inventory
+	return Fig4Result{
+		Sharing:     inv.Sharing(),
+		TotalIPs:    inv.NumIPs(),
+		ObservedIPs: inv.NumObserved(),
+		ExtraIPs:    inv.NumExtra(),
+	}
+}
+
+// Render formats the distribution.
+func (r Fig4Result) Render() string {
+	t := tablefmt.NewTable("Fig 4: domains served per tracking IP",
+		"# TLDs on IP", "# IPs", "# Requests")
+	for _, k := range sortedBins(r.Sharing.IPsByTLDCount) {
+		t.AddRow(k, r.Sharing.IPsByTLDCount[k], r.Sharing.RequestsByTLDCount[k])
+	}
+	return t.String() + fmt.Sprintf(
+		"single-TLD IPs serve %.1f%% of requests; %.2f%% of IPs serve >1 domain\n"+
+			"inventory: %d IPs (%d observed, %d pDNS-only = %.2f%%)\n",
+		100*r.Sharing.SingleTLDRequestShare(), 100*r.Sharing.MultiDomainIPShare(),
+		r.TotalIPs, r.ObservedIPs, r.ExtraIPs, r.ExtraSharePct())
+}
+
+func sortedBins(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Fig5Result reproduces Fig 5: the IPs hosting ten or more tracking
+// domains (cookie-sync / ad-exchange infrastructure) by country.
+type Fig5Result struct {
+	SharedIPs []trackerdb.IPInfo
+	ByCountry map[geodata.Country]int
+	// USAndEUShare is the fraction located in the US or EU28 (the paper:
+	// about half).
+	USAndEUShare float64
+}
+
+// Fig5 geolocates the >=10-domain IPs with the IPmap service.
+func (su *Suite) Fig5() Fig5Result {
+	shared := su.S.Inventory.SharedIPs(10)
+	r := Fig5Result{SharedIPs: shared, ByCountry: make(map[geodata.Country]int)}
+	usEU := 0
+	for _, info := range shared {
+		loc, ok := su.S.IPMap.Locate(info.IP)
+		if !ok {
+			continue
+		}
+		r.ByCountry[loc.Country]++
+		if loc.Country == "US" || geodata.IsEU28(loc.Country) {
+			usEU++
+		}
+	}
+	if len(shared) > 0 {
+		r.USAndEUShare = float64(usEU) / float64(len(shared))
+	}
+	return r
+}
+
+// Render formats the population.
+func (r Fig5Result) Render() string {
+	t := tablefmt.NewTable(
+		fmt.Sprintf("Fig 5: %d IPs host 10+ ad+tracking domains", len(r.SharedIPs)),
+		"Country", "# IPs")
+	for _, c := range sortedCountries(r.ByCountry) {
+		t.AddRow(geodata.Name(c), r.ByCountry[c])
+	}
+	return t.String() + fmt.Sprintf("US + EU28 share: %.0f%%\n", 100*r.USAndEUShare)
+}
+
+func sortedCountries(m map[geodata.Country]int) []geodata.Country {
+	out := make([]geodata.Country, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if m[a] > m[b] || (m[a] == m[b] && a < b) {
+				break
+			}
+			out[j-1], out[j] = b, a
+		}
+	}
+	return out
+}
+
+// Table3Result reproduces Table 3: pairwise geolocation agreement.
+type Table3Result struct {
+	IPAPIvMaxMind geo.Agreement
+	IPAPIvIPMap   geo.Agreement
+	MaxMindvIPMap geo.Agreement
+}
+
+// Table3 compares the three services over the tracker inventory.
+func (su *Suite) Table3() Table3Result {
+	ips := su.S.Inventory.IPs()
+	return Table3Result{
+		IPAPIvMaxMind: geo.CompareServices(su.S.IPAPI, su.S.MaxMind, ips),
+		IPAPIvIPMap:   geo.CompareServices(su.S.IPAPI, su.S.IPMap, ips),
+		MaxMindvIPMap: geo.CompareServices(su.S.MaxMind, su.S.IPMap, ips),
+	}
+}
+
+// Render formats the agreement matrix.
+func (r Table3Result) Render() string {
+	t := tablefmt.NewTable("Table 3: pair-wise agreement across geolocation tools",
+		"Pair", "Country %", "Continent %")
+	add := func(a geo.Agreement) {
+		t.AddRow(a.A+" / "+a.B, a.Country, a.Continent)
+	}
+	add(r.IPAPIvMaxMind)
+	add(r.IPAPIvIPMap)
+	add(r.MaxMindvIPMap)
+	return t.String()
+}
+
+// Table4Result reproduces Table 4: MaxMind's errors on the majors' IPs.
+type Table4Result struct {
+	Rows []geo.OrgErrorReport
+}
+
+// Table4 scores MaxMind against ground truth per major organization.
+func (su *Suite) Table4() Table4Result {
+	// Collect per-org IP sets and request weights from the inventory.
+	orgIPs := map[string][]netsim.IP{}
+	reqs := map[netsim.IP]int64{}
+	for _, ip := range su.S.Inventory.IPs() {
+		dep, ok := su.S.World.LocateIP(ip)
+		if !ok {
+			continue
+		}
+		switch dep.Org.Name {
+		case "google", "amazon", "facebook":
+			orgIPs[dep.Org.Name] = append(orgIPs[dep.Org.Name], ip)
+			if info, ok := su.S.Inventory.Info(ip); ok {
+				reqs[ip] = info.Requests
+			}
+		}
+	}
+	var rows []geo.OrgErrorReport
+	for _, org := range []string{"google", "amazon", "facebook"} {
+		rows = append(rows, geo.ScoreOrg(org, su.S.MaxMind, su.S.Truth, orgIPs[org], reqs))
+	}
+	return Table4Result{Rows: rows}
+}
+
+// Render formats the error table.
+func (r Table4Result) Render() string {
+	t := tablefmt.NewTable("Table 4: MaxMind mis-geolocation of major ad+tracking orgs",
+		"Org", "# IPs", "Wrong Country %", "Wrong Cont. %",
+		"# Requests", "Req Wrong Country %", "Req Wrong Cont. %")
+	for _, row := range r.Rows {
+		t.AddRow(row.Org+" Ads + Tracking", row.IPs,
+			row.WrongCountryPct(), row.WrongContinentPct(),
+			row.Requests, row.ReqWrongCountryPct(), row.ReqWrongContinentPct())
+	}
+	return t.String()
+}

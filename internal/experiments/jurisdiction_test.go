@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"crossborder/internal/core"
+	"crossborder/internal/geodata"
+)
+
+func TestJurisdictionViewsOverScenario(t *testing.T) {
+	su := testSuite(t)
+	a := su.IPMapAnalysis()
+
+	gdpr, flows := a.JurisdictionConfinement(core.GDPR(), core.EU28Origin)
+	if flows == 0 {
+		t.Fatal("no EU28 flows")
+	}
+	eea, _ := a.JurisdictionConfinement(core.EEAPlus(), core.EU28Origin)
+	usa, _ := a.JurisdictionConfinement(core.USA(), core.EU28Origin)
+
+	// EEA+ is a superset of GDPR; USA absorbs roughly the NA leak.
+	if eea < gdpr {
+		t.Errorf("EEA+ %.1f%% < GDPR %.1f%%", eea, gdpr)
+	}
+	if usa > 100-gdpr {
+		t.Errorf("USA share %.1f%% exceeds the non-GDPR remainder", usa)
+	}
+	if gdpr < 70 {
+		t.Errorf("GDPR confinement = %.1f%%, want the headline level", gdpr)
+	}
+
+	// National view is consistent with the Fig 8 computation.
+	deNat, _ := a.JurisdictionConfinement(core.National("DE"),
+		func(c geodata.Country) bool { return c == "DE" })
+	fig8 := su.Fig8()
+	deFig8, ok := fig8.NationalConfinement("DE")
+	if !ok {
+		t.Fatal("no DE confinement")
+	}
+	if diff := deNat - deFig8; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("jurisdiction DE %.3f != Fig 8 DE %.3f", deNat, deFig8)
+	}
+
+	// The cross-border matrix covers every EU28 origin with flows.
+	matrix := a.CrossBorderMatrix(core.GDPR(), core.EU28Origin)
+	if len(matrix) < 10 {
+		t.Errorf("matrix rows = %d, want most EU28 countries", len(matrix))
+	}
+	for _, row := range matrix {
+		if !geodata.IsEU28(row.Country) {
+			t.Errorf("non-EU origin %s in EU28-filtered matrix", row.Country)
+		}
+		if row.InEU28 < 0 || row.InEU28 > 100 {
+			t.Errorf("%s inside-share out of range: %f", row.Country, row.InEU28)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import "crossborder/internal/tablefmt"
+
+// Table9Row is one study of the paper's related-work comparison.
+type Table9Row struct {
+	Study          string
+	Classification string
+	RequestTypes   string
+	Measurement    string
+	Platform       string
+	DataCollection string
+	Geolocation    string
+	HTTPS          string
+}
+
+// Table9 is the paper's qualitative related-work comparison, transcribed.
+// It is documentation, not an experiment: no simulation regenerates it.
+func Table9() []Table9Row {
+	return []Table9Row{
+		{"Razaghpanah'18 [52]", "ABP + custom corrections", "ads+tracking", "passive", "mobile", "real users", "MaxMind(-)", "yes"},
+		{"Gervais'17 [36]", "ABP", "ads+tracking", "active", "desktop", "crawling", "legal entities", "yes"},
+		{"Bangera'17 [29]", "ABP", "ads", "active", "desktop", "crawling", "-", "no"},
+		{"Englehardt'16 [58]", "ABP + custom corrections", "ads+tracking", "active", "desktop", "crawling", "-", "yes"},
+		{"Bashir'18 [30]", "ABP", "ads+tracking", "active", "desktop", "crawling", "-", "yes"},
+		{"Leung'16 [42]", "ABP + custom corrections", "ads+tracking", "active", "mixed", "real users", "-", "yes"},
+		{"Reuben'18 [53]", "custom list", "tracking", "active", "mobile", "app store", "legal entities", "yes"},
+		{"Lerner'16 [41]", "cookies based", "tracking", "active", "desktop", "web archives", "-", "no"},
+		{"Fruchter'15 [35]", "ABP", "tracking", "active", "desktop", "crawling", "MaxMind(-)", "no"},
+		{"Walls'15 [61]", "text ads", "ads", "active", "desktop", "crawling", "-", "yes"},
+		{"Balebako'12 [28]", "custom list", "ads", "active", "desktop", "control env.", "-", "no"},
+		{"Vallina'12 [60]", "custom list", "ads", "passive", "mobile", "net traces", "-", "no"},
+		{"Pujol'15 [51]", "ABP", "ads+tracking", "passive", "desktop", "net flows", "-", "yes"},
+		{"This work", "ABP + custom corrections", "ads+tracking", "active+passive", "desktop", "real users + NetFlows", "RIPE IPmap(+)", "yes"},
+	}
+}
+
+// RenderTable9 formats the comparison.
+func RenderTable9() string {
+	t := tablefmt.NewTable("Table 9: related work comparison (transcribed from the paper)",
+		"Study", "Classification", "Requests", "Measurement", "Platform", "Collection", "Geolocation", "HTTPS")
+	for _, r := range Table9() {
+		t.AddRow(r.Study, r.Classification, r.RequestTypes, r.Measurement,
+			r.Platform, r.DataCollection, r.Geolocation, r.HTTPS)
+	}
+	return t.String()
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crossborder/internal/geodata"
+	"crossborder/internal/sensitive"
+	"crossborder/internal/tablefmt"
+	"crossborder/internal/webgraph"
+)
+
+// Fig9Result reproduces Fig 9: tracking-flow share per sensitive category.
+type Fig9Result struct {
+	Report     *sensitive.Report
+	Identified int
+	Inspected  int
+}
+
+// Fig9 builds the sensitive-category report.
+func (su *Suite) Fig9() Fig9Result {
+	id := su.S.Identification
+	return Fig9Result{
+		Report:     sensitive.BuildReport(su.S.Dataset, id),
+		Identified: id.Identified(),
+		Inspected:  id.Inspected,
+	}
+}
+
+// Share returns one category's percentage of sensitive flows.
+func (r Fig9Result) Share(cat webgraph.Topic) float64 {
+	for _, s := range r.Report.Shares {
+		if s.Category == cat {
+			return s.Percent
+		}
+	}
+	return 0
+}
+
+// Render draws the category bars.
+func (r Fig9Result) Render() string {
+	bars := make([]tablefmt.Bar, 0, len(r.Report.Shares))
+	for _, s := range r.Report.Shares {
+		bars = append(bars, tablefmt.Bar{
+			Label: string(s.Category), Value: s.Percent,
+			Note: fmt.Sprintf("%d flows", s.Flows),
+		})
+	}
+	out := tablefmt.BarChart("Fig 9: sensitive-category share of tracking flows", 40, bars)
+	out += fmt.Sprintf("%d sensitive domains identified of %d inspected; "+
+		"%d sensitive flows = %.2f%% of all tracking flows\n",
+		r.Identified, r.Inspected, r.Report.SensitiveFlows, r.Report.PctOfAll())
+	return out
+}
+
+// Fig10Result reproduces Fig 10: destination continents per sensitive
+// category for EU28 users.
+type Fig10Result struct {
+	Edges []sensitive.DestEdge
+}
+
+// Fig10 traces sensitive flows geographically.
+func (su *Suite) Fig10() Fig10Result {
+	return Fig10Result{
+		Edges: sensitive.DestByCategory(su.S.Dataset, su.S.Identification, su.S.IPMap),
+	}
+}
+
+// EU28Share returns the EU28-terminating share for one category.
+func (r Fig10Result) EU28Share(cat webgraph.Topic) float64 {
+	for _, e := range r.Edges {
+		if e.Category == cat && e.Region == geodata.EU28.String() {
+			return e.Percent
+		}
+	}
+	return 0
+}
+
+// OverallEU28Share returns the EU28 share across all sensitive flows.
+func (r Fig10Result) OverallEU28Share() float64 {
+	var eu, total int64
+	for _, e := range r.Edges {
+		total += e.Flows
+		if e.Region == geodata.EU28.String() {
+			eu += e.Flows
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(eu) / float64(total)
+}
+
+// Render draws the per-category destination breakdown.
+func (r Fig10Result) Render() string {
+	edges := make([]tablefmt.FlowEdge, 0, len(r.Edges))
+	for _, e := range r.Edges {
+		edges = append(edges, tablefmt.FlowEdge{
+			From: string(e.Category), To: e.Region, Percent: e.Percent, Count: e.Flows,
+		})
+	}
+	out := tablefmt.Sankey("Fig 10: destination continents of sensitive tracking flows (EU28 users)", edges)
+	out += fmt.Sprintf("overall EU28 share of sensitive flows: %.1f%%\n", r.OverallEU28Share())
+	return out
+}
+
+// Fig11Result reproduces Fig 11: per-country leakage of sensitive flows.
+type Fig11Result struct {
+	Leaks []sensitive.CountryLeak
+}
+
+// Fig11 computes per-country sensitive-flow leakage.
+func (su *Suite) Fig11() Fig11Result {
+	return Fig11Result{
+		Leaks: sensitive.CountryLeakage(su.S.Dataset, su.S.Identification, su.S.IPMap),
+	}
+}
+
+// Render draws the leakage bars.
+func (r Fig11Result) Render() string {
+	bars := make([]tablefmt.Bar, 0, len(r.Leaks))
+	for _, l := range r.Leaks {
+		bars = append(bars, tablefmt.Bar{
+			Label: geodata.Name(l.Country),
+			Value: l.OutsidePct(),
+			Note:  fmt.Sprintf("outside=%d total=%d", l.Outside, l.Total),
+		})
+	}
+	return tablefmt.BarChart("Fig 11: sensitive flows leaving the user's country (EU28)", 40, bars)
+}

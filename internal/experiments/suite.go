@@ -1,0 +1,56 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment has one entry point returning structured
+// rows plus a Render method producing the plain-text artifact; the
+// package's tests assert that the measured numbers stay inside bands
+// around the paper's values, so a calibration regression in the scenario
+// breaks `go test`.
+package experiments
+
+import (
+	"sync"
+
+	"crossborder/internal/core"
+	"crossborder/internal/scenario"
+)
+
+// Suite caches the expensive joint analyses over one scenario.
+type Suite struct {
+	S *scenario.Scenario
+
+	once struct {
+		truth, ipmap, maxmind sync.Once
+	}
+	truthA, ipmapA, maxmindA *core.Analysis
+}
+
+// NewSuite wraps a built scenario.
+func NewSuite(s *scenario.Scenario) *Suite {
+	return &Suite{S: s}
+}
+
+// TruthAnalysis joins all tracking flows with ground-truth geolocation.
+func (su *Suite) TruthAnalysis() *core.Analysis {
+	su.once.truth.Do(func() {
+		su.truthA = core.Analyze(su.S.Dataset, su.S.Truth, nil)
+	})
+	return su.truthA
+}
+
+// IPMapAnalysis joins all tracking flows with RIPE IPmap-style
+// geolocation — the paper's headline configuration.
+func (su *Suite) IPMapAnalysis() *core.Analysis {
+	su.once.ipmap.Do(func() {
+		su.ipmapA = core.Analyze(su.S.Dataset, su.S.IPMap, nil)
+	})
+	return su.ipmapA
+}
+
+// MaxMindAnalysis joins all tracking flows with the commercial database —
+// the Fig 7(a) counterfactual.
+func (su *Suite) MaxMindAnalysis() *core.Analysis {
+	su.once.maxmind.Do(func() {
+		su.maxmindA = core.Analyze(su.S.Dataset, su.S.MaxMind, nil)
+	})
+	return su.maxmindA
+}
+

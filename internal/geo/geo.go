@@ -1,0 +1,128 @@
+// Package geo implements the three IP-geolocation services the paper
+// compares (§3.4): a ground truth oracle, commercial-database emulators
+// (MaxMind and IP-API) that systematically geolocate infrastructure IPs to
+// the owning organization's legal-entity headquarters, and a RIPE
+// IPmap-style active geolocator that multilaterates with RTT measurements
+// from a global probe mesh and majority-votes per-probe estimates.
+//
+// The paper's headline methodological finding — that the geolocation
+// method alone flips the qualitative conclusion (Fig 7a vs 7b) — falls out
+// of the difference between these implementations.
+package geo
+
+import (
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+)
+
+// Location is a service's answer for one IP.
+type Location struct {
+	Country   geodata.Country
+	Continent geodata.Continent
+}
+
+// Service geolocates IPs. Implementations must be safe for concurrent use
+// after construction.
+type Service interface {
+	// Name identifies the service in reports.
+	Name() string
+	// Locate returns the service's location estimate for ip. ok is false
+	// when the service has no answer for the address.
+	Locate(ip netsim.IP) (Location, bool)
+}
+
+// locOf builds a Location from a country code.
+func locOf(c geodata.Country) Location {
+	return Location{Country: c, Continent: geodata.ContinentOf(c)}
+}
+
+// Truth is the ground-truth oracle backed by the netsim registry. It
+// resolves server IPs to their real datacenter country and eyeball IPs to
+// their subscriber country.
+type Truth struct {
+	World *netsim.World
+}
+
+// Name implements Service.
+func (Truth) Name() string { return "truth" }
+
+// Locate implements Service.
+func (t Truth) Locate(ip netsim.IP) (Location, bool) {
+	if d, ok := t.World.LocateIP(ip); ok {
+		return locOf(d.Country), true
+	}
+	if c := t.World.EyeballCountry(ip); c != "" {
+		return locOf(c), true
+	}
+	return Location{}, false
+}
+
+// Static is a fixed map-backed service, useful in tests and for importing
+// externally computed results.
+type Static struct {
+	ServiceName string
+	Locations   map[netsim.IP]Location
+}
+
+// Name implements Service.
+func (s Static) Name() string { return s.ServiceName }
+
+// Locate implements Service.
+func (s Static) Locate(ip netsim.IP) (Location, bool) {
+	l, ok := s.Locations[ip]
+	return l, ok
+}
+
+// hashCoin returns a deterministic pseudo-random float64 in [0,1) for an
+// IP under a salt, so database emulators answer consistently across calls
+// without shared state.
+func hashCoin(ip netsim.IP, salt uint64) float64 {
+	x := uint64(ip) ^ salt*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// neighborCountry picks a deterministic nearby country in the same
+// region, used to model near-border confusion.
+func neighborCountry(c geodata.Country, salt uint64) geodata.Country {
+	info, ok := geodata.Lookup(c)
+	if !ok {
+		return c
+	}
+	// Pick among the 3 nearest same-continent countries by hash.
+	type cand struct {
+		code geodata.Country
+		dist float64
+	}
+	var cands []cand
+	for _, other := range geodata.AllCountries() {
+		if other.Code == c || other.Continent != info.Continent {
+			continue
+		}
+		cands = append(cands, cand{other.Code, geodata.DistanceKm(c, other.Code)})
+	}
+	if len(cands) == 0 {
+		return c
+	}
+	// Partial selection of the nearest three.
+	for k := 0; k < 3 && k < len(cands); k++ {
+		minI := k
+		for i := k + 1; i < len(cands); i++ {
+			if cands[i].dist < cands[minI].dist {
+				minI = i
+			}
+		}
+		cands[k], cands[minI] = cands[minI], cands[k]
+	}
+	n := 3
+	if len(cands) < n {
+		n = len(cands)
+	}
+	idx := int(hashCoin(netsim.IP(salt), uint64(len(c))) * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return cands[idx].code
+}

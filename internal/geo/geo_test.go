@@ -1,0 +1,292 @@
+package geo
+
+import (
+	"testing"
+
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+)
+
+// buildWorld creates a world with majors deployed across the US and EU,
+// mirroring the structure the scenario package builds at full scale.
+func buildWorld(t testing.TB) (*netsim.World, []netsim.IP) {
+	t.Helper()
+	w := netsim.NewWorld()
+	google := w.AddOrg("google", netsim.KindMajorAdTech, "US", geodata.GoogleCloud)
+	fb := w.AddOrg("facebook", netsim.KindMajorAdTech, "US")
+	acme := w.AddOrg("acme-dsp", netsim.KindAdTech, "DE")
+
+	var ips []netsim.IP
+	deploy := func(o *netsim.Org, c geodata.Country) {
+		d := w.Deploy(o, c, "", 24)
+		for i := uint32(0); i < 4; i++ {
+			ips = append(ips, d.Block.Nth(i))
+		}
+	}
+	deploy(google, "US")
+	deploy(google, "IE")
+	deploy(google, "NL")
+	deploy(google, "DE")
+	deploy(google, "GB")
+	deploy(fb, "US")
+	deploy(fb, "IE")
+	deploy(fb, "SE")
+	deploy(acme, "DE")
+	deploy(acme, "US")
+	w.Freeze()
+	return w, ips
+}
+
+func TestTruthService(t *testing.T) {
+	w, ips := buildWorld(t)
+	truth := Truth{World: w}
+	if truth.Name() != "truth" {
+		t.Error("name")
+	}
+	loc, ok := truth.Locate(ips[0])
+	if !ok || loc.Country != "US" || loc.Continent != geodata.NorthAmerica {
+		t.Errorf("Locate(google US ip) = %+v ok=%v", loc, ok)
+	}
+	// Eyeball IP.
+	eb := w.EyeballBlock("DE")
+	loc, ok = truth.Locate(eb.Nth(3))
+	if !ok || loc.Country != "DE" {
+		t.Errorf("eyeball locate = %+v", loc)
+	}
+	if _, ok := truth.Locate(netsim.IP(0xF0000001)); ok {
+		t.Error("unknown IP must miss")
+	}
+}
+
+func TestCommercialHQBias(t *testing.T) {
+	w, ips := buildWorld(t)
+	mm := NewMaxMind(w)
+	truth := Truth{World: w}
+	wrong, total := 0, 0
+	for _, ip := range ips {
+		d, _ := w.LocateIP(ip)
+		if d.Org.Name != "google" {
+			continue
+		}
+		lm, _ := mm.Locate(ip)
+		lt, _ := truth.Locate(ip)
+		total++
+		if lm.Country != lt.Country {
+			wrong++
+			if lm.Country != "US" && lm.Continent != lt.Continent {
+				// wrong answers should mostly be the HQ
+				t.Logf("non-HQ wrong answer: %v vs truth %v", lm, lt)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no google IPs")
+	}
+	// 4 of 5 google deployments are outside the US; with an ~0.87 HQ
+	// pin rate roughly 70% of its IPs should be wrong (Table 4 ~58%).
+	frac := float64(wrong) / float64(total)
+	if frac < 0.3 || frac > 0.95 {
+		t.Errorf("google wrong-country fraction = %.2f, want a large share", frac)
+	}
+	// HQ-country deployments are always right.
+	usIP := ips[0]
+	if lm, _ := mm.Locate(usIP); lm.Country != "US" {
+		t.Errorf("US deployment located at %v", lm)
+	}
+}
+
+func TestCommercialEyeballAccuracy(t *testing.T) {
+	w, _ := buildWorld(t)
+	mm := NewMaxMind(w)
+	eb := w.EyeballBlock("GR")
+	loc, ok := mm.Locate(eb.Nth(7))
+	if !ok || loc.Country != "GR" {
+		t.Errorf("eyeball = %+v, commercial DBs must locate end users accurately", loc)
+	}
+}
+
+func TestCommercialDeterminism(t *testing.T) {
+	w, ips := buildWorld(t)
+	mm := NewMaxMind(w)
+	for _, ip := range ips {
+		a, _ := mm.Locate(ip)
+		b, _ := mm.Locate(ip)
+		if a != b {
+			t.Fatalf("MaxMind non-deterministic for %s", ip)
+		}
+	}
+}
+
+func TestIPAPIAgreesWithMaxMind(t *testing.T) {
+	w, ips := buildWorld(t)
+	mm := NewMaxMind(w)
+	api := NewIPAPI(mm)
+	agr := CompareServices(mm, api, ips)
+	// The toy world has only 10 blocks, so the per-block 4% deviation
+	// rate has high variance; full-scale agreement is asserted by the
+	// experiments package (Table 3: 96%). Here just require correlation.
+	if agr.Country < 70 {
+		t.Errorf("maxmind/ip-api country agreement = %.1f%%, want high (Table 3: 96%%)", agr.Country)
+	}
+	if agr.Continent < agr.Country {
+		t.Errorf("continent agreement %.1f%% below country %.1f%%", agr.Continent, agr.Country)
+	}
+}
+
+func TestIPMapAccuracy(t *testing.T) {
+	w, ips := buildWorld(t)
+	mesh := DefaultMesh()
+	if len(mesh.Probes) < 5000 {
+		t.Fatalf("mesh too small: %d probes", len(mesh.Probes))
+	}
+	m := NewIPMap(w, mesh)
+	truth := Truth{World: w}
+	correctCountry, correctCont := 0, 0
+	for _, ip := range ips {
+		lm, ok := m.Locate(ip)
+		if !ok {
+			t.Fatalf("IPMap missed %s", ip)
+		}
+		lt, _ := truth.Locate(ip)
+		if lm.Country == lt.Country {
+			correctCountry++
+		}
+		if sameEuroContinent(lm.Continent, lt.Continent) {
+			correctCont++
+		}
+	}
+	n := len(ips)
+	if frac := float64(correctCountry) / float64(n); frac < 0.9 {
+		t.Errorf("IPmap country accuracy = %.2f, want >= 0.9 (§3.4: 99.58%% on cloud ranges)", frac)
+	}
+	if frac := float64(correctCont) / float64(n); frac < 0.99 {
+		t.Errorf("IPmap continent accuracy = %.2f, want ~1.0", frac)
+	}
+}
+
+func sameEuroContinent(a, b geodata.Continent) bool {
+	isEU := func(c geodata.Continent) bool {
+		return c == geodata.EU28 || c == geodata.RestOfEurope
+	}
+	return a == b || (isEU(a) && isEU(b))
+}
+
+func TestIPMapDeterministicAndCached(t *testing.T) {
+	w, ips := buildWorld(t)
+	m := NewIPMap(w, DefaultMesh())
+	a, _ := m.Locate(ips[3])
+	b, _ := m.Locate(ips[3])
+	if a != b {
+		t.Error("cached answer differs")
+	}
+	m2 := NewIPMap(w, DefaultMesh())
+	c, _ := m2.Locate(ips[3])
+	if a != c {
+		t.Error("fresh instance with same seed differs")
+	}
+}
+
+func TestIPMapMajorityVote(t *testing.T) {
+	w, ips := buildWorld(t)
+	m := NewIPMap(w, DefaultMesh())
+	votes, ok := m.MeasureVotes(ips[0])
+	if !ok || len(votes) != m.ProbesPerQuery {
+		t.Fatalf("votes = %d ok=%v", len(votes), ok)
+	}
+	counts := map[geodata.Country]int{}
+	for _, v := range votes {
+		if v.RTTms <= 0 {
+			t.Fatal("non-positive RTT")
+		}
+		counts[v.Estimate]++
+	}
+	loc, _ := m.Locate(ips[0])
+	best, bestN := geodata.Country(""), -1
+	for c, n := range counts {
+		if n > bestN || (n == bestN && c < best) {
+			best, bestN = c, n
+		}
+	}
+	if loc.Country != best {
+		t.Errorf("Locate %v != majority %v", loc.Country, best)
+	}
+}
+
+func TestCompareServicesMaxMindVsIPMapDisagree(t *testing.T) {
+	// Table 3's key asymmetry: the commercial DBs agree with each other
+	// but disagree with IPmap on a large share of infrastructure IPs.
+	w, ips := buildWorld(t)
+	mm := NewMaxMind(w)
+	m := NewIPMap(w, DefaultMesh())
+	agr := CompareServices(mm, m, ips)
+	if agr.IPs != len(ips) {
+		t.Fatalf("compared %d of %d", agr.IPs, len(ips))
+	}
+	if agr.Country > 75 {
+		t.Errorf("maxmind/ipmap country agreement = %.1f%%, want substantial disagreement (Table 3: ~53%%)", agr.Country)
+	}
+}
+
+func TestScoreOrg(t *testing.T) {
+	w, ips := buildWorld(t)
+	mm := NewMaxMind(w)
+	truth := Truth{World: w}
+	var googleIPs []netsim.IP
+	reqs := map[netsim.IP]int64{}
+	for _, ip := range ips {
+		if d, _ := w.LocateIP(ip); d.Org.Name == "google" {
+			googleIPs = append(googleIPs, ip)
+			reqs[ip] = 10
+		}
+	}
+	rep := ScoreOrg("google", mm, truth, googleIPs, reqs)
+	if rep.IPs != len(googleIPs) {
+		t.Errorf("IPs = %d", rep.IPs)
+	}
+	if rep.Requests != int64(10*len(googleIPs)) {
+		t.Errorf("Requests = %d", rep.Requests)
+	}
+	if rep.WrongCountry < rep.WrongContinent {
+		t.Error("wrong continent cannot exceed wrong country")
+	}
+	if rep.WrongCountryPct() < 0 || rep.WrongCountryPct() > 100 {
+		t.Error("pct out of range")
+	}
+	// Unweighted variant.
+	rep2 := ScoreOrg("google", mm, truth, googleIPs, nil)
+	if rep2.Requests != 0 || rep2.ReqWrongCountryPct() != 0 {
+		t.Error("nil requests must yield zero request stats")
+	}
+}
+
+func TestStaticService(t *testing.T) {
+	s := Static{ServiceName: "static", Locations: map[netsim.IP]Location{
+		1: {Country: "DE", Continent: geodata.EU28},
+	}}
+	if s.Name() != "static" {
+		t.Error("name")
+	}
+	if loc, ok := s.Locate(1); !ok || loc.Country != "DE" {
+		t.Error("hit failed")
+	}
+	if _, ok := s.Locate(2); ok {
+		t.Error("miss reported ok")
+	}
+}
+
+func TestNeighborCountry(t *testing.T) {
+	n := neighborCountry("DE", 1)
+	if n == "DE" {
+		t.Error("neighbor must differ")
+	}
+	if geodata.ContinentOf(n) != geodata.EU28 {
+		t.Errorf("neighbor %s not in same region", n)
+	}
+	// Deterministic.
+	if neighborCountry("DE", 1) != n {
+		t.Error("not deterministic")
+	}
+	if neighborCountry("??", 1) != "??" {
+		t.Error("unknown country must be returned unchanged")
+	}
+}

@@ -1,0 +1,241 @@
+package geo
+
+import (
+	"math/rand"
+	"sync"
+
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+)
+
+// Probe is one active measurement vantage point (a RIPE Atlas probe).
+type Probe struct {
+	Country geodata.Country
+}
+
+// ProbeMesh is the global probe deployment. The RIPE Atlas footprint is
+// dense in Europe (>5K probes), substantial in North America (>1K) and
+// sparse elsewhere (§3.4); DefaultMesh reproduces those proportions.
+type ProbeMesh struct {
+	Probes []Probe
+}
+
+// DefaultMesh builds an ~11K-probe mesh with the Atlas-like distribution:
+// probe count per country proportional to infrastructure density, with
+// Europe over-represented.
+func DefaultMesh() *ProbeMesh {
+	var mesh ProbeMesh
+	for _, c := range geodata.AllCountries() {
+		weight := c.InfraDensity
+		switch c.Continent {
+		case geodata.EU28, geodata.RestOfEurope:
+			weight *= 4 // Atlas's European density
+		case geodata.NorthAmerica:
+			weight *= 1
+		default:
+			weight = weight / 2
+		}
+		n := weight * 2
+		if n < 2 {
+			n = 2 // every country has at least a couple of probes
+		}
+		for i := 0; i < n; i++ {
+			mesh.Probes = append(mesh.Probes, Probe{Country: c.Code})
+		}
+	}
+	return &mesh
+}
+
+// IPMap emulates RIPE IPmap's active geolocation: for each target IP it
+// tasks ~ProbesPerQuery probes, each probe measures RTT to the target and
+// produces a location estimate (the candidate country whose expected RTT
+// best explains the measurement, subject to the speed-of-light bound), and
+// the coordinator majority-votes the estimates (§3.4).
+type IPMap struct {
+	World *netsim.World
+	Mesh  *ProbeMesh
+	RTT   netsim.RTTModel
+	// ProbesPerQuery is the number of probes tasked per IP (default 100,
+	// as the paper reports).
+	ProbesPerQuery int
+	// Seed makes the probe sampling deterministic per IP.
+	Seed int64
+
+	mu    sync.Mutex
+	cache map[netsim.IP]Location
+
+	candidates      []geodata.Country
+	probesByCountry map[geodata.Country][]int
+}
+
+// NewIPMap builds the active geolocator over the world's ground truth.
+func NewIPMap(w *netsim.World, mesh *ProbeMesh) *IPMap {
+	var cands []geodata.Country
+	for _, c := range geodata.AllCountries() {
+		cands = append(cands, c.Code)
+	}
+	byCountry := make(map[geodata.Country][]int)
+	for i, p := range mesh.Probes {
+		byCountry[p.Country] = append(byCountry[p.Country], i)
+	}
+	return &IPMap{
+		World:           w,
+		Mesh:            mesh,
+		ProbesPerQuery:  100,
+		Seed:            42,
+		cache:           make(map[netsim.IP]Location),
+		candidates:      cands,
+		probesByCountry: byCountry,
+	}
+}
+
+// Name implements Service.
+func (m *IPMap) Name() string { return "ripe-ipmap" }
+
+// Locate implements Service. Results are cached; the measurement for a
+// given IP is deterministic under the configured seed.
+func (m *IPMap) Locate(ip netsim.IP) (Location, bool) {
+	m.mu.Lock()
+	if loc, ok := m.cache[ip]; ok {
+		m.mu.Unlock()
+		return loc, true
+	}
+	m.mu.Unlock()
+
+	truthCountry, ok := m.truthCountry(ip)
+	if !ok {
+		return Location{}, false
+	}
+	loc := m.measure(ip, truthCountry)
+
+	m.mu.Lock()
+	m.cache[ip] = loc
+	m.mu.Unlock()
+	return loc, true
+}
+
+func (m *IPMap) truthCountry(ip netsim.IP) (geodata.Country, bool) {
+	if d, ok := m.World.LocateIP(ip); ok {
+		return d.Country, true
+	}
+	if c := m.World.EyeballCountry(ip); c != "" {
+		return c, true
+	}
+	return "", false
+}
+
+// Vote is one probe's reply.
+type Vote struct {
+	Probe    Probe
+	RTTms    float64
+	Estimate geodata.Country
+}
+
+// MeasureVotes runs the per-probe estimation for an IP and returns the
+// raw votes; Locate uses the majority. Exposed for the agreement analysis
+// and tests.
+func (m *IPMap) MeasureVotes(ip netsim.IP) ([]Vote, bool) {
+	truth, ok := m.truthCountry(ip)
+	if !ok {
+		return nil, false
+	}
+	return m.votes(ip, truth), true
+}
+
+func (m *IPMap) votes(ip netsim.IP, truth geodata.Country) []Vote {
+	// Per-IP deterministic RNG: same IP, same probes, same jitter.
+	rng := rand.New(rand.NewSource(m.Seed ^ int64(ip)*0x9e3779b9))
+	k := m.ProbesPerQuery
+	if k <= 0 {
+		k = 100
+	}
+
+	// Phase 1 — coarse localization: a couple dozen random probes
+	// measure; the country of the minimum-RTT probe anchors the region.
+	coarse := truth // fallback, only when mesh is empty
+	bestRTT := -1.0
+	for i := 0; i < 25 && len(m.Mesh.Probes) > 0; i++ {
+		p := m.Mesh.Probes[rng.Intn(len(m.Mesh.Probes))]
+		rtt := m.minRTT(rng, p.Country, truth)
+		if bestRTT < 0 || rtt < bestRTT {
+			coarse, bestRTT = p.Country, rtt
+		}
+	}
+
+	// Phase 2 — refinement: IPmap tasks probes near the presumed
+	// location. Sample k probes from countries within 2500 km of the
+	// coarse country; fall back to the whole mesh if the region is sparse.
+	var regional []int
+	for _, c := range m.candidates { // candidate order is deterministic
+		if d := geodata.DistanceKm(c, coarse); d >= 0 && d <= 2500 {
+			regional = append(regional, m.probesByCountry[c]...)
+		}
+	}
+	if len(regional) < 20 {
+		regional = regional[:0]
+		for i := range m.Mesh.Probes {
+			regional = append(regional, i)
+		}
+	}
+	votes := make([]Vote, 0, k)
+	for i := 0; i < k; i++ {
+		p := m.Mesh.Probes[regional[rng.Intn(len(regional))]]
+		rtt := m.minRTT(rng, p.Country, truth)
+		votes = append(votes, Vote{Probe: p, RTTms: rtt, Estimate: m.estimate(p, rtt)})
+	}
+	return votes
+}
+
+// minRTT is a probe's measurement: the minimum of three pings, the
+// standard way active geolocation suppresses queueing jitter.
+func (m *IPMap) minRTT(rng *rand.Rand, from, to geodata.Country) float64 {
+	best := m.RTT.Measure(rng, from, to)
+	for i := 0; i < 2; i++ {
+		if r := m.RTT.Measure(rng, from, to); r < best {
+			best = r
+		}
+	}
+	return best
+}
+
+// estimate implements one probe's reasoning: among candidate countries
+// whose speed-of-light minimum does not exceed the measured RTT, pick the
+// one whose expected RTT best matches the measurement.
+func (m *IPMap) estimate(p Probe, rttMs float64) geodata.Country {
+	best := p.Country
+	bestErr := -1.0
+	for _, cand := range m.candidates {
+		minPossible := m.RTT.MinPossible(p.Country, cand)
+		if minPossible > rttMs {
+			continue // physically impossible, candidate excluded
+		}
+		// Expected minimum-of-pings RTT: propagation with path stretch
+		// plus the last-mile floor and a small residual-jitter allowance.
+		expected := minPossible*1.3 + 5.5
+		err := expected - rttMs
+		if err < 0 {
+			err = -err
+		}
+		if bestErr < 0 || err < bestErr {
+			best, bestErr = cand, err
+		}
+	}
+	return best
+}
+
+// measure majority-votes the probes' estimates.
+func (m *IPMap) measure(ip netsim.IP, truth geodata.Country) Location {
+	votes := m.votes(ip, truth)
+	counts := make(map[geodata.Country]int)
+	for _, v := range votes {
+		counts[v.Estimate]++
+	}
+	var winner geodata.Country
+	bestN := -1
+	for c, n := range counts {
+		if n > bestN || (n == bestN && c < winner) {
+			winner, bestN = c, n
+		}
+	}
+	return locOf(winner)
+}

@@ -1,0 +1,113 @@
+package geo
+
+import (
+	"crossborder/internal/netsim"
+)
+
+// Agreement summarizes how often two services give the same answer over
+// an IP set (a cell pair of Table 3).
+type Agreement struct {
+	A, B      string
+	IPs       int
+	Country   float64 // percent agreeing on country
+	Continent float64 // percent agreeing on continent
+}
+
+// CompareServices computes the pairwise agreement of two services over
+// the IPs both can locate.
+func CompareServices(a, b Service, ips []netsim.IP) Agreement {
+	res := Agreement{A: a.Name(), B: b.Name()}
+	var country, continent int
+	for _, ip := range ips {
+		la, okA := a.Locate(ip)
+		lb, okB := b.Locate(ip)
+		if !okA || !okB {
+			continue
+		}
+		res.IPs++
+		if la.Country == lb.Country {
+			country++
+		}
+		if la.Continent == lb.Continent {
+			continent++
+		}
+	}
+	if res.IPs > 0 {
+		res.Country = 100 * float64(country) / float64(res.IPs)
+		res.Continent = 100 * float64(continent) / float64(res.IPs)
+	}
+	return res
+}
+
+// OrgErrorReport is one row of Table 4: how badly a commercial database
+// geolocates one organization's tracking IPs, by IP count and by request
+// volume.
+type OrgErrorReport struct {
+	Org            string
+	IPs            int
+	WrongCountry   int
+	WrongContinent int
+	Requests       int64
+	ReqWrongCtry   int64
+	ReqWrongCont   int64
+}
+
+// WrongCountryPct returns the share of IPs placed in the wrong country.
+func (r OrgErrorReport) WrongCountryPct() float64 {
+	if r.IPs == 0 {
+		return 0
+	}
+	return 100 * float64(r.WrongCountry) / float64(r.IPs)
+}
+
+// WrongContinentPct returns the share of IPs placed on the wrong continent.
+func (r OrgErrorReport) WrongContinentPct() float64 {
+	if r.IPs == 0 {
+		return 0
+	}
+	return 100 * float64(r.WrongContinent) / float64(r.IPs)
+}
+
+// ReqWrongCountryPct returns the request-weighted wrong-country share.
+func (r OrgErrorReport) ReqWrongCountryPct() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return 100 * float64(r.ReqWrongCtry) / float64(r.Requests)
+}
+
+// ReqWrongContinentPct returns the request-weighted wrong-continent share.
+func (r OrgErrorReport) ReqWrongContinentPct() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return 100 * float64(r.ReqWrongCont) / float64(r.Requests)
+}
+
+// ScoreOrg scores a database against ground truth over one org's IPs.
+// requests gives per-IP request counts (nil for unweighted).
+func ScoreOrg(org string, db Service, truth Service, ips []netsim.IP, requests map[netsim.IP]int64) OrgErrorReport {
+	rep := OrgErrorReport{Org: org}
+	for _, ip := range ips {
+		lDB, okA := db.Locate(ip)
+		lT, okB := truth.Locate(ip)
+		if !okA || !okB {
+			continue
+		}
+		rep.IPs++
+		n := int64(0)
+		if requests != nil {
+			n = requests[ip]
+		}
+		rep.Requests += n
+		if lDB.Country != lT.Country {
+			rep.WrongCountry++
+			rep.ReqWrongCtry += n
+		}
+		if lDB.Continent != lT.Continent {
+			rep.WrongContinent++
+			rep.ReqWrongCont += n
+		}
+	}
+	return rep
+}

@@ -1,0 +1,45 @@
+package geodata
+
+import "math"
+
+// earthRadiusKm is the mean Earth radius used by the haversine formula.
+const earthRadiusKm = 6371.0
+
+// HaversineKm returns the great-circle distance in kilometres between two
+// latitude/longitude pairs (degrees).
+func HaversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const degToRad = math.Pi / 180
+	phi1, phi2 := lat1*degToRad, lat2*degToRad
+	dPhi := (lat2 - lat1) * degToRad
+	dLambda := (lon2 - lon1) * degToRad
+
+	a := math.Sin(dPhi/2)*math.Sin(dPhi/2) +
+		math.Cos(phi1)*math.Cos(phi2)*math.Sin(dLambda/2)*math.Sin(dLambda/2)
+	return 2 * earthRadiusKm * math.Atan2(math.Sqrt(a), math.Sqrt(1-a))
+}
+
+// DistanceKm returns the great-circle distance between two countries'
+// reference cities, or -1 if either country is unknown.
+func DistanceKm(a, b Country) float64 {
+	ia, ok := byCode[a]
+	if !ok {
+		return -1
+	}
+	ib, ok := byCode[b]
+	if !ok {
+		return -1
+	}
+	return HaversineKm(ia.Lat, ia.Lon, ib.Lat, ib.Lon)
+}
+
+// MinRTTms returns the physically minimal round-trip time in milliseconds
+// for a fibre path covering the given great-circle distance. Light in fibre
+// travels at roughly 2/3 c ≈ 200 km/ms one way, and real paths are longer
+// than great circles; the conventional rule of thumb used by geolocation
+// constraint systems is distance/100 km per RTT millisecond.
+func MinRTTms(distanceKm float64) float64 {
+	if distanceKm <= 0 {
+		return 0
+	}
+	return distanceKm / 100.0
+}

@@ -1,0 +1,334 @@
+// Package locality implements the paper's §5 what-if analyses: how much
+// more local could tracking flows be if tracking domains used (i) DNS
+// redirection to alternative servers already observed for the same FQDN,
+// (ii) DNS redirection pooled across the whole registrable domain (TLD
+// level), (iii) PoP mirroring across the datacenters of the public clouds
+// the tracker already uses, or (iv) migration to any PoP of the nine major
+// clouds. The outputs are the confinement percentages of Tables 5 and 6.
+package locality
+
+import (
+	"sort"
+
+	"crossborder/internal/classify"
+	"crossborder/internal/geo"
+	"crossborder/internal/geodata"
+	"crossborder/internal/webgraph"
+)
+
+// Scenario selects a what-if policy.
+type Scenario uint8
+
+const (
+	// Default is the observed assignment: no redirection.
+	Default Scenario = iota
+	// RedirectFQDN allows redirecting each request to any alternative
+	// server observed for the same FQDN.
+	RedirectFQDN
+	// RedirectTLD allows redirecting to any server observed for any FQDN
+	// under the same registrable domain.
+	RedirectTLD
+	// PoPMirror allows serving from any datacenter country of the cloud
+	// providers the owning organization already leases from.
+	PoPMirror
+	// RedirectTLDPlusPoP combines RedirectTLD and PoPMirror.
+	RedirectTLDPlusPoP
+	// CloudMigration allows serving from any PoP country of any of the
+	// nine major cloud providers (the §5.2 extreme scenario).
+	CloudMigration
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case Default:
+		return "Default"
+	case RedirectFQDN:
+		return "Redirections (FQDN)"
+	case RedirectTLD:
+		return "Redirections (TLD)"
+	case PoPMirror:
+		return "POP Mirroring (Cloud)"
+	case RedirectTLDPlusPoP:
+		return "Redirection (TLD) + POP Mirroring (Cloud)"
+	case CloudMigration:
+		return "Migration to Cloud"
+	default:
+		return "Scenario(?)"
+	}
+}
+
+// OrgClouds reports which cloud providers host (part of) the organization
+// that owns an FQDN. The scenario package wires this to the synthetic
+// world; tests can stub it.
+type OrgClouds func(fqdn string) []geodata.CloudProvider
+
+// flowKey aggregates identical observations.
+type flowKey struct {
+	src  geodata.Country
+	fqdn uint32
+	dst  geodata.Country
+}
+
+// Engine evaluates what-if scenarios over the observed tracking flows of
+// EU28 users (the population of Table 5).
+type Engine struct {
+	flows map[flowKey]int64
+	total int64
+
+	fqdns *classify.Interner
+	// byFQDN / byTLD: the set of destination countries observed for a
+	// hostname / registrable domain across the whole dataset.
+	byFQDN map[uint32]map[geodata.Country]struct{}
+	byTLD  map[string]map[geodata.Country]struct{}
+	// tldOf caches the registrable domain per FQDN id.
+	tldOf map[uint32]string
+
+	orgClouds OrgClouds
+	// allCloudCountries caches the union of the nine providers' PoPs.
+	allCloudCountries map[geodata.Country]struct{}
+}
+
+// NewEngine builds the engine from the classified dataset: it geolocates
+// every tracking flow of every EU28 user with svc (the paper uses RIPE
+// IPmap here) and indexes the observed alternatives.
+func NewEngine(ds *classify.Dataset, svc geo.Service, orgClouds OrgClouds) *Engine {
+	e := &Engine{
+		flows:             make(map[flowKey]int64),
+		fqdns:             ds.FQDNs,
+		byFQDN:            make(map[uint32]map[geodata.Country]struct{}),
+		byTLD:             make(map[string]map[geodata.Country]struct{}),
+		tldOf:             make(map[uint32]string),
+		orgClouds:         orgClouds,
+		allCloudCountries: make(map[geodata.Country]struct{}),
+	}
+	for _, p := range geodata.AllCloudProviders() {
+		for _, c := range geodata.CloudPoPCountries(p) {
+			e.allCloudCountries[c] = struct{}{}
+		}
+	}
+	for _, r := range ds.Rows {
+		if !r.Class.IsTracking() {
+			continue
+		}
+		src := ds.Country(r)
+		if !geodata.IsEU28(src) {
+			continue
+		}
+		loc, ok := svc.Locate(r.IP)
+		if !ok {
+			continue
+		}
+		e.add(src, r.FQDN, loc.Country)
+	}
+	return e
+}
+
+// add records one observed flow and indexes the destination as an
+// available alternative for its FQDN and TLD.
+func (e *Engine) add(src geodata.Country, fqdnID uint32, dst geodata.Country) {
+	e.flows[flowKey{src, fqdnID, dst}]++
+	e.total++
+
+	set := e.byFQDN[fqdnID]
+	if set == nil {
+		set = make(map[geodata.Country]struct{})
+		e.byFQDN[fqdnID] = set
+	}
+	set[dst] = struct{}{}
+
+	tld, ok := e.tldOf[fqdnID]
+	if !ok {
+		tld = webgraph.ETLDPlusOne(e.fqdns.Str(fqdnID))
+		e.tldOf[fqdnID] = tld
+	}
+	tset := e.byTLD[tld]
+	if tset == nil {
+		tset = make(map[geodata.Country]struct{})
+		e.byTLD[tld] = tset
+	}
+	tset[dst] = struct{}{}
+}
+
+// TotalFlows returns the number of EU28 tracking flows under analysis
+// (the paper's 1,824,873 in Table 5).
+func (e *Engine) TotalFlows() int64 { return e.total }
+
+// Result is one scenario's confinement outcome.
+type Result struct {
+	Scenario  Scenario
+	InCountry float64 // % of flows confinable to the user's country
+	InEurope  float64 // % confinable to Europe (the paper's "Cont.")
+}
+
+// Evaluate computes confinement under a scenario. A flow counts as
+// in-country when some allowed destination is the user's country, and as
+// in-Europe when some allowed destination is in EU28 or Rest of Europe
+// (preferring country over continent, as a GDPR-friendly operator would).
+func (e *Engine) Evaluate(s Scenario) Result {
+	var inCountry, inEurope int64
+	for k, n := range e.flows {
+		country, europe := e.outcome(s, k)
+		if country {
+			inCountry += n
+		}
+		if europe {
+			inEurope += n
+		}
+	}
+	r := Result{Scenario: s}
+	if e.total > 0 {
+		r.InCountry = 100 * float64(inCountry) / float64(e.total)
+		r.InEurope = 100 * float64(inEurope) / float64(e.total)
+	}
+	return r
+}
+
+func isEurope(c geodata.Country) bool {
+	cc := geodata.ContinentOf(c)
+	return cc == geodata.EU28 || cc == geodata.RestOfEurope
+}
+
+// outcome decides whether flow k can terminate in the user's country and
+// whether it can terminate in Europe under scenario s.
+func (e *Engine) outcome(s Scenario, k flowKey) (inCountry, inEurope bool) {
+	// The observed destination always remains available.
+	if k.dst == k.src {
+		inCountry = true
+	}
+	if isEurope(k.dst) {
+		inEurope = true
+	}
+	check := func(set map[geodata.Country]struct{}) {
+		if _, ok := set[k.src]; ok {
+			inCountry = true
+			inEurope = true
+			return
+		}
+		if !inEurope {
+			for c := range set {
+				if isEurope(c) {
+					inEurope = true
+					break
+				}
+			}
+		}
+	}
+	switch s {
+	case Default:
+		// nothing more
+	case RedirectFQDN:
+		check(e.byFQDN[k.fqdn])
+	case RedirectTLD:
+		check(e.byTLD[e.tldOf[k.fqdn]])
+	case PoPMirror:
+		check(e.cloudSet(k.fqdn))
+	case RedirectTLDPlusPoP:
+		check(e.byTLD[e.tldOf[k.fqdn]])
+		if !inCountry {
+			check(e.cloudSet(k.fqdn))
+		}
+	case CloudMigration:
+		check(e.allCloudCountries)
+	}
+	return inCountry, inEurope
+}
+
+// cloudSet returns the PoP countries available to the org owning fqdn via
+// the clouds it already uses.
+func (e *Engine) cloudSet(fqdnID uint32) map[geodata.Country]struct{} {
+	if e.orgClouds == nil {
+		return nil
+	}
+	providers := e.orgClouds(e.fqdns.Str(fqdnID))
+	if len(providers) == 0 {
+		return nil
+	}
+	set := make(map[geodata.Country]struct{})
+	for _, p := range providers {
+		for _, c := range geodata.CloudPoPCountries(p) {
+			set[c] = struct{}{}
+		}
+	}
+	return set
+}
+
+// Table5 evaluates the five scenarios of Table 5 in the paper's order.
+func (e *Engine) Table5() []Result {
+	return []Result{
+		e.Evaluate(Default),
+		e.Evaluate(RedirectFQDN),
+		e.Evaluate(RedirectTLD),
+		e.Evaluate(PoPMirror),
+		e.Evaluate(RedirectTLDPlusPoP),
+	}
+}
+
+// CountryImprovement is one row of Table 6: how much a scenario improves
+// one country's confinement over the TLD-redirection baseline.
+type CountryImprovement struct {
+	Country  geodata.Country
+	Requests int64
+	// PoPOverTLD is the extra in-country percentage points PoP mirroring
+	// adds on top of TLD redirection.
+	PoPOverTLD float64
+	// MigrationOverTLD is the extra in-country points full cloud
+	// migration adds on top of TLD redirection.
+	MigrationOverTLD float64
+}
+
+// Table6 computes per-country improvements for the given origin countries
+// (the paper lists UK, Spain, Greece, Italy, Romania, Cyprus, Denmark).
+func (e *Engine) Table6(countries []geodata.Country) []CountryImprovement {
+	want := make(map[geodata.Country]bool, len(countries))
+	for _, c := range countries {
+		want[c] = true
+	}
+	type acc struct {
+		total, tld, tldPoP, migr int64
+	}
+	accs := make(map[geodata.Country]*acc)
+	for k, n := range e.flows {
+		if !want[k.src] {
+			continue
+		}
+		x := accs[k.src]
+		if x == nil {
+			x = &acc{}
+			accs[k.src] = x
+		}
+		x.total += n
+		if c, _ := e.outcome(RedirectTLD, k); c {
+			x.tld += n
+		}
+		if c, _ := e.outcome(RedirectTLDPlusPoP, k); c {
+			x.tldPoP += n
+		}
+		// Migration is evaluated on top of TLD redirection: either the
+		// TLD alternatives or any cloud PoP in the country will do.
+		cm, _ := e.outcome(CloudMigration, k)
+		ct, _ := e.outcome(RedirectTLD, k)
+		if cm || ct {
+			x.migr += n
+		}
+	}
+	out := make([]CountryImprovement, 0, len(accs))
+	for c, x := range accs {
+		if x.total == 0 {
+			continue
+		}
+		pct := func(v int64) float64 { return 100 * float64(v) / float64(x.total) }
+		out = append(out, CountryImprovement{
+			Country:          c,
+			Requests:         x.total,
+			PoPOverTLD:       pct(x.tldPoP) - pct(x.tld),
+			MigrationOverTLD: pct(x.migr) - pct(x.tld),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PoPOverTLD != out[j].PoPOverTLD {
+			return out[i].PoPOverTLD > out[j].PoPOverTLD
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}

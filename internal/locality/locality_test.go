@@ -1,0 +1,226 @@
+package locality
+
+import (
+	"testing"
+
+	"crossborder/internal/classify"
+	"crossborder/internal/geo"
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+)
+
+// buildDataset constructs a hand-rolled world:
+//
+//	ads.tracker.com  serves IPs 1 (US) and 2 (DE)
+//	alt.tracker.com  serves IP 3 (ES)           (same TLD as ads.)
+//	sync.lonely.com  serves IP 4 (US) only      (org uses AWS)
+//	pix.nocloud.com  serves IP 5 (US) only      (no cloud)
+//
+// Users: ES and CY.
+func buildEngine(t *testing.T) *Engine {
+	t.Helper()
+	ds := &classify.Dataset{FQDNs: classify.NewInterner()}
+	ds.Countries = []geodata.Country{"ES", "CY"}
+	adsID := ds.FQDNs.ID("ads.tracker.com")
+	altID := ds.FQDNs.ID("alt.tracker.com")
+	lonelyID := ds.FQDNs.ID("sync.lonely.com")
+	noID := ds.FQDNs.ID("pix.nocloud.com")
+
+	addRows := func(fqdn uint32, ip netsim.IP, country uint8, n int) {
+		for i := 0; i < n; i++ {
+			ds.Rows = append(ds.Rows, classify.Row{
+				FQDN: fqdn, IP: ip, Country: country, Class: classify.ClassABP,
+			})
+		}
+	}
+	// ES user: 40 flows to ads->US, 10 to ads->DE, 10 to alt->ES,
+	// 20 to lonely->US, 20 to nocloud->US.
+	addRows(adsID, 1, 0, 40)
+	addRows(adsID, 2, 0, 10)
+	addRows(altID, 3, 0, 10)
+	addRows(lonelyID, 4, 0, 20)
+	addRows(noID, 5, 0, 20)
+	// CY user: 10 flows to ads->US.
+	addRows(adsID, 1, 1, 10)
+	// A clean row and a non-EU row must be ignored.
+	ds.Rows = append(ds.Rows, classify.Row{FQDN: adsID, IP: 1, Country: 0, Class: classify.ClassClean})
+
+	svc := geo.Static{ServiceName: "truth", Locations: map[netsim.IP]geo.Location{
+		1: {Country: "US", Continent: geodata.NorthAmerica},
+		2: {Country: "DE", Continent: geodata.EU28},
+		3: {Country: "ES", Continent: geodata.EU28},
+		4: {Country: "US", Continent: geodata.NorthAmerica},
+		5: {Country: "US", Continent: geodata.NorthAmerica},
+	}}
+	clouds := func(fqdn string) []geodata.CloudProvider {
+		if fqdn == "sync.lonely.com" {
+			return []geodata.CloudProvider{geodata.AWS}
+		}
+		return nil
+	}
+	return NewEngine(ds, svc, clouds)
+}
+
+func TestTotalFlows(t *testing.T) {
+	e := buildEngine(t)
+	if e.TotalFlows() != 110 {
+		t.Fatalf("TotalFlows = %d, want 110", e.TotalFlows())
+	}
+}
+
+func TestDefaultScenario(t *testing.T) {
+	e := buildEngine(t)
+	r := e.Evaluate(Default)
+	// In-country: only alt->ES (10/110).
+	if r.InCountry < 9 || r.InCountry > 9.2 {
+		t.Errorf("Default InCountry = %f, want ~9.09", r.InCountry)
+	}
+	// In Europe: ads->DE (10) + alt->ES (10) = 20/110.
+	if r.InEurope < 18 || r.InEurope > 18.3 {
+		t.Errorf("Default InEurope = %f, want ~18.18", r.InEurope)
+	}
+}
+
+func TestRedirectFQDN(t *testing.T) {
+	e := buildEngine(t)
+	r := e.Evaluate(RedirectFQDN)
+	// ads.tracker.com has a DE alternative: ES flows to ads (50) can be
+	// in Europe but not in Spain; alt flows (10) stay in ES. CY flows
+	// can reach DE (Europe) but not CY.
+	if r.InCountry < 9 || r.InCountry > 9.2 {
+		t.Errorf("FQDN InCountry = %f, want ~9.09 (no new in-country)", r.InCountry)
+	}
+	// Europe: ads (50 ES + 10 CY) + alt (10) = 70/110.
+	if r.InEurope < 63 || r.InEurope > 64 {
+		t.Errorf("FQDN InEurope = %f, want ~63.6", r.InEurope)
+	}
+}
+
+func TestRedirectTLD(t *testing.T) {
+	e := buildEngine(t)
+	r := e.Evaluate(RedirectTLD)
+	// TLD pool for tracker.com = {US, DE, ES}: the ES user's 50 ads
+	// flows + 10 alt flows become in-country (60/110).
+	if r.InCountry < 54 || r.InCountry > 55 {
+		t.Errorf("TLD InCountry = %f, want ~54.5", r.InCountry)
+	}
+	// Progression must hold: TLD >= FQDN >= Default.
+	d, f := e.Evaluate(Default), e.Evaluate(RedirectFQDN)
+	if !(r.InCountry >= f.InCountry && f.InCountry >= d.InCountry) {
+		t.Error("in-country progression violated")
+	}
+	if !(r.InEurope >= f.InEurope && f.InEurope >= d.InEurope) {
+		t.Error("in-Europe progression violated")
+	}
+}
+
+func TestPoPMirror(t *testing.T) {
+	e := buildEngine(t)
+	r := e.Evaluate(PoPMirror)
+	// lonely.com uses AWS, which has an ES PoP... AWS PoPs: IE DE GB FR
+	// SE — no ES. So the ES user's lonely flows reach Europe but not
+	// Spain; nocloud flows stay in the US.
+	d := e.Evaluate(Default)
+	if r.InCountry != d.InCountry {
+		t.Errorf("PoP InCountry = %f, want unchanged %f", r.InCountry, d.InCountry)
+	}
+	// Europe gains the 20 lonely flows: 40/110.
+	if r.InEurope < 36 || r.InEurope > 37 {
+		t.Errorf("PoP InEurope = %f, want ~36.4", r.InEurope)
+	}
+}
+
+func TestCombinedScenario(t *testing.T) {
+	e := buildEngine(t)
+	tld := e.Evaluate(RedirectTLD)
+	combo := e.Evaluate(RedirectTLDPlusPoP)
+	if combo.InCountry < tld.InCountry || combo.InEurope < tld.InEurope {
+		t.Error("combined scenario must dominate TLD alone")
+	}
+	pop := e.Evaluate(PoPMirror)
+	if combo.InEurope < pop.InEurope {
+		t.Error("combined scenario must dominate PoP alone")
+	}
+}
+
+func TestCloudMigration(t *testing.T) {
+	e := buildEngine(t)
+	r := e.Evaluate(CloudMigration)
+	// Spain has cloud PoPs (CloudFlare, Equinix): all 100 ES flows can
+	// be confined. Cyprus has none: its 10 flows cannot.
+	if r.InCountry < 90 || r.InCountry > 91 {
+		t.Errorf("Migration InCountry = %f, want ~90.9", r.InCountry)
+	}
+	if r.InEurope < 99 {
+		t.Errorf("Migration InEurope = %f, want ~100", r.InEurope)
+	}
+}
+
+func TestTable5Order(t *testing.T) {
+	e := buildEngine(t)
+	rows := e.Table5()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := []Scenario{Default, RedirectFQDN, RedirectTLD, PoPMirror, RedirectTLDPlusPoP}
+	for i, r := range rows {
+		if r.Scenario != want[i] {
+			t.Errorf("row %d = %s", i, r.Scenario)
+		}
+	}
+}
+
+func TestTable6(t *testing.T) {
+	e := buildEngine(t)
+	rows := e.Table6([]geodata.Country{"ES", "CY"})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	var es, cy CountryImprovement
+	for _, r := range rows {
+		switch r.Country {
+		case "ES":
+			es = r
+		case "CY":
+			cy = r
+		}
+	}
+	if es.Requests != 100 || cy.Requests != 10 {
+		t.Errorf("requests: ES=%d CY=%d", es.Requests, cy.Requests)
+	}
+	// Cyprus has no cloud PoP: zero improvement from either mechanism
+	// (the paper's Table 6 Cyprus row).
+	if cy.PoPOverTLD != 0 || cy.MigrationOverTLD != 0 {
+		t.Errorf("Cyprus improvements = %+v, want 0", cy)
+	}
+	// Spain: TLD already confines ads+alt (60); migration adds lonely
+	// and nocloud (40) => +40 points; PoP alone adds nothing in-country.
+	if es.MigrationOverTLD < 39 || es.MigrationOverTLD > 41 {
+		t.Errorf("ES MigrationOverTLD = %f, want ~40", es.MigrationOverTLD)
+	}
+	if es.PoPOverTLD != 0 {
+		t.Errorf("ES PoPOverTLD = %f, want 0 (AWS has no ES PoP)", es.PoPOverTLD)
+	}
+}
+
+func TestScenarioStrings(t *testing.T) {
+	for _, s := range []Scenario{Default, RedirectFQDN, RedirectTLD, PoPMirror, RedirectTLDPlusPoP, CloudMigration} {
+		if s.String() == "" || s.String() == "Scenario(?)" {
+			t.Errorf("scenario %d has bad name", s)
+		}
+	}
+}
+
+func TestNonEUUsersExcluded(t *testing.T) {
+	ds := &classify.Dataset{FQDNs: classify.NewInterner()}
+	ds.Countries = []geodata.Country{"US"}
+	id := ds.FQDNs.ID("t.x.com")
+	ds.Rows = []classify.Row{{FQDN: id, IP: 1, Country: 0, Class: classify.ClassABP}}
+	svc := geo.Static{ServiceName: "s", Locations: map[netsim.IP]geo.Location{
+		1: {Country: "US", Continent: geodata.NorthAmerica},
+	}}
+	e := NewEngine(ds, svc, nil)
+	if e.TotalFlows() != 0 {
+		t.Errorf("non-EU flows included: %d", e.TotalFlows())
+	}
+}

@@ -1,0 +1,56 @@
+package netflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecoderNeverPanics feeds arbitrary byte soup to the decoder; it may
+// error, but it must never panic or return phantom records — the property
+// a collector facing the open Internet needs.
+func TestDecoderNeverPanics(t *testing.T) {
+	dec := NewDecoder()
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		recs, err := dec.Decode(data)
+		if err == nil && len(data) < 20 && len(recs) > 0 {
+			return false // records cannot come from a sub-header packet
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecoderSurvivesCorruptedValidPackets flips random bytes in valid
+// packets: decode must stay panic-free.
+func TestDecoderSurvivesCorruptedValidPackets(t *testing.T) {
+	enc := &Encoder{SourceID: 3, Boot: boot}
+	dec := NewDecoder()
+	if _, err := dec.Decode(enc.EncodeTemplate(now)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	base, _ := enc.EncodeData(now, sampleRecords(20))
+	for i := 0; i < 3000; i++ {
+		pkt := make([]byte, len(base))
+		copy(pkt, base)
+		for j, n := 0, 1+rng.Intn(5); j < n; j++ {
+			pkt[rng.Intn(len(pkt))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on corrupted packet: %v", r)
+				}
+			}()
+			dec.Decode(pkt) //nolint:errcheck // errors are expected here
+		}()
+	}
+}

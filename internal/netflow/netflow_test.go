@@ -1,0 +1,351 @@
+package netflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"crossborder/internal/dns"
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+)
+
+var (
+	boot = time.Date(2018, 4, 3, 0, 0, 0, 0, time.UTC)
+	now  = time.Date(2018, 4, 4, 12, 0, 0, 0, time.UTC)
+)
+
+func sampleRecords(n int) []Record {
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Record{
+			First: now.Add(-time.Minute), Last: now,
+			RouterID: 1, InputIf: 10, OutputIf: 20,
+			Proto: ProtoTCP, TOS: 0,
+			SrcIP: netsim.IP(0x60000000 + uint32(i)), DstIP: netsim.IP(0x10000000 + uint32(i%7)),
+			SrcPort: uint16(40000 + i), DstPort: 443,
+			Packets: uint32(i + 1), Bytes: uint32(100 * (i + 1)),
+		})
+	}
+	return out
+}
+
+func TestV9RoundTrip(t *testing.T) {
+	enc := &Encoder{SourceID: 7, Boot: boot}
+	dec := NewDecoder()
+	dec.Boot = boot
+
+	recs := sampleRecords(5)
+	tmplPkt := enc.EncodeTemplate(now)
+	if _, err := dec.Decode(tmplPkt); err != nil {
+		t.Fatalf("template decode: %v", err)
+	}
+	dataPkt, n := enc.EncodeData(now, recs)
+	if n != 5 {
+		t.Fatalf("packed %d of 5", n)
+	}
+	got, err := dec.Decode(dataPkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("decoded %d records", len(got))
+	}
+	for i, r := range got {
+		want := recs[i]
+		if r.SrcIP != want.SrcIP || r.DstIP != want.DstIP ||
+			r.SrcPort != want.SrcPort || r.DstPort != want.DstPort ||
+			r.Proto != want.Proto || r.Packets != want.Packets ||
+			r.Bytes != want.Bytes || r.InputIf != want.InputIf ||
+			r.OutputIf != want.OutputIf {
+			t.Errorf("record %d: got %+v want %+v", i, r, want)
+		}
+		if !r.First.Equal(want.First.Truncate(time.Millisecond)) {
+			t.Errorf("record %d First = %v, want %v", i, r.First, want.First)
+		}
+	}
+}
+
+func TestV9DataBeforeTemplateSkipped(t *testing.T) {
+	enc := &Encoder{SourceID: 7, Boot: boot}
+	dec := NewDecoder()
+	dataPkt, _ := enc.EncodeData(now, sampleRecords(3))
+	got, err := dec.Decode(dataPkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("decoded %d records without template", len(got))
+	}
+}
+
+func TestV9TemplatePerSource(t *testing.T) {
+	encA := &Encoder{SourceID: 1, Boot: boot}
+	encB := &Encoder{SourceID: 2, Boot: boot}
+	dec := NewDecoder()
+	if _, err := dec.Decode(encA.EncodeTemplate(now)); err != nil {
+		t.Fatal(err)
+	}
+	// Source B's data must not decode with source A's template.
+	pkt, _ := encB.EncodeData(now, sampleRecords(2))
+	got, _ := dec.Decode(pkt)
+	if len(got) != 0 {
+		t.Error("template leaked across source IDs")
+	}
+}
+
+func TestV9Errors(t *testing.T) {
+	dec := NewDecoder()
+	if _, err := dec.Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("short packet must error")
+	}
+	bad := make([]byte, 20)
+	bad[1] = 5 // version 5
+	if _, err := dec.Decode(bad); err == nil {
+		t.Error("wrong version must error")
+	}
+	// Corrupt flowset length.
+	enc := &Encoder{SourceID: 7, Boot: boot}
+	pkt := enc.EncodeTemplate(now)
+	pkt[22] = 0xFF
+	pkt[23] = 0xFF
+	if _, err := dec.Decode(pkt); err == nil {
+		t.Error("bad flowset length must error")
+	}
+}
+
+func TestV9PacketSizeLimit(t *testing.T) {
+	enc := &Encoder{SourceID: 7, Boot: boot}
+	recs := sampleRecords(3000)
+	pkt, n := enc.EncodeData(now, recs)
+	if n >= 3000 {
+		t.Errorf("packed %d records; 64KB limit must cap it", n)
+	}
+	if len(pkt) > 65507 {
+		t.Errorf("packet %d bytes exceeds UDP maximum", len(pkt))
+	}
+	dec := NewDecoder()
+	dec.Decode(enc.EncodeTemplate(now))
+	got, err := dec.Decode(pkt)
+	if err != nil || len(got) != n {
+		t.Errorf("decoded %d of %d, err=%v", len(got), n, err)
+	}
+}
+
+func TestV9RoundTripProperty(t *testing.T) {
+	enc := &Encoder{SourceID: 9, Boot: boot}
+	dec := NewDecoder()
+	dec.Boot = boot
+	dec.Decode(enc.EncodeTemplate(now))
+	f := func(src, dst uint32, sp, dp uint16, pkts uint32) bool {
+		rec := Record{
+			First: now, Last: now,
+			InputIf: 1, OutputIf: 2, Proto: ProtoUDP,
+			SrcIP: netsim.IP(src), DstIP: netsim.IP(dst),
+			SrcPort: sp, DstPort: dp, Packets: pkts, Bytes: pkts * 100,
+		}
+		pkt, n := enc.EncodeData(now, []Record{rec})
+		if n != 1 {
+			return false
+		}
+		got, err := dec.Decode(pkt)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		g := got[0]
+		return g.SrcIP == rec.SrcIP && g.DstIP == rec.DstIP &&
+			g.SrcPort == rec.SrcPort && g.DstPort == rec.DstPort &&
+			g.Packets == rec.Packets && g.Bytes == rec.Bytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowKey(t *testing.T) {
+	r := sampleRecords(1)[0]
+	k := r.Key()
+	if k.Reverse().Reverse() != k {
+		t.Error("double reverse must be identity")
+	}
+	if k.FastHash() != k.Reverse().FastHash() {
+		t.Error("FastHash must be symmetric")
+	}
+	m := map[FlowKey]int{k: 1}
+	if m[r.Key()] != 1 {
+		t.Error("FlowKey not usable as map key")
+	}
+}
+
+func TestIsWeb(t *testing.T) {
+	web := Record{Proto: ProtoTCP, DstPort: 443}
+	if !web.IsWeb() {
+		t.Error("tcp/443 must be web")
+	}
+	quic := Record{Proto: ProtoUDP, DstPort: 443}
+	if !quic.IsWeb() {
+		t.Error("udp/443 (QUIC) must be web")
+	}
+	rev := Record{Proto: ProtoTCP, SrcPort: 80, DstPort: 50000}
+	if !rev.IsWeb() {
+		t.Error("return direction must be web")
+	}
+	ssh := Record{Proto: ProtoTCP, DstPort: 22}
+	if ssh.IsWeb() {
+		t.Error("tcp/22 must not be web")
+	}
+	icmp := Record{Proto: 1, DstPort: 443}
+	if icmp.IsWeb() {
+		t.Error("icmp must not be web")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	s := &Sampler{N: 100}
+	kept := 0
+	for i := 0; i < 100000; i++ {
+		if s.Sample() {
+			kept++
+		}
+	}
+	if kept != 1000 {
+		t.Errorf("kept %d of 100000 at 1:100", kept)
+	}
+	all := &Sampler{N: 1}
+	if !all.Sample() || !all.Sample() {
+		t.Error("N<=1 must keep everything")
+	}
+}
+
+func TestScan(t *testing.T) {
+	recs := sampleRecords(20)
+	// Mark IPs 0x10000000..0x10000002 as trackers.
+	match := func(ip netsim.IP, _ time.Time) bool {
+		return ip >= 0x10000000 && ip <= 0x10000002
+	}
+	res := Scan(recs, map[uint16]bool{10: true}, match)
+	if res.Records != 20 || res.WebRecords != 20 {
+		t.Fatalf("records=%d web=%d", res.Records, res.WebRecords)
+	}
+	// i%7 in {0,1,2} -> 3 of every 7 records.
+	if res.Tracking != 9 {
+		t.Errorf("tracking = %d, want 9", res.Tracking)
+	}
+	if res.Encrypted != res.Tracking {
+		t.Errorf("all sample flows are 443; encrypted=%d", res.Encrypted)
+	}
+	// Interface filter: nothing on user ifaces.
+	res2 := Scan(recs, map[uint16]bool{99: true}, match)
+	if res2.Records != 0 {
+		t.Error("interface filter leaked records")
+	}
+	// Reverse-direction match.
+	rev := []Record{{Proto: ProtoTCP, SrcIP: 0x10000001, SrcPort: 443, DstIP: 0x60000001, DstPort: 55555, InputIf: 10}}
+	res3 := Scan(rev, map[uint16]bool{10: true}, match)
+	if res3.Tracking != 1 {
+		t.Error("server-to-user direction must match")
+	}
+}
+
+func TestDefaultISPs(t *testing.T) {
+	isps := DefaultISPs()
+	if len(isps) != 4 {
+		t.Fatalf("ISPs = %d, want 4 (Table 7)", len(isps))
+	}
+	names := map[string]ISPProfile{}
+	for _, p := range isps {
+		names[p.Name] = p
+	}
+	if names["DE-Broadband"].SubscribersM != 15 || names["DE-Mobile"].SubscribersM != 40 {
+		t.Error("German subscriber counts wrong")
+	}
+	if !names["DE-Mobile"].Mobile || !names["HU"].Mobile {
+		t.Error("mobile flags wrong")
+	}
+	if names["DE-Broadband"].ThirdPartyDNSShare <= names["DE-Mobile"].ThirdPartyDNSShare {
+		t.Error("broadband must have higher third-party DNS share (§7.3)")
+	}
+}
+
+func synthRig(t *testing.T) (*dns.Server, []FQDNWeight) {
+	t.Helper()
+	start := time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2018, 8, 1, 0, 0, 0, 0, time.UTC)
+	srv := dns.NewServer(nil)
+	sv := func(ip uint32, c string) dns.ServerIP {
+		return dns.ServerIP{IP: netsim.IP(ip), Country: geodata.Country(c), From: start, To: end}
+	}
+	// A tracker with DE + US presence and one US-only tracker.
+	srv.Register("t1.example.com", "t1", dns.PolicyNearest, time.Minute, []dns.ServerIP{
+		sv(0x10000001, "DE"), sv(0x10000002, "US"),
+	})
+	srv.Register("t2.example.com", "t2", dns.PolicyNearest, time.Minute, []dns.ServerIP{
+		sv(0x10000003, "US"),
+	})
+	return srv, []FQDNWeight{{FQDN: "t1.example.com", Weight: 3}, {FQDN: "t2.example.com", Weight: 1}}
+}
+
+func TestSynthesize(t *testing.T) {
+	srv, fqdns := synthRig(t)
+	s := &Synthesizer{Resolver: srv}
+	isp := ISPProfile{Name: "DE-Test", Country: "DE", DailySampledFlowsM: 0.01, ThirdPartyDNSShare: 0.3}
+	day := s.Synthesize(rand.New(rand.NewSource(1)), isp, now, fqdns)
+
+	if day.SampledFlows == 0 {
+		t.Fatal("no flows")
+	}
+	var sum int64
+	for _, n := range day.PerIP {
+		sum += n
+	}
+	if sum != day.SampledFlows {
+		t.Errorf("PerIP sum %d != SampledFlows %d", sum, day.SampledFlows)
+	}
+	// t1's German users get the DE server through the carrier resolver;
+	// the US-only t2 always leaks.
+	de := day.PerIP[0x10000001]
+	usT1 := day.PerIP[0x10000002]
+	if de == 0 {
+		t.Error("no flows to the DE server")
+	}
+	if de <= usT1 {
+		t.Errorf("DE server (%d) must dominate t1's US server (%d) for a German ISP", de, usT1)
+	}
+	if day.PerIP[0x10000003] == 0 {
+		t.Error("US-only tracker must still receive flows")
+	}
+	// Budget split ~3:1 between t1 and t2.
+	t1 := de + usT1
+	t2 := day.PerIP[0x10000003]
+	ratio := float64(t1) / float64(t2)
+	if ratio < 2 || ratio > 4.5 {
+		t.Errorf("t1:t2 = %.2f, want ~3", ratio)
+	}
+}
+
+func TestSynthesizeMobileVsBroadband(t *testing.T) {
+	srv, fqdns := synthRig(t)
+	s := &Synthesizer{Resolver: srv, ResolutionSamples: 50}
+	rng := rand.New(rand.NewSource(2))
+	mobile := s.Synthesize(rng, ISPProfile{Name: "m", Country: "DE", DailySampledFlowsM: 0.01, ThirdPartyDNSShare: 0.05}, now, fqdns)
+	broadband := s.Synthesize(rng, ISPProfile{Name: "b", Country: "DE", DailySampledFlowsM: 0.01, ThirdPartyDNSShare: 0.40}, now, fqdns)
+	confinement := func(d DaySynthesis) float64 {
+		return float64(d.PerIP[0x10000001]) / float64(d.PerIP[0x10000001]+d.PerIP[0x10000002])
+	}
+	if confinement(mobile) <= confinement(broadband) {
+		t.Errorf("mobile confinement %.3f must exceed broadband %.3f (§7.3)",
+			confinement(mobile), confinement(broadband))
+	}
+}
+
+func TestTopIPs(t *testing.T) {
+	d := DaySynthesis{PerIP: map[netsim.IP]int64{1: 10, 2: 30, 3: 20}}
+	top := d.TopIPs(2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 3 {
+		t.Errorf("TopIPs = %v", top)
+	}
+	if got := d.TopIPs(10); len(got) != 3 {
+		t.Errorf("TopIPs(10) = %v", got)
+	}
+}

@@ -1,0 +1,162 @@
+package netflow
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Exporter ships flow records to a collector over UDP, the way edge
+// routers export NetFlow v9 in production: templates re-sent periodically,
+// data packets filled up to the UDP limit.
+type Exporter struct {
+	conn net.Conn
+	enc  Encoder
+	// TemplateEvery re-sends the template after this many data packets
+	// (default 20; v9 collectors must tolerate data before template).
+	TemplateEvery int
+
+	mu          sync.Mutex
+	sinceTmpl   int
+	sentPackets int64
+	sentRecords int64
+}
+
+// NewExporter dials the collector address (e.g. "127.0.0.1:2055").
+func NewExporter(addr string, sourceID uint32, boot time.Time) (*Exporter, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netflow: dial collector: %w", err)
+	}
+	return &Exporter{
+		conn:          conn,
+		enc:           Encoder{SourceID: sourceID, Boot: boot},
+		TemplateEvery: 20,
+	}, nil
+}
+
+// Export sends the records, chunked into maximal UDP packets, re-sending
+// the template as configured. It returns the number of packets sent.
+func (e *Exporter) Export(now time.Time, records []Record) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	packets := 0
+	send := func(pkt []byte) error {
+		if _, err := e.conn.Write(pkt); err != nil {
+			return fmt.Errorf("netflow: export: %w", err)
+		}
+		packets++
+		e.sentPackets++
+		return nil
+	}
+	if e.sinceTmpl == 0 {
+		if err := send(e.enc.EncodeTemplate(now)); err != nil {
+			return packets, err
+		}
+	}
+	for len(records) > 0 {
+		pkt, n := e.enc.EncodeData(now, records)
+		if err := send(pkt); err != nil {
+			return packets, err
+		}
+		e.sentRecords += int64(n)
+		records = records[n:]
+		e.sinceTmpl++
+		if e.TemplateEvery > 0 && e.sinceTmpl >= e.TemplateEvery {
+			e.sinceTmpl = 0
+			if err := send(e.enc.EncodeTemplate(now)); err != nil {
+				return packets, err
+			}
+		}
+	}
+	return packets, nil
+}
+
+// Stats returns packets and records sent so far.
+func (e *Exporter) Stats() (packets, records int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sentPackets, e.sentRecords
+}
+
+// Close releases the socket.
+func (e *Exporter) Close() error { return e.conn.Close() }
+
+// Collector receives v9 export packets on a UDP socket and hands decoded
+// records to a handler. One goroutine reads; the handler runs on it, so a
+// slow handler backpressures into the socket buffer like a real collector.
+type Collector struct {
+	pc      net.PacketConn
+	dec     *Decoder
+	handler func([]Record)
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	// DecodeErrors counts malformed packets (dropped, like production
+	// collectors do).
+	decodeErrors int64
+}
+
+// NewCollector listens on addr ("127.0.0.1:0" picks a free port) and
+// starts the receive loop. boot must match the exporters' boot for
+// timestamp reconstruction (zero disables it).
+func NewCollector(addr string, boot time.Time, handler func([]Record)) (*Collector, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netflow: listen: %w", err)
+	}
+	dec := NewDecoder()
+	dec.Boot = boot
+	c := &Collector{pc: pc, dec: dec, handler: handler}
+	c.wg.Add(1)
+	go c.loop()
+	return c, nil
+}
+
+// Addr returns the bound address, for exporters to dial.
+func (c *Collector) Addr() string { return c.pc.LocalAddr().String() }
+
+func (c *Collector) loop() {
+	defer c.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, _, err := c.pc.ReadFrom(buf)
+		if err != nil {
+			return // socket closed
+		}
+		recs, err := c.dec.Decode(buf[:n])
+		if err != nil {
+			c.mu.Lock()
+			c.decodeErrors++
+			c.mu.Unlock()
+			continue
+		}
+		if len(recs) > 0 && c.handler != nil {
+			c.handler(recs)
+		}
+	}
+}
+
+// DecodeErrors returns the count of dropped malformed packets.
+func (c *Collector) DecodeErrors() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.decodeErrors
+}
+
+// Close stops the receive loop and releases the socket. Safe to call
+// multiple times.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.pc.Close()
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,161 @@
+package netflow
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"crossborder/internal/netsim"
+)
+
+// startPair wires an exporter to a collector over loopback UDP.
+func startPair(t *testing.T, handler func([]Record)) (*Exporter, *Collector) {
+	t.Helper()
+	col, err := NewCollector("127.0.0.1:0", boot, handler)
+	if err != nil {
+		t.Skipf("UDP loopback unavailable: %v", err)
+	}
+	exp, err := NewExporter(col.Addr(), 42, boot)
+	if err != nil {
+		col.Close()
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() {
+		exp.Close()
+		col.Close()
+	})
+	return exp, col
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestUDPExportCollect(t *testing.T) {
+	var mu sync.Mutex
+	var got []Record
+	exp, col := startPair(t, func(recs []Record) {
+		mu.Lock()
+		got = append(got, recs...)
+		mu.Unlock()
+	})
+
+	recs := sampleRecords(500)
+	pkts, err := exp.Export(now, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkts < 2 {
+		t.Errorf("packets = %d, want template + data", pkts)
+	}
+	ok := waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == len(recs)
+	})
+	if !ok {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		t.Fatalf("collected %d of %d records", n, len(recs))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, r := range got {
+		if r.SrcIP != recs[i].SrcIP || r.DstIP != recs[i].DstIP || r.Packets != recs[i].Packets {
+			t.Fatalf("record %d corrupted in transit", i)
+		}
+	}
+	if col.DecodeErrors() != 0 {
+		t.Errorf("decode errors = %d", col.DecodeErrors())
+	}
+	sentPkts, sentRecs := exp.Stats()
+	if sentRecs != int64(len(recs)) || sentPkts != int64(pkts) {
+		t.Errorf("stats = %d pkts %d recs", sentPkts, sentRecs)
+	}
+}
+
+func TestUDPTemplateResend(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	exp, _ := startPair(t, func(recs []Record) {
+		mu.Lock()
+		count += len(recs)
+		mu.Unlock()
+	})
+	exp.TemplateEvery = 2
+
+	// Many small exports force periodic template re-sends.
+	for i := 0; i < 10; i++ {
+		if _, err := exp.Export(now, sampleRecords(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return count == 30
+	}) {
+		t.Fatalf("collected %d of 30", count)
+	}
+}
+
+func TestUDPCollectorDropsGarbage(t *testing.T) {
+	exp, col := startPair(t, nil)
+	// Send garbage straight down the exporter's socket.
+	if _, err := exp.conn.Write([]byte{0, 5, 0, 0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return col.DecodeErrors() == 1 }) {
+		t.Errorf("decode errors = %d, want 1", col.DecodeErrors())
+	}
+}
+
+func TestUDPCollectorCloseIdempotent(t *testing.T) {
+	_, col := startPair(t, nil)
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestUDPScanIntegration(t *testing.T) {
+	// End-to-end: export records, collect them, scan against a matcher.
+	var mu sync.Mutex
+	var collected []Record
+	exp, _ := startPair(t, func(recs []Record) {
+		mu.Lock()
+		collected = append(collected, recs...)
+		mu.Unlock()
+	})
+	recs := sampleRecords(70)
+	if _, err := exp.Export(now, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(collected) == len(recs)
+	}) {
+		t.Fatal("records did not arrive")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	res := Scan(collected, map[uint16]bool{10: true}, func(ip netsim.IP, _ time.Time) bool {
+		return ip >= 0x10000000 && ip <= 0x10000003
+	})
+	if res.Tracking == 0 {
+		t.Error("scan found no tracking flows after transport")
+	}
+}

@@ -1,0 +1,267 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"crossborder/internal/netsim"
+)
+
+// NetFlow v9 (RFC 3954) wire format, restricted to the fields the study
+// consumes. One template describes the record layout; data flowsets carry
+// packed records.
+
+// V9Version is the version field of every export packet.
+const V9Version = 9
+
+// Field type numbers from RFC 3954.
+const (
+	fieldInBytes   = 1
+	fieldInPkts    = 2
+	fieldProtocol  = 4
+	fieldTOS       = 5
+	fieldL4SrcPort = 7
+	fieldIPv4Src   = 8
+	fieldInputSNMP = 10
+	fieldL4DstPort = 11
+	fieldIPv4Dst   = 12
+	fieldOutSNMP   = 14
+	fieldLastSw    = 21
+	fieldFirstSw   = 22
+)
+
+// TemplateID is the template used for all exported records.
+const TemplateID = 260
+
+// templateFields is the (type, length) layout of our record template.
+var templateFields = [][2]uint16{
+	{fieldIPv4Src, 4},
+	{fieldIPv4Dst, 4},
+	{fieldL4SrcPort, 2},
+	{fieldL4DstPort, 2},
+	{fieldProtocol, 1},
+	{fieldTOS, 1},
+	{fieldInputSNMP, 2},
+	{fieldOutSNMP, 2},
+	{fieldInPkts, 4},
+	{fieldInBytes, 4},
+	{fieldFirstSw, 4},
+	{fieldLastSw, 4},
+}
+
+// recordWireSize is the packed size of one record.
+const recordWireSize = 4 + 4 + 2 + 2 + 1 + 1 + 2 + 2 + 4 + 4 + 4 + 4 // 34
+
+// Encoder packs flow records into v9 export packets.
+type Encoder struct {
+	SourceID uint32
+	// Boot anchors sysUptime and the FIRST/LAST_SWITCHED fields.
+	Boot time.Time
+	seq  uint32
+}
+
+// EncodeTemplate builds a packet carrying only the template flowset.
+// Collectors must see it before they can decode data packets.
+func (e *Encoder) EncodeTemplate(now time.Time) []byte {
+	body := make([]byte, 0, 8+4*len(templateFields))
+	body = be16(body, 0) // flowset id 0 = template
+	body = be16(body, uint16(8+4*len(templateFields)))
+	body = be16(body, TemplateID)
+	body = be16(body, uint16(len(templateFields)))
+	for _, f := range templateFields {
+		body = be16(body, f[0])
+		body = be16(body, f[1])
+	}
+	return e.packet(now, 0, body)
+}
+
+// EncodeData builds one packet carrying up to len(records) records; it
+// returns the packet and how many records were packed (bounded by the
+// 64KB packet limit).
+func (e *Encoder) EncodeData(now time.Time, records []Record) ([]byte, int) {
+	maxRecords := (65000 - 20 - 4) / recordWireSize
+	n := len(records)
+	if n > maxRecords {
+		n = maxRecords
+	}
+	length := 4 + n*recordWireSize
+	pad := (4 - length%4) % 4
+	body := make([]byte, 0, length+pad)
+	body = be16(body, TemplateID)
+	body = be16(body, uint16(length+pad))
+	for _, r := range records[:n] {
+		body = be32(body, uint32(r.SrcIP))
+		body = be32(body, uint32(r.DstIP))
+		body = be16(body, r.SrcPort)
+		body = be16(body, r.DstPort)
+		body = append(body, r.Proto, r.TOS)
+		body = be16(body, r.InputIf)
+		body = be16(body, r.OutputIf)
+		body = be32(body, r.Packets)
+		body = be32(body, r.Bytes)
+		body = be32(body, e.uptimeMs(r.First))
+		body = be32(body, e.uptimeMs(r.Last))
+	}
+	for i := 0; i < pad; i++ {
+		body = append(body, 0)
+	}
+	return e.packet(now, uint16(n), body), n
+}
+
+func (e *Encoder) uptimeMs(t time.Time) uint32 {
+	if e.Boot.IsZero() || t.Before(e.Boot) {
+		return 0
+	}
+	return uint32(t.Sub(e.Boot) / time.Millisecond)
+}
+
+// packet wraps a flowset body with the v9 header.
+func (e *Encoder) packet(now time.Time, count uint16, body []byte) []byte {
+	e.seq++
+	out := make([]byte, 0, 20+len(body))
+	out = be16(out, V9Version)
+	out = be16(out, count)
+	out = be32(out, e.uptimeMs(now))
+	out = be32(out, uint32(now.Unix()))
+	out = be32(out, e.seq)
+	out = be32(out, e.SourceID)
+	return append(out, body...)
+}
+
+func be16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+func be32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Decoder parses v9 export packets, caching templates per source.
+type Decoder struct {
+	// templates maps (sourceID, templateID) to the field layout.
+	templates map[[2]uint32][][2]uint16
+	// Boot mirrors the exporter's boot time to reconstruct timestamps;
+	// zero leaves First/Last at the packet export time.
+	Boot time.Time
+}
+
+// NewDecoder returns an empty decoder.
+func NewDecoder() *Decoder {
+	return &Decoder{templates: make(map[[2]uint32][][2]uint16)}
+}
+
+// Decode parses one export packet, returning the flow records of every
+// data flowset whose template is known. Unknown-template flowsets are
+// skipped silently (the v9 contract: templates arrive periodically).
+func (d *Decoder) Decode(pkt []byte) ([]Record, error) {
+	if len(pkt) < 20 {
+		return nil, fmt.Errorf("netflow: packet too short (%d bytes)", len(pkt))
+	}
+	if binary.BigEndian.Uint16(pkt[0:2]) != V9Version {
+		return nil, fmt.Errorf("netflow: version %d, want 9", binary.BigEndian.Uint16(pkt[0:2]))
+	}
+	exportUnix := binary.BigEndian.Uint32(pkt[8:12])
+	sourceID := binary.BigEndian.Uint32(pkt[16:20])
+	var out []Record
+
+	off := 20
+	for off+4 <= len(pkt) {
+		setID := binary.BigEndian.Uint16(pkt[off : off+2])
+		setLen := int(binary.BigEndian.Uint16(pkt[off+2 : off+4]))
+		if setLen < 4 || off+setLen > len(pkt) {
+			return out, fmt.Errorf("netflow: bad flowset length %d at offset %d", setLen, off)
+		}
+		body := pkt[off+4 : off+setLen]
+		switch {
+		case setID == 0:
+			if err := d.parseTemplates(sourceID, body); err != nil {
+				return out, err
+			}
+		case setID >= 256:
+			recs, err := d.parseData(sourceID, uint32(setID), body, exportUnix)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, recs...)
+		}
+		off += setLen
+	}
+	return out, nil
+}
+
+func (d *Decoder) parseTemplates(sourceID uint32, body []byte) error {
+	off := 0
+	for off+4 <= len(body) {
+		tid := binary.BigEndian.Uint16(body[off : off+2])
+		fieldCount := int(binary.BigEndian.Uint16(body[off+2 : off+4]))
+		off += 4
+		if off+4*fieldCount > len(body) {
+			return fmt.Errorf("netflow: truncated template %d", tid)
+		}
+		fields := make([][2]uint16, 0, fieldCount)
+		for i := 0; i < fieldCount; i++ {
+			fields = append(fields, [2]uint16{
+				binary.BigEndian.Uint16(body[off : off+2]),
+				binary.BigEndian.Uint16(body[off+2 : off+4]),
+			})
+			off += 4
+		}
+		d.templates[[2]uint32{sourceID, uint32(tid)}] = fields
+	}
+	return nil
+}
+
+func (d *Decoder) parseData(sourceID, tid uint32, body []byte, exportUnix uint32) ([]Record, error) {
+	fields, ok := d.templates[[2]uint32{sourceID, tid}]
+	if !ok {
+		return nil, nil // template not yet seen
+	}
+	recSize := 0
+	for _, f := range fields {
+		recSize += int(f[1])
+	}
+	if recSize == 0 {
+		return nil, fmt.Errorf("netflow: zero-size template %d", tid)
+	}
+	var out []Record
+	exportTime := time.Unix(int64(exportUnix), 0).UTC()
+	for off := 0; off+recSize <= len(body); off += recSize {
+		var r Record
+		r.First, r.Last = exportTime, exportTime
+		p := off
+		for _, f := range fields {
+			v := body[p : p+int(f[1])]
+			switch f[0] {
+			case fieldIPv4Src:
+				r.SrcIP = netsim.IP(binary.BigEndian.Uint32(v))
+			case fieldIPv4Dst:
+				r.DstIP = netsim.IP(binary.BigEndian.Uint32(v))
+			case fieldL4SrcPort:
+				r.SrcPort = binary.BigEndian.Uint16(v)
+			case fieldL4DstPort:
+				r.DstPort = binary.BigEndian.Uint16(v)
+			case fieldProtocol:
+				r.Proto = v[0]
+			case fieldTOS:
+				r.TOS = v[0]
+			case fieldInputSNMP:
+				r.InputIf = binary.BigEndian.Uint16(v)
+			case fieldOutSNMP:
+				r.OutputIf = binary.BigEndian.Uint16(v)
+			case fieldInPkts:
+				r.Packets = binary.BigEndian.Uint32(v)
+			case fieldInBytes:
+				r.Bytes = binary.BigEndian.Uint32(v)
+			case fieldFirstSw:
+				if !d.Boot.IsZero() {
+					r.First = d.Boot.Add(time.Duration(binary.BigEndian.Uint32(v)) * time.Millisecond)
+				}
+			case fieldLastSw:
+				if !d.Boot.IsZero() {
+					r.Last = d.Boot.Add(time.Duration(binary.BigEndian.Uint32(v)) * time.Millisecond)
+				}
+			}
+			p += int(f[1])
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+// Package netsim provides the synthetic network substrate underneath the
+// reproduction: a registry of organizations (tracking companies, ad
+// exchanges, CDNs), the datacenters they deploy servers in, a synthetic
+// IPv4 address space carved into per-deployment blocks, ground-truth
+// IP-to-location mapping, and a great-circle RTT model used by the active
+// geolocation simulator.
+//
+// The paper's measurements ride on real IPs owned by real companies; here
+// every IP is allocated from a private synthetic space but keeps the
+// properties that matter: each IP belongs to exactly one organization and
+// one physical datacenter, organizations span many countries, and some IPs
+// (ad exchanges) serve many domains while most serve one.
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IP is an IPv4 address held as a big-endian uint32. It is a comparable
+// value type usable as a map key, following the gopacket Endpoint idiom.
+type IP uint32
+
+// String formats the address in dotted-quad notation.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// ParseIP parses dotted-quad notation. It returns an error for anything
+// that is not exactly four dot-separated octets in range.
+func ParseIP(s string) (IP, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netsim: invalid IPv4 %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("netsim: invalid IPv4 octet %q in %q", p, s)
+		}
+		ip = ip<<8 | uint32(n)
+	}
+	return IP(ip), nil
+}
+
+// Block is a CIDR block: the base address and prefix length.
+type Block struct {
+	Base      IP
+	PrefixLen int
+}
+
+// Size returns the number of addresses in the block.
+func (b Block) Size() uint32 {
+	if b.PrefixLen < 0 || b.PrefixLen > 32 {
+		return 0
+	}
+	return 1 << (32 - b.PrefixLen)
+}
+
+// Contains reports whether ip falls inside the block.
+func (b Block) Contains(ip IP) bool {
+	if b.PrefixLen < 0 || b.PrefixLen > 32 {
+		return false
+	}
+	mask := ^uint32(0) << (32 - b.PrefixLen)
+	if b.PrefixLen == 0 {
+		mask = 0
+	}
+	return uint32(b.Base)&mask == uint32(ip)&mask
+}
+
+// Nth returns the i-th address of the block. It panics if i is out of range.
+func (b Block) Nth(i uint32) IP {
+	if i >= b.Size() {
+		panic(fmt.Sprintf("netsim: address %d out of range for /%d", i, b.PrefixLen))
+	}
+	return b.Base + IP(i)
+}
+
+// String formats the block in CIDR notation.
+func (b Block) String() string {
+	return fmt.Sprintf("%s/%d", b.Base, b.PrefixLen)
+}
+
+// FastHash returns a well-mixed hash of the IP, suitable for sharding.
+func (ip IP) FastHash() uint64 {
+	// SplitMix64 finalizer over the 32-bit value.
+	x := uint64(ip) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

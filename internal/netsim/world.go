@@ -1,0 +1,214 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"crossborder/internal/geodata"
+)
+
+// OrgKind classifies organizations the way the analysis cares about them.
+type OrgKind uint8
+
+const (
+	// KindMajorAdTech is a large advertising + tracking company with a
+	// global server footprint (the paper's Google/Amazon/Facebook tier).
+	KindMajorAdTech OrgKind = iota
+	// KindAdTech is a mid-size ad network, DSP, SSP or DMP.
+	KindAdTech
+	// KindExchange operates ad-exchange / cookie-sync endpoints whose IPs
+	// serve many domains (the Fig 5 population).
+	KindExchange
+	// KindCDN serves static, non-tracking content.
+	KindCDN
+	// KindWidget provides non-tracking third-party services: live chat,
+	// commenting, fonts, video embeds.
+	KindWidget
+	// KindHoster is a national hosting company (used for publishers).
+	KindHoster
+)
+
+func (k OrgKind) String() string {
+	switch k {
+	case KindMajorAdTech:
+		return "major-adtech"
+	case KindAdTech:
+		return "adtech"
+	case KindExchange:
+		return "exchange"
+	case KindCDN:
+		return "cdn"
+	case KindWidget:
+		return "widget"
+	case KindHoster:
+		return "hoster"
+	default:
+		return fmt.Sprintf("OrgKind(%d)", uint8(k))
+	}
+}
+
+// IsTracking reports whether flows to this kind of organization are ad or
+// tracking related (ground truth used to score the classifier).
+func (k OrgKind) IsTracking() bool {
+	switch k {
+	case KindMajorAdTech, KindAdTech, KindExchange:
+		return true
+	}
+	return false
+}
+
+// Org is an organization owning server deployments.
+type Org struct {
+	Name string
+	Kind OrgKind
+	// HQ is the country of the legal entity. Commercial geolocation
+	// databases tend to geolocate all the org's infrastructure here.
+	HQ geodata.Country
+	// Clouds lists the public cloud providers this org leases servers
+	// from (empty means own facilities only). Drives §5.2 PoP mirroring.
+	Clouds []geodata.CloudProvider
+	// deployments are indices into World.deployments.
+	deployments []int
+}
+
+// Deployment is a pool of servers of one org in one datacenter.
+type Deployment struct {
+	Org      *Org
+	Country  geodata.Country
+	Provider geodata.CloudProvider // "" when the org uses its own facility
+	Block    Block
+}
+
+// World is the registry tying orgs, deployments and the IP space together.
+// Build one with NewWorld, register orgs and deployments, then treat it as
+// read-only; lookups are safe for concurrent use after construction.
+type World struct {
+	orgs      map[string]*Org
+	orgList   []*Org
+	deploys   []Deployment
+	nextBase  uint32
+	ipIndex   []ipRange // sorted by base, for LocateIP
+	eyeballs  map[geodata.Country]Block
+	nextEyeID uint32
+}
+
+type ipRange struct {
+	block  Block
+	deploy int
+}
+
+// NewWorld returns an empty world. Server blocks are carved from
+// 16.0.0.0/4-ish synthetic space upward; eyeball blocks from 96.0.0.0.
+func NewWorld() *World {
+	return &World{
+		orgs:      make(map[string]*Org),
+		nextBase:  0x10000000, // 16.0.0.0
+		eyeballs:  make(map[geodata.Country]Block),
+		nextEyeID: 0x60000000, // 96.0.0.0
+	}
+}
+
+// AddOrg registers an organization. It panics on duplicate names: the
+// scenario builder is the only caller and duplicates are programming bugs.
+func (w *World) AddOrg(name string, kind OrgKind, hq geodata.Country, clouds ...geodata.CloudProvider) *Org {
+	if _, dup := w.orgs[name]; dup {
+		panic("netsim: duplicate org " + name)
+	}
+	o := &Org{Name: name, Kind: kind, HQ: hq, Clouds: clouds}
+	w.orgs[name] = o
+	w.orgList = append(w.orgList, o)
+	return o
+}
+
+// Org returns a registered organization, or nil.
+func (w *World) Org(name string) *Org { return w.orgs[name] }
+
+// Orgs returns all organizations in registration order.
+func (w *World) Orgs() []*Org { return w.orgList }
+
+// Deploy allocates a server block of 2^(32-prefixLen) addresses for org in
+// the given country. provider is empty for own facilities.
+func (w *World) Deploy(org *Org, country geodata.Country, provider geodata.CloudProvider, prefixLen int) Deployment {
+	if org == nil {
+		panic("netsim: Deploy on nil org")
+	}
+	if prefixLen < 16 || prefixLen > 30 {
+		panic(fmt.Sprintf("netsim: deployment prefix /%d out of supported range", prefixLen))
+	}
+	size := uint32(1) << (32 - prefixLen)
+	// Align the base to the block size.
+	base := (w.nextBase + size - 1) &^ (size - 1)
+	w.nextBase = base + size
+	d := Deployment{Org: org, Country: country, Provider: provider, Block: Block{Base: IP(base), PrefixLen: prefixLen}}
+	idx := len(w.deploys)
+	w.deploys = append(w.deploys, d)
+	org.deployments = append(org.deployments, idx)
+	w.ipIndex = append(w.ipIndex, ipRange{block: d.Block, deploy: idx})
+	return d
+}
+
+// Deployments returns the org's deployments in creation order.
+func (w *World) Deployments(org *Org) []Deployment {
+	out := make([]Deployment, 0, len(org.deployments))
+	for _, i := range org.deployments {
+		out = append(out, w.deploys[i])
+	}
+	return out
+}
+
+// AllDeployments returns every deployment in creation order.
+func (w *World) AllDeployments() []Deployment {
+	out := make([]Deployment, len(w.deploys))
+	copy(out, w.deploys)
+	return out
+}
+
+// sortIndex must be called once after all deployments are registered and
+// before LocateIP; the scenario builder calls Freeze.
+func (w *World) sortIndex() {
+	sort.Slice(w.ipIndex, func(i, j int) bool {
+		return w.ipIndex[i].block.Base < w.ipIndex[j].block.Base
+	})
+}
+
+// Freeze finalizes the world for lookups. Further Deploy calls after
+// Freeze require another Freeze before LocateIP sees them.
+func (w *World) Freeze() { w.sortIndex() }
+
+// LocateIP returns the deployment owning ip, with ground-truth location.
+func (w *World) LocateIP(ip IP) (Deployment, bool) {
+	i := sort.Search(len(w.ipIndex), func(i int) bool {
+		return w.ipIndex[i].block.Base > ip
+	})
+	if i == 0 {
+		return Deployment{}, false
+	}
+	r := w.ipIndex[i-1]
+	if !r.block.Contains(ip) {
+		return Deployment{}, false
+	}
+	return w.deploys[r.deploy], true
+}
+
+// EyeballBlock returns (allocating on first use) the per-country address
+// block that simulated end users draw their source addresses from.
+func (w *World) EyeballBlock(country geodata.Country) Block {
+	if b, ok := w.eyeballs[country]; ok {
+		return b
+	}
+	b := Block{Base: IP(w.nextEyeID), PrefixLen: 16}
+	w.nextEyeID += 1 << 16
+	w.eyeballs[country] = b
+	return b
+}
+
+// EyeballCountry returns the country of an eyeball IP, or "" if the IP is
+// not from any eyeball block.
+func (w *World) EyeballCountry(ip IP) geodata.Country {
+	for c, b := range w.eyeballs {
+		if b.Contains(ip) {
+			return c
+		}
+	}
+	return ""
+}

@@ -1,0 +1,156 @@
+// Package pdns implements a passive DNS replication database in the style
+// of Robtex/Weimer: it ingests observed (name, address, time) resolutions
+// and answers forward queries (which IPs served a name, and when) and
+// reverse queries (which names an IP served, and when). The paper (§3.3)
+// uses such a database to complete the tracker IP inventory beyond what
+// the extension users' own resolutions revealed, and to bound the activity
+// window of every (domain, IP) pair.
+package pdns
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"crossborder/internal/netsim"
+)
+
+// Record is one (name, IP) association with its observed activity window.
+type Record struct {
+	FQDN      string
+	IP        netsim.IP
+	FirstSeen time.Time
+	LastSeen  time.Time
+	// Count is the number of observations merged into this record.
+	Count int64
+}
+
+// ActiveAt reports whether the record's window covers t.
+func (r Record) ActiveAt(t time.Time) bool {
+	return !t.Before(r.FirstSeen) && !t.After(r.LastSeen)
+}
+
+// Overlaps reports whether the record's window intersects [from, to].
+func (r Record) Overlaps(from, to time.Time) bool {
+	return !r.LastSeen.Before(from) && !r.FirstSeen.After(to)
+}
+
+type pairKey struct {
+	fqdn string
+	ip   netsim.IP
+}
+
+// DB is the passive DNS store. It is safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	pairs   map[pairKey]*Record
+	forward map[string][]*Record    // fqdn -> records
+	reverse map[netsim.IP][]*Record // ip -> records
+}
+
+// NewDB returns an empty passive DNS database.
+func NewDB() *DB {
+	return &DB{
+		pairs:   make(map[pairKey]*Record),
+		forward: make(map[string][]*Record),
+		reverse: make(map[netsim.IP][]*Record),
+	}
+}
+
+// Observe ingests one resolution. Repeated observations of the same
+// (name, IP) pair widen the record's activity window.
+func (db *DB) Observe(fqdn string, ip netsim.IP, at time.Time) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := pairKey{fqdn, ip}
+	if r, ok := db.pairs[k]; ok {
+		if at.Before(r.FirstSeen) {
+			r.FirstSeen = at
+		}
+		if at.After(r.LastSeen) {
+			r.LastSeen = at
+		}
+		r.Count++
+		return
+	}
+	r := &Record{FQDN: fqdn, IP: ip, FirstSeen: at, LastSeen: at, Count: 1}
+	db.pairs[k] = r
+	db.forward[fqdn] = append(db.forward[fqdn], r)
+	db.reverse[ip] = append(db.reverse[ip], r)
+}
+
+// ObserveWindow ingests a record whose activity window is known outright
+// (e.g. a bulk import from a replication feed).
+func (db *DB) ObserveWindow(fqdn string, ip netsim.IP, from, to time.Time) {
+	db.Observe(fqdn, ip, from)
+	db.Observe(fqdn, ip, to)
+}
+
+// Forward returns the records for a name, sorted by IP. The records are
+// copies; mutating them does not affect the store.
+func (db *DB) Forward(fqdn string) []Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rs := db.forward[fqdn]
+	out := make([]Record, len(rs))
+	for i, r := range rs {
+		out[i] = *r
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP < out[j].IP })
+	return out
+}
+
+// Reverse returns the records for an IP, sorted by name.
+func (db *DB) Reverse(ip netsim.IP) []Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rs := db.reverse[ip]
+	out := make([]Record, len(rs))
+	for i, r := range rs {
+		out[i] = *r
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FQDN < out[j].FQDN })
+	return out
+}
+
+// Names returns every FQDN with at least one record, sorted.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.forward))
+	for f := range db.forward {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IPs returns every IP with at least one record, sorted.
+func (db *DB) IPs() []netsim.IP {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]netsim.IP, 0, len(db.reverse))
+	for ip := range db.reverse {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumRecords returns the number of distinct (name, IP) pairs.
+func (db *DB) NumRecords() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.pairs)
+}
+
+// Window returns the activity window for a (name, IP) pair.
+func (db *DB) Window(fqdn string, ip netsim.IP) (from, to time.Time, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.pairs[pairKey{fqdn, ip}]
+	if !ok {
+		return time.Time{}, time.Time{}, false
+	}
+	return r.FirstSeen, r.LastSeen, true
+}

@@ -1,0 +1,159 @@
+package pdns
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"crossborder/internal/netsim"
+)
+
+var base = time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func TestObserveAndForward(t *testing.T) {
+	db := NewDB()
+	db.Observe("a.example.com", 2, base)
+	db.Observe("a.example.com", 1, base.Add(time.Hour))
+	rs := db.Forward("a.example.com")
+	if len(rs) != 2 {
+		t.Fatalf("forward records = %d", len(rs))
+	}
+	if rs[0].IP != 1 || rs[1].IP != 2 {
+		t.Errorf("records not sorted by IP: %+v", rs)
+	}
+	if db.Forward("missing") == nil {
+		// empty slice is fine, nil is fine; just must not panic
+		_ = rs
+	}
+}
+
+func TestWindowWidening(t *testing.T) {
+	db := NewDB()
+	mid := base.Add(30 * 24 * time.Hour)
+	late := base.Add(60 * 24 * time.Hour)
+	db.Observe("a.example.com", 1, mid)
+	db.Observe("a.example.com", 1, base)
+	db.Observe("a.example.com", 1, late)
+	from, to, ok := db.Window("a.example.com", 1)
+	if !ok {
+		t.Fatal("window missing")
+	}
+	if !from.Equal(base) || !to.Equal(late) {
+		t.Errorf("window = [%v, %v]", from, to)
+	}
+	rs := db.Forward("a.example.com")
+	if rs[0].Count != 3 {
+		t.Errorf("count = %d, want 3", rs[0].Count)
+	}
+	if _, _, ok := db.Window("a.example.com", 9); ok {
+		t.Error("missing pair must report !ok")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	db := NewDB()
+	db.Observe("b.example.com", 7, base)
+	db.Observe("a.example.com", 7, base)
+	db.Observe("c.example.com", 8, base)
+	rs := db.Reverse(7)
+	if len(rs) != 2 {
+		t.Fatalf("reverse records = %d", len(rs))
+	}
+	if rs[0].FQDN != "a.example.com" || rs[1].FQDN != "b.example.com" {
+		t.Errorf("not sorted by name: %+v", rs)
+	}
+}
+
+func TestObserveWindow(t *testing.T) {
+	db := NewDB()
+	db.ObserveWindow("a.example.com", 1, base, base.Add(24*time.Hour))
+	from, to, ok := db.Window("a.example.com", 1)
+	if !ok || !from.Equal(base) || !to.Equal(base.Add(24*time.Hour)) {
+		t.Errorf("window = [%v, %v] ok=%v", from, to, ok)
+	}
+}
+
+func TestRecordActiveAtOverlaps(t *testing.T) {
+	r := Record{FirstSeen: base, LastSeen: base.Add(48 * time.Hour)}
+	if !r.ActiveAt(base) || !r.ActiveAt(base.Add(time.Hour)) || !r.ActiveAt(base.Add(48*time.Hour)) {
+		t.Error("ActiveAt inside window failed")
+	}
+	if r.ActiveAt(base.Add(-time.Second)) || r.ActiveAt(base.Add(49*time.Hour)) {
+		t.Error("ActiveAt outside window succeeded")
+	}
+	if !r.Overlaps(base.Add(-time.Hour), base.Add(time.Hour)) {
+		t.Error("Overlaps intersecting window failed")
+	}
+	if r.Overlaps(base.Add(-2*time.Hour), base.Add(-time.Hour)) {
+		t.Error("Overlaps disjoint window succeeded")
+	}
+}
+
+func TestEnumerations(t *testing.T) {
+	db := NewDB()
+	db.Observe("b.x.com", 2, base)
+	db.Observe("a.x.com", 1, base)
+	names := db.Names()
+	if len(names) != 2 || names[0] != "a.x.com" {
+		t.Errorf("Names = %v", names)
+	}
+	ips := db.IPs()
+	if len(ips) != 2 || ips[0] != 1 {
+		t.Errorf("IPs = %v", ips)
+	}
+	if db.NumRecords() != 2 {
+		t.Errorf("NumRecords = %d", db.NumRecords())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	db := NewDB()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				db.Observe(fmt.Sprintf("d%d.example.com", i%20), netsim.IP(i%10), base.Add(time.Duration(i)*time.Minute))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.NumRecords() == 0 {
+		t.Fatal("no records after concurrent load")
+	}
+	// 20 names x at most 10 IPs each, but i%20 and i%10 correlate: the
+	// exact pair count is 20 (i mod 20 determines i mod 10).
+	if db.NumRecords() != 20 {
+		t.Errorf("NumRecords = %d, want 20", db.NumRecords())
+	}
+}
+
+func TestWindowInvariant(t *testing.T) {
+	// Property: after any observation sequence, FirstSeen <= LastSeen and
+	// the window covers every observed instant.
+	f := func(offsets []int16) bool {
+		db := NewDB()
+		var min, max time.Time
+		for i, off := range offsets {
+			at := base.Add(time.Duration(off) * time.Minute)
+			db.Observe("p.example.com", 1, at)
+			if i == 0 || at.Before(min) {
+				min = at
+			}
+			if i == 0 || at.After(max) {
+				max = at
+			}
+		}
+		if len(offsets) == 0 {
+			return db.NumRecords() == 0
+		}
+		from, to, ok := db.Window("p.example.com", 1)
+		return ok && from.Equal(min) && to.Equal(max) && !from.After(to)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package rtb generates the request cascades that real-time-bidding ad
+// delivery produces inside a rendered page (Fig 1 of the paper): the ad
+// network call from the publisher context, the exchange's auction call,
+// bid requests fanning out to DSPs, the winner's creative, cookie-sync
+// redirect chains between the winner's DMP and other tracking platforms,
+// and impression pixels. These chained, argument-carrying requests are
+// exactly the traffic that static filter lists miss and the paper's
+// semi-automatic classifier recovers (§3.2).
+package rtb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crossborder/internal/webgraph"
+)
+
+// Call is one third-party request produced while rendering a page. The
+// browser simulator resolves the FQDN, records the serving IP and emits
+// the final request log entry.
+type Call struct {
+	// Service answers the request.
+	Service *webgraph.Service
+	// FQDN is the specific hostname contacted (one of Service.FQDNs).
+	FQDN string
+	// Path is the URL path and query.
+	Path string
+	// HasArgs reports whether the URL carries query arguments, one of the
+	// two signals of the paper's stage-3 heuristic.
+	HasArgs bool
+	// Keyword is the tracking-vocabulary keyword embedded in the URL
+	// ("usermatch", "rtb", "cookiesync", ...), or "".
+	Keyword string
+	// RefFQDN is the hostname of the referring context; "" means the
+	// first-party page itself.
+	RefFQDN string
+}
+
+// URL renders the call as a full URL (https; §7.2 observes 83% of
+// tracking traffic is already encrypted).
+func (c Call) URL() string { return "https://" + c.FQDN + c.Path }
+
+// Config tunes cascade sizes.
+type Config struct {
+	// MinBidders / MaxBidders bound the DSP fan-out per auction
+	// (defaults 2 and 6).
+	MinBidders, MaxBidders int
+	// MinSyncs / MaxSyncs bound the cookie-sync chain length after a won
+	// auction (defaults 1 and 5).
+	MinSyncs, MaxSyncs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinBidders == 0 {
+		c.MinBidders = 2
+	}
+	if c.MaxBidders == 0 {
+		c.MaxBidders = 6
+	}
+	if c.MinSyncs == 0 {
+		c.MinSyncs = 1
+	}
+	if c.MaxSyncs == 0 {
+		c.MaxSyncs = 5
+	}
+	return c
+}
+
+// Auction runs one synthetic RTB auction for an ad slot filled by the
+// given ad network and returns the cascade of third-party calls in
+// causal order.
+type Auction struct {
+	cfg   Config
+	graph *webgraph.Graph
+
+	exchanges []*webgraph.Service
+	dsps      []*webgraph.Service
+	dmps      []*webgraph.Service
+
+	// Market concentration: selection is Zipf-weighted by slice rank, so
+	// the head services (the majors are registered first) carry a
+	// realistic share of cascade traffic.
+	xchgPick *zipfPicker
+	dspPick  *zipfPicker
+	dmpPick  *zipfPicker
+}
+
+// NewAuction prepares an auction generator over the graph's services.
+func NewAuction(graph *webgraph.Graph, cfg Config) *Auction {
+	a := &Auction{
+		cfg:       cfg.withDefaults(),
+		graph:     graph,
+		exchanges: graph.ServicesByRole(webgraph.RoleExchange),
+		dsps:      graph.ServicesByRole(webgraph.RoleDSP),
+		dmps:      graph.ServicesByRole(webgraph.RoleDMP),
+	}
+	a.xchgPick = newZipfPicker(len(a.exchanges), 1.2)
+	a.dspPick = newZipfPicker(len(a.dsps), 1.05)
+	a.dmpPick = newZipfPicker(len(a.dmps), 1.0)
+	return a
+}
+
+// zipfPicker samples index i with probability proportional to 1/(i+1)^s.
+type zipfPicker struct {
+	cum []float64
+}
+
+func newZipfPicker(n int, s float64) *zipfPicker {
+	if n <= 0 {
+		return &zipfPicker{}
+	}
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	return &zipfPicker{cum: cum}
+}
+
+func (z *zipfPicker) pick(rng *rand.Rand) int {
+	if len(z.cum) == 0 {
+		return 0
+	}
+	x := rng.Float64() * z.cum[len(z.cum)-1]
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// pickFQDN selects one of the service's hostnames, preferring auxiliary
+// subdomains for sync/rtb endpoints when wantSub is non-empty.
+func pickFQDN(rng *rand.Rand, s *webgraph.Service, wantSub string) string {
+	if wantSub != "" {
+		for _, f := range s.FQDNs {
+			if len(f) > len(wantSub) && f[:len(wantSub)] == wantSub && f[len(wantSub)] == '.' {
+				return f
+			}
+		}
+	}
+	return s.FQDNs[rng.Intn(len(s.FQDNs))]
+}
+
+// Run generates the cascade for one ad slot. adNet is the ad network
+// embedded on the page; the returned calls are ordered by causality
+// (each call's RefFQDN names an earlier call's FQDN or "" for the page).
+func (a *Auction) Run(rng *rand.Rand, adNet *webgraph.Service) []Call {
+	cfg := a.cfg
+	var calls []Call
+
+	// 1. The publisher-context ad call. Initiated by first-party-embedded
+	// JavaScript, so its referrer is the page (§3.2 notes these populate
+	// the referrer with the first-party URL).
+	adFQDN := pickFQDN(rng, adNet, "ads")
+	calls = append(calls, Call{
+		Service: adNet,
+		FQDN:    adFQDN,
+		Path:    fmt.Sprintf("/adserv/slot?sz=300x250&cb=%d", rng.Intn(20000)),
+		HasArgs: true,
+		Keyword: "adserv",
+		RefFQDN: "",
+	})
+
+	if len(a.exchanges) == 0 {
+		return calls
+	}
+
+	// 2. The exchange auction call.
+	xchg := a.exchanges[a.xchgPick.pick(rng)]
+	xFQDN := pickFQDN(rng, xchg, "rtb")
+	calls = append(calls, Call{
+		Service: xchg,
+		FQDN:    xFQDN,
+		Path:    fmt.Sprintf("/rtb/auction?aid=%d&pub=%d", rng.Int63n(200000), rng.Intn(6000)),
+		HasArgs: true,
+		Keyword: "rtb",
+		RefFQDN: adFQDN,
+	})
+
+	// 3. Bid requests to DSPs.
+	var winner *webgraph.Service
+	if len(a.dsps) > 0 {
+		n := cfg.MinBidders + rng.Intn(cfg.MaxBidders-cfg.MinBidders+1)
+		for i := 0; i < n; i++ {
+			dsp := a.dsps[a.dspPick.pick(rng)]
+			f := pickFQDN(rng, dsp, "bid")
+			calls = append(calls, Call{
+				Service: dsp,
+				FQDN:    f,
+				Path:    fmt.Sprintf("/bid?auction=%d&floor=%d", rng.Int63n(200000), rng.Intn(500)),
+				HasArgs: true,
+				Keyword: "bid",
+				RefFQDN: xFQDN,
+			})
+			if i == 0 || rng.Intn(i+1) == 0 {
+				winner = dsp
+			}
+		}
+	}
+
+	// 4. Winner serves the creative.
+	if winner != nil {
+		wFQDN := pickFQDN(rng, winner, "ads")
+		calls = append(calls, Call{
+			Service: winner,
+			FQDN:    wFQDN,
+			Path:    fmt.Sprintf("/creative?imp=%d", rng.Int63n(300000)),
+			HasArgs: true,
+			Keyword: "",
+			RefFQDN: xFQDN,
+		})
+
+		// 5. Cookie-sync chain: winner matches user IDs with DMPs and the
+		// exchange. Each hop redirects to the next with sync arguments.
+		if len(a.dmps) > 0 {
+			n := cfg.MinSyncs + rng.Intn(cfg.MaxSyncs-cfg.MinSyncs+1)
+			prev := wFQDN
+			for i := 0; i < n; i++ {
+				dmp := a.dmps[a.dmpPick.pick(rng)]
+				f := pickFQDN(rng, dmp, "sync")
+				kw := "cookiesync"
+				if rng.Intn(2) == 0 {
+					kw = "usermatch"
+				}
+				calls = append(calls, Call{
+					Service: dmp,
+					FQDN:    f,
+					Path:    fmt.Sprintf("/%s?uid=%d&partner=%s", kw, rng.Int63n(400000), prev),
+					HasArgs: true,
+					Keyword: kw,
+					RefFQDN: prev,
+				})
+				prev = f
+			}
+		}
+
+		// 6. Impression pixel back to the winner.
+		calls = append(calls, Call{
+			Service: winner,
+			FQDN:    pickFQDN(rng, winner, "pixel"),
+			Path:    fmt.Sprintf("/pixel?event=imp&ts=%d", rng.Int63n(250000)),
+			HasArgs: true,
+			Keyword: "pixel",
+			RefFQDN: wFQDN,
+		})
+	}
+
+	return calls
+}
+
+// DirectTrackerCall produces the request an in-page analytics tag emits.
+// Its referrer is the page, and its URL carries arguments; ABP-style lists
+// usually cover these first-hop trackers.
+func DirectTrackerCall(rng *rand.Rand, s *webgraph.Service) Call {
+	return Call{
+		Service: s,
+		FQDN:    pickFQDN(rng, s, "track"),
+		Path:    fmt.Sprintf("/collect?tid=%d&ev=pageview&dl=%d", rng.Intn(4000), rng.Int63n(100000)),
+		HasArgs: true,
+		Keyword: "track",
+		RefFQDN: "",
+	}
+}
+
+// WidgetCall produces a benign widget/CDN request: no tracking vocabulary
+// and usually no query arguments.
+func WidgetCall(rng *rand.Rand, s *webgraph.Service) Call {
+	paths := []string{"/widget.js", "/embed.css", "/lib/main.js", "/fonts/a.woff2", "/player.js"}
+	p := paths[rng.Intn(len(paths))]
+	hasArgs := rng.Float64() < 0.15 // a few widgets version-pin with ?v=
+	if hasArgs {
+		p += fmt.Sprintf("?v=%d", rng.Intn(100))
+	}
+	return Call{
+		Service: s,
+		FQDN:    s.FQDNs[rng.Intn(len(s.FQDNs))],
+		Path:    p,
+		HasArgs: hasArgs,
+		RefFQDN: "",
+	}
+}

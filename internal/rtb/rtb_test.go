@@ -1,0 +1,172 @@
+package rtb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"crossborder/internal/webgraph"
+)
+
+func testGraph(t *testing.T) *webgraph.Graph {
+	t.Helper()
+	return webgraph.Build(rand.New(rand.NewSource(1)), webgraph.Config{}.Scale(0.05))
+}
+
+func TestAuctionCascadeShape(t *testing.T) {
+	g := testGraph(t)
+	a := NewAuction(g, Config{})
+	rng := rand.New(rand.NewSource(2))
+	adNet := g.ServicesByRole(webgraph.RoleAdNetwork)[0]
+
+	calls := a.Run(rng, adNet)
+	if len(calls) < 4 {
+		t.Fatalf("cascade too short: %d calls", len(calls))
+	}
+	// First call is the ad network from the page context.
+	if calls[0].Service != adNet || calls[0].RefFQDN != "" {
+		t.Errorf("first call = %+v", calls[0])
+	}
+	if calls[0].Keyword != "adserv" || !calls[0].HasArgs {
+		t.Errorf("ad call missing vocabulary: %+v", calls[0])
+	}
+	// Second call is an exchange referred by the ad call.
+	if calls[1].Service.Role != webgraph.RoleExchange {
+		t.Errorf("second call role = %s", calls[1].Service.Role)
+	}
+	if calls[1].RefFQDN != calls[0].FQDN {
+		t.Errorf("exchange referrer = %q, want %q", calls[1].RefFQDN, calls[0].FQDN)
+	}
+	if calls[1].Keyword != "rtb" {
+		t.Errorf("exchange keyword = %q", calls[1].Keyword)
+	}
+}
+
+func TestCausalReferrerChain(t *testing.T) {
+	g := testGraph(t)
+	a := NewAuction(g, Config{})
+	rng := rand.New(rand.NewSource(3))
+	adNet := g.ServicesByRole(webgraph.RoleAdNetwork)[1]
+
+	for iter := 0; iter < 50; iter++ {
+		calls := a.Run(rng, adNet)
+		seen := map[string]bool{"": true}
+		for i, c := range calls {
+			if !seen[c.RefFQDN] {
+				t.Fatalf("call %d referrer %q not produced earlier in cascade", i, c.RefFQDN)
+			}
+			seen[c.FQDN] = true
+		}
+	}
+}
+
+func TestCookieSyncVocabulary(t *testing.T) {
+	g := testGraph(t)
+	a := NewAuction(g, Config{MinSyncs: 3, MaxSyncs: 5})
+	rng := rand.New(rand.NewSource(4))
+	adNet := g.ServicesByRole(webgraph.RoleAdNetwork)[0]
+
+	kw := map[string]int{}
+	for i := 0; i < 100; i++ {
+		for _, c := range a.Run(rng, adNet) {
+			if c.Keyword != "" {
+				kw[c.Keyword]++
+			}
+		}
+	}
+	for _, want := range []string{"rtb", "cookiesync", "usermatch", "adserv", "bid", "pixel"} {
+		if kw[want] == 0 {
+			t.Errorf("keyword %q never produced; got %v", want, kw)
+		}
+	}
+}
+
+func TestAuctionCallsResolveToServiceFQDNs(t *testing.T) {
+	g := testGraph(t)
+	a := NewAuction(g, Config{})
+	rng := rand.New(rand.NewSource(5))
+	adNet := g.ServicesByRole(webgraph.RoleAdNetwork)[0]
+	for i := 0; i < 20; i++ {
+		for _, c := range a.Run(rng, adNet) {
+			found := false
+			for _, f := range c.Service.FQDNs {
+				if f == c.FQDN {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("call FQDN %s not among service %s FQDNs", c.FQDN, c.Service.Org)
+			}
+			if !c.Service.Role.IsTracking() {
+				t.Fatalf("auction produced non-tracking call to %s (%s)", c.FQDN, c.Service.Role)
+			}
+		}
+	}
+}
+
+func TestURLRendering(t *testing.T) {
+	c := Call{FQDN: "sync.dmp0001.com", Path: "/cookiesync?uid=1"}
+	if got := c.URL(); got != "https://sync.dmp0001.com/cookiesync?uid=1" {
+		t.Errorf("URL = %q", got)
+	}
+}
+
+func TestDirectTrackerCall(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(6))
+	s := g.ServicesByRole(webgraph.RoleAnalytics)[0]
+	c := DirectTrackerCall(rng, s)
+	if !c.HasArgs || c.RefFQDN != "" {
+		t.Errorf("direct tracker call = %+v", c)
+	}
+	if !strings.Contains(c.Path, "collect") {
+		t.Errorf("path = %q", c.Path)
+	}
+}
+
+func TestWidgetCallIsClean(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(7))
+	s := g.ServicesByRole(webgraph.RoleWidget)[0]
+	argCount := 0
+	for i := 0; i < 200; i++ {
+		c := WidgetCall(rng, s)
+		if c.Keyword != "" {
+			t.Fatalf("widget call has tracking keyword %q", c.Keyword)
+		}
+		if c.HasArgs {
+			argCount++
+			if !strings.Contains(c.Path, "?") {
+				t.Fatalf("HasArgs true but no query in %q", c.Path)
+			}
+		}
+	}
+	if argCount == 0 || argCount > 80 {
+		t.Errorf("widget arg rate = %d/200, want a small minority", argCount)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.MinBidders != 2 || cfg.MaxBidders != 6 || cfg.MinSyncs != 1 || cfg.MaxSyncs != 5 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	g := testGraph(t)
+	adNet := g.ServicesByRole(webgraph.RoleAdNetwork)[0]
+	run := func() []Call {
+		return NewAuction(g, Config{}).Run(rand.New(rand.NewSource(99)), adNet)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("same seed, different cascade length")
+	}
+	for i := range a {
+		if a[i].FQDN != b[i].FQDN || a[i].Path != b[i].Path {
+			t.Fatalf("call %d differs", i)
+		}
+	}
+}

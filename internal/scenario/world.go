@@ -1,0 +1,548 @@
+package scenario
+
+import (
+	"math/rand"
+	"time"
+
+	"crossborder/internal/dns"
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+	"crossborder/internal/webgraph"
+)
+
+// euDCPool weights the countries where ad-tech companies actually rented
+// datacenter space circa 2018. The heavy Frankfurt/Amsterdam/London/
+// Dublin concentration — and the near-absence of PL, GR, RO, CY, DK, HU —
+// is what produces the paper's national-confinement spread (Fig 8,
+// Fig 12). Austria's presence serves Hungarian users (Fig 12d); CH and RU
+// supply the "Rest of Europe" few percent.
+var euDCPool = []struct {
+	c geodata.Country
+	w int
+}{
+	{"DE", 80}, {"GB", 72}, {"NL", 52}, {"IE", 44}, {"FR", 36},
+	{"ES", 50}, {"IT", 16}, {"SE", 12}, {"AT", 28}, {"BE", 10},
+	{"CZ", 8}, {"FI", 8}, {"CH", 4}, {"RU", 3},
+	// The long tail: enough presence for the paper's single-digit
+	// national confinement in GR/RO/CY/DK/PT/HU, near-zero in PL.
+	// Austria is the CEE hosting hub that absorbs Hungarian traffic
+	// (Fig 12d).
+	{"GR", 8}, {"DK", 4}, {"PT", 4}, {"HU", 6}, {"RO", 12}, {"PL", 2},
+	{"BG", 2}, {"CY", 2},
+}
+
+// hqPool weights tracker legal-entity headquarters: the industry is
+// overwhelmingly US-based, which is what MaxMind-style HQ pinning turns
+// into the Fig 7(a) mirage.
+var hqPool = []struct {
+	c geodata.Country
+	w int
+}{
+	{"US", 73}, {"DE", 8}, {"GB", 5}, {"FR", 4}, {"NL", 3},
+	{"RU", 2}, {"CH", 1}, {"ES", 2}, {"IT", 2}, {"SE", 1},
+}
+
+func pickWeighted(rng *rand.Rand, pool []struct {
+	c geodata.Country
+	w int
+}) geodata.Country {
+	total := 0
+	for _, e := range pool {
+		total += e.w
+	}
+	x := rng.Intn(total)
+	for _, e := range pool {
+		x -= e.w
+		if x < 0 {
+			return e.c
+		}
+	}
+	return pool[len(pool)-1].c
+}
+
+// midClouds are the providers mid-tier trackers lease origin servers
+// from: the hyperscalers and classic hosters. (CloudFlare and Equinix
+// stay in the §5.2 migration analysis but are edge/colo providers, not
+// typical tracker origin hosting.)
+var midClouds = []geodata.CloudProvider{
+	geodata.AWS, geodata.AWS, geodata.Azure, geodata.GoogleCloud,
+	geodata.DigitalOcean, geodata.IBMCloud,
+	geodata.OracleCloud, geodata.Rackspace,
+}
+
+// worldBuilder constructs orgs, deployments, DNS zones and the pDNS feed.
+type worldBuilder struct {
+	s   *Scenario
+	rng *rand.Rand
+
+	// rotationMid splits the study period for rotating bindings.
+	rotationMid time.Time
+
+	// pools maps org name -> per-deployment IP pools.
+	pools map[string][]dcPool
+
+	// trackerIPCount tallies registered tracking server IPs so the
+	// standby (pDNS-only) extras can be sized to ~3%.
+	trackerIPCount int
+}
+
+type dcPool struct {
+	dep  netsim.Deployment
+	ips  []netsim.IP
+	next int // cursor for standby allocation
+}
+
+// scaled shrinks a full-scale population parameter with Params.Scale,
+// never below min.
+func (b *worldBuilder) scaled(full, min int) int {
+	n := int(float64(full) * b.s.Params.Scale)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+func (b *worldBuilder) build() {
+	b.rotationMid = b.s.Start.Add(b.s.End.Sub(b.s.Start) / 2)
+	b.pools = make(map[string][]dcPool)
+
+	b.buildOrgs()
+	b.buildZones()
+	b.buildSharedInfra()
+	b.buildStandbyIPs()
+}
+
+// orgPlan captures the footprint decision for one org.
+type orgPlan struct {
+	countries []geodata.Country
+}
+
+// buildOrgs walks the graph's services, creates one netsim org per
+// distinct owner and deploys its datacenter footprint.
+func (b *worldBuilder) buildOrgs() {
+	seen := make(map[string]bool)
+	for _, svc := range b.s.Graph.Services {
+		if seen[svc.Org] {
+			continue
+		}
+		seen[svc.Org] = true
+		b.buildOrg(svc)
+	}
+}
+
+func (b *worldBuilder) buildOrg(svc *webgraph.Service) {
+	rng := b.rng
+	name := svc.Org
+
+	var kind netsim.OrgKind
+	switch {
+	case svc.Major:
+		kind = netsim.KindMajorAdTech
+	case svc.Role == webgraph.RoleExchange:
+		kind = netsim.KindExchange
+	case svc.Role.IsTracking():
+		kind = netsim.KindAdTech
+	case svc.Role == webgraph.RoleCDN:
+		kind = netsim.KindCDN
+	default:
+		kind = netsim.KindWidget
+	}
+
+	var plan orgPlan
+	var hq geodata.Country
+	var clouds []geodata.CloudProvider
+	poolPerDC := 6
+	prefix := 27
+
+	switch {
+	case name == "google":
+		hq = "US"
+		clouds = []geodata.CloudProvider{geodata.GoogleCloud}
+		plan.countries = []geodata.Country{"US", "US", "IE", "NL", "DE", "GB", "FR", "ES", "IT", "BE", "SE", "FI", "AT", "BR", "SG", "JP"}
+		poolPerDC, prefix = b.scaled(340, 8), 22
+	case name == "amazon":
+		hq = "US"
+		clouds = []geodata.CloudProvider{geodata.AWS}
+		plan.countries = []geodata.Country{"US", "US", "IE", "DE", "GB", "FR", "IT", "JP", "SG"}
+		poolPerDC, prefix = b.scaled(360, 8), 22
+	case name == "facebook":
+		hq = "US"
+		plan.countries = []geodata.Country{"US", "US", "IE", "SE", "DE", "NL"}
+		poolPerDC, prefix = b.scaled(108, 4), 24
+	default:
+		hq = pickWeighted(rng, hqPool)
+		plan.countries = append(plan.countries, hq)
+		rank := orgRank(name)
+		switch kind {
+		case netsim.KindExchange:
+			// RTB exchanges are latency-bound (100ms auctions) and
+			// colocate in every major European market.
+			b.addBigFive(&plan)
+			nEU := 3 + rng.Intn(3)
+			if rank < 8 {
+				nEU += 2
+			}
+			b.addEUDCs(&plan, nEU)
+			if hq != "US" {
+				plan.countries = append(plan.countries, "US")
+			}
+			poolPerDC, prefix = 10, 26
+		case netsim.KindAdTech:
+			hasEU := 0.88
+			nEU := 4 + rng.Intn(3)
+			if svc.Role == webgraph.RoleDSP || svc.Role == webgraph.RoleDMP {
+				hasEU = 0.92
+				nEU = 5 + rng.Intn(3)
+			}
+			if rank < 20 {
+				// The head of the market has broad EU footprints, but a
+				// few popular US platforms (every 10th rank) still serve
+				// everything from home — the paper's ~10% transatlantic
+				// leakage. Deterministic so the headline confinement
+				// numbers do not swing with the seed.
+				nEU += 2
+				if rank%10 == 3 {
+					hasEU = 0
+				} else {
+					hasEU = 1
+					// The market's head bidders and sync hubs cover the
+					// major EU markets outright.
+					b.addBigFive(&plan)
+				}
+			}
+			if rng.Float64() < hasEU {
+				b.addEUDCs(&plan, nEU)
+			}
+			if hq != "US" && rng.Float64() < 0.75 {
+				plan.countries = append(plan.countries, "US")
+			}
+		case netsim.KindCDN, netsim.KindWidget:
+			b.addEUDCs(&plan, 1+rng.Intn(2))
+			if hq != "US" {
+				plan.countries = append(plan.countries, "US")
+			}
+		}
+		if rng.Float64() < 0.4 {
+			n := 1 + rng.Intn(2)
+			for i := 0; i < n; i++ {
+				clouds = append(clouds, midClouds[rng.Intn(len(midClouds))])
+			}
+		}
+	}
+
+	org := b.s.World.AddOrg(name, kind, hq, clouds...)
+	b.s.orgClouds[name] = clouds
+
+	for _, c := range plan.countries {
+		provider := b.pickProvider(rng, clouds, c)
+		dep := b.s.World.Deploy(org, c, provider, prefix)
+		pool := make([]netsim.IP, 0, poolPerDC)
+		limit := uint32(poolPerDC)
+		if limit > dep.Block.Size() {
+			limit = dep.Block.Size()
+		}
+		for i := uint32(0); i < limit; i++ {
+			pool = append(pool, dep.Block.Nth(i))
+		}
+		b.pools[name] = append(b.pools[name], dcPool{dep: dep, ips: pool})
+	}
+}
+
+// orgRank extracts the numeric rank embedded in generated org names
+// ("dsp0012" -> 12); majors and unknown formats rank 0.
+func orgRank(name string) int {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i == len(name) || i == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range name[i:] {
+		n = n*10 + int(d-'0')
+	}
+	return n
+}
+
+// addBigFive guarantees presence in the five biggest EU markets.
+func (b *worldBuilder) addBigFive(plan *orgPlan) {
+	for _, c := range []geodata.Country{"DE", "GB", "FR", "ES", "IT"} {
+		dup := false
+		for _, prev := range plan.countries {
+			if prev == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			plan.countries = append(plan.countries, c)
+		}
+	}
+}
+
+func (b *worldBuilder) addEUDCs(plan *orgPlan, n int) {
+	for i := 0; i < n; i++ {
+		c := pickWeighted(b.rng, euDCPool)
+		dup := false
+		for _, prev := range plan.countries {
+			if prev == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			plan.countries = append(plan.countries, c)
+		}
+	}
+}
+
+// pickProvider assigns a deployment to one of the org's clouds when the
+// cloud actually has a PoP in that country; own facility otherwise.
+func (b *worldBuilder) pickProvider(rng *rand.Rand, clouds []geodata.CloudProvider, c geodata.Country) geodata.CloudProvider {
+	if len(clouds) == 0 || rng.Float64() > 0.7 {
+		return ""
+	}
+	var avail []geodata.CloudProvider
+	for _, p := range clouds {
+		if geodata.CloudHasPoP(p, c) {
+			avail = append(avail, p)
+		}
+	}
+	if len(avail) == 0 {
+		return ""
+	}
+	return avail[rng.Intn(len(avail))]
+}
+
+// policyFor decides the org's DNS server-selection policy. Majors and
+// exchanges are latency-sensitive (RTB bidding deadlines) and always
+// geo-route; the mid tier mixes strategies, including the HQ-only small
+// trackers that cause most cross-continent leakage.
+func (b *worldBuilder) policyFor(svc *webgraph.Service) dns.Policy {
+	if svc.Major || svc.Role == webgraph.RoleExchange {
+		return dns.PolicyNearest
+	}
+	x := b.rng.Float64()
+	switch {
+	case x < 0.62:
+		return dns.PolicyNearest
+	case x < 0.82:
+		return dns.PolicyContinent
+	case x < 0.95:
+		return dns.PolicyHQ
+	default:
+		return dns.PolicyRandom
+	}
+}
+
+// buildZones registers one DNS zone per FQDN, picks its server IPs from
+// the org's pools, assigns rotation windows, and feeds every binding to
+// the pDNS replication store.
+func (b *worldBuilder) buildZones() {
+	for _, svc := range b.s.Graph.Services {
+		policy := b.policyFor(svc)
+		pools := b.pools[svc.Org]
+		if len(pools) == 0 {
+			continue
+		}
+		if policy == dns.PolicyHQ {
+			// A tracker serving everything from home publishes only its
+			// HQ servers; the other deployments never appear in DNS.
+			hq := b.s.World.Org(svc.Org).HQ
+			var hqPools []dcPool
+			for _, p := range pools {
+				if p.dep.Country == hq {
+					hqPools = append(hqPools, p)
+				}
+			}
+			if len(hqPools) > 0 {
+				pools = hqPools
+			}
+		}
+		ttl := 300 * time.Second
+		if b.rng.Float64() < 0.2 {
+			ttl = 7200 * time.Second // the facebook-style long TTL
+		}
+		perDC := 1 + b.rng.Intn(2)
+		if svc.Major {
+			// Major zones rotate through large pools; the pool (and the
+			// per-zone slice of it) scales with the study size so the
+			// observed-vs-pDNS-only balance stays realistic.
+			perDC = b.scaled(24, 2) + b.rng.Intn(b.scaled(16, 2))
+		}
+		for _, fqdn := range svc.FQDNs {
+			zonePools := pools
+			if !svc.Major && svc.Role.IsTracking() && policy != dns.PolicyHQ && len(pools) > 2 {
+				// Mid-tier orgs dedicate each hostname to a subset of
+				// their datacenters (sync. endpoints rarely run
+				// everywhere). This is what separates the paper's
+				// FQDN-level from TLD-level redirection headroom
+				// (Table 5: +24.6 vs +38.5 points).
+				n := (len(pools)*3 + 4) / 5 // ~60%, rounded up
+				if n < 2 {
+					n = 2
+				}
+				perm := b.rng.Perm(len(pools))
+				zonePools = make([]dcPool, 0, n)
+				for _, pi := range perm[:n] {
+					zonePools = append(zonePools, pools[pi])
+				}
+			}
+			servers := b.zoneServers(zonePools, perDC)
+			if len(servers) == 0 {
+				continue
+			}
+			b.s.DNS.Register(fqdn, svc.Org, policy, ttl, servers)
+			for _, sv := range servers {
+				b.s.PDNS.ObserveWindow(fqdn, sv.IP, sv.From, sv.To)
+			}
+			if svc.Role.IsTracking() {
+				b.trackerIPCount += len(servers)
+			}
+		}
+	}
+}
+
+// zoneServers draws perDC addresses per datacenter pool and applies
+// rotation: ~12% of bindings are replaced mid-study by a sibling address,
+// giving passive DNS its validity-window structure.
+func (b *worldBuilder) zoneServers(pools []dcPool, perDC int) []dns.ServerIP {
+	rng := b.rng
+	var out []dns.ServerIP
+	for _, p := range pools {
+		n := perDC
+		if n > len(p.ips) {
+			n = len(p.ips)
+		}
+		for i := 0; i < n; i++ {
+			ip := p.ips[rng.Intn(len(p.ips))]
+			if rng.Float64() < 0.12 {
+				// Rotated binding: active first half, replacement second.
+				replacement := p.ips[rng.Intn(len(p.ips))]
+				out = append(out,
+					dns.ServerIP{IP: ip, Country: p.dep.Country, Provider: p.dep.Provider, From: b.s.Start, To: b.rotationMid},
+					dns.ServerIP{IP: replacement, Country: p.dep.Country, Provider: p.dep.Provider, From: b.rotationMid, To: b.s.ISPEnd},
+				)
+			} else {
+				out = append(out, dns.ServerIP{IP: ip, Country: p.dep.Country, Provider: p.dep.Provider, From: b.s.Start, To: b.s.ISPEnd})
+			}
+		}
+	}
+	return dedupeServers(out)
+}
+
+// dedupeServers drops duplicate (IP, window) entries that random pool
+// sampling can produce.
+func dedupeServers(in []dns.ServerIP) []dns.ServerIP {
+	type key struct {
+		ip   netsim.IP
+		from int64
+	}
+	seen := make(map[key]bool, len(in))
+	out := in[:0]
+	for _, sv := range in {
+		k := key{sv.IP, sv.From.Unix()}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, sv)
+	}
+	return out
+}
+
+// buildSharedInfra creates the Fig 5 population: a set of ad-exchange
+// IPs that serve many tracking domains (cookie-sync endpoints). Roughly
+// half sit in the US and the rest in EU datacenters.
+func (b *worldBuilder) buildSharedInfra() {
+	rng := b.rng
+	// Collect exchange pools split by region.
+	var usPools, euPools []dcPool
+	for _, svc := range b.s.Graph.ServicesByRole(webgraph.RoleExchange) {
+		for _, p := range b.pools[svc.Org] {
+			switch geodata.ContinentOf(p.dep.Country) {
+			case geodata.NorthAmerica:
+				usPools = append(usPools, p)
+			case geodata.EU28:
+				euPools = append(euPools, p)
+			}
+		}
+	}
+	if len(usPools) == 0 && len(euPools) == 0 {
+		return
+	}
+	nShared := int(114 * b.s.Params.Scale)
+	if nShared < 4 {
+		nShared = 4
+	}
+	// Candidate client zones: DMP and ad-network FQDNs.
+	var hostFQDNs []string
+	for _, role := range []webgraph.Role{webgraph.RoleDMP, webgraph.RoleAdNetwork} {
+		for _, svc := range b.s.Graph.ServicesByRole(role) {
+			if svc.Major {
+				continue
+			}
+			hostFQDNs = append(hostFQDNs, svc.FQDNs...)
+		}
+	}
+	if len(hostFQDNs) == 0 {
+		return
+	}
+	for i := 0; i < nShared; i++ {
+		var p dcPool
+		if i%2 == 0 && len(usPools) > 0 {
+			p = usPools[rng.Intn(len(usPools))]
+		} else if len(euPools) > 0 {
+			p = euPools[rng.Intn(len(euPools))]
+		} else {
+			p = usPools[rng.Intn(len(usPools))]
+		}
+		ip := p.ips[rng.Intn(len(p.ips))]
+		sv := dns.ServerIP{IP: ip, Country: p.dep.Country, Provider: p.dep.Provider, From: b.s.Start, To: b.s.ISPEnd}
+		// Attach this IP to 10–30 tracking zones.
+		n := 10 + rng.Intn(21)
+		for j := 0; j < n; j++ {
+			fqdn := hostFQDNs[rng.Intn(len(hostFQDNs))]
+			existing := b.s.DNS.Servers(fqdn)
+			if existing == nil {
+				continue
+			}
+			policy, _ := b.s.DNS.Policy(fqdn)
+			b.s.DNS.Register(fqdn, "shared-infra", policy, b.s.DNS.TTL(fqdn), dedupeServers(append(existing, sv)))
+			b.s.PDNS.ObserveWindow(fqdn, sv.IP, sv.From, sv.To)
+		}
+	}
+}
+
+// buildStandbyIPs feeds pDNS with tracking-org addresses that the DNS
+// never hands out — standby capacity visible only to passive DNS, which
+// is what makes the inventory's pDNS completion step matter (§3.3's
+// +2.78%).
+func (b *worldBuilder) buildStandbyIPs() {
+	rng := b.rng
+	target := int(float64(b.trackerIPCount) * 0.028)
+	var cands []*webgraph.Service
+	for _, svc := range b.s.Graph.Services {
+		if svc.Role.IsTracking() && !svc.Major {
+			cands = append(cands, svc)
+		}
+	}
+	for i := 0; i < target && len(cands) > 0; i++ {
+		svc := cands[rng.Intn(len(cands))]
+		pools := b.pools[svc.Org]
+		if len(pools) == 0 {
+			continue
+		}
+		p := &pools[rng.Intn(len(pools))]
+		// Take an address from the tail of the block, beyond the pool,
+		// so it cannot collide with a served address.
+		idx := uint32(len(p.ips)) + uint32(p.next)
+		if idx >= p.dep.Block.Size() {
+			continue
+		}
+		p.next++
+		ip := p.dep.Block.Nth(idx)
+		b.s.PDNS.ObserveWindow(svc.FQDNs[0], ip, b.s.Start, b.s.ISPEnd)
+	}
+}

@@ -1,0 +1,215 @@
+package sensitive
+
+import (
+	"math/rand"
+	"testing"
+
+	"crossborder/internal/classify"
+	"crossborder/internal/geo"
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+	"crossborder/internal/webgraph"
+)
+
+func graph(t *testing.T, seed int64) *webgraph.Graph {
+	t.Helper()
+	return webgraph.Build(rand.New(rand.NewSource(seed)), webgraph.Config{}.Scale(0.2))
+}
+
+func TestAdWordsTagsMasking(t *testing.T) {
+	g := graph(t, 1)
+	rng := rand.New(rand.NewSource(2))
+	var sens *webgraph.Publisher
+	for _, p := range g.Publishers {
+		if p.Sensitive != "" {
+			sens = p
+			break
+		}
+	}
+	if sens == nil {
+		t.Fatal("no sensitive publisher")
+	}
+	// Over many draws, the true category appears only a minority of the
+	// time (the masking effect).
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if _, ok := AutoDetect(AdWordsTags(rng, sens)); ok {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("auto detection never fires; the automated stage must catch some")
+	}
+	if hits > 120 {
+		t.Errorf("auto detection fired %d/400; masking must dominate", hits)
+	}
+}
+
+func TestAutoDetect(t *testing.T) {
+	if _, ok := AutoDetect([]webgraph.Topic{webgraph.TopicNews, webgraph.TopicGames}); ok {
+		t.Error("general tags detected as sensitive")
+	}
+	if cat, ok := AutoDetect([]webgraph.Topic{webgraph.TopicNews, webgraph.SensHealth}); !ok || cat != webgraph.SensHealth {
+		t.Error("sensitive tag missed")
+	}
+}
+
+func TestIdentify(t *testing.T) {
+	g := graph(t, 3)
+	id := Identify(rand.New(rand.NewSource(4)), g, ExaminerConfig{})
+	if id.Inspected != len(g.Publishers) {
+		t.Errorf("inspected = %d", id.Inspected)
+	}
+	nSens := 0
+	for _, p := range g.Publishers {
+		if p.Sensitive != "" {
+			nSens++
+		}
+	}
+	found := id.Identified()
+	// With 3 examiners at 0.9 accuracy and >=2 agreement, expected
+	// detection is ~0.97 of truly sensitive sites plus a tiny FP tail.
+	if found < int(0.85*float64(nSens)) {
+		t.Errorf("identified %d of %d sensitive sites", found, nSens)
+	}
+	if found > nSens+int(0.02*float64(len(g.Publishers)))+2 {
+		t.Errorf("identified %d, want close to true %d (FPs too high)", found, nSens)
+	}
+	// Identified categories are correct for true positives.
+	wrong := 0
+	for p, cat := range id.ByPublisher {
+		if p.Sensitive != "" && p.Sensitive != cat {
+			wrong++
+		}
+	}
+	if wrong > found/50 {
+		t.Errorf("%d mis-categorized sites", wrong)
+	}
+	if id.AutoDetected == 0 {
+		t.Error("automated stage found nothing")
+	}
+	if id.AutoDetected > found/2 {
+		t.Errorf("automated stage found %d of %d; manual inspection must dominate", id.AutoDetected, found)
+	}
+}
+
+func TestExaminerAgreementRule(t *testing.T) {
+	g := graph(t, 5)
+	// With MinAgreement > Examiners nothing the automation missed can be
+	// identified.
+	id := Identify(rand.New(rand.NewSource(6)), g, ExaminerConfig{Examiners: 2, MinAgreement: 3})
+	if id.Identified() != id.AutoDetected {
+		t.Errorf("identified %d > auto %d despite impossible agreement", id.Identified(), id.AutoDetected)
+	}
+}
+
+// buildDS builds a tiny classified dataset over the graph's publishers:
+// every publisher gets `per` tracking rows from a DE user to IP 1 (US).
+func buildDS(g *webgraph.Graph, per int) *classify.Dataset {
+	ds := &classify.Dataset{FQDNs: classify.NewInterner()}
+	ds.Countries = []geodata.Country{"DE"}
+	id := ds.FQDNs.ID("t.x.com")
+	for pi, p := range g.Publishers {
+		ds.Publishers = append(ds.Publishers, p)
+		for i := 0; i < per; i++ {
+			ip := netsim.IP(1)
+			if i%2 == 0 {
+				ip = 2 // alternate destination: DE
+			}
+			ds.Rows = append(ds.Rows, classify.Row{
+				FQDN: id, IP: ip, Country: 0, Publisher: int32(pi),
+				Class: classify.ClassABP,
+			})
+		}
+	}
+	return ds
+}
+
+var testSvc = geo.Static{ServiceName: "s", Locations: map[netsim.IP]geo.Location{
+	1: {Country: "US", Continent: geodata.NorthAmerica},
+	2: {Country: "DE", Continent: geodata.EU28},
+}}
+
+func TestBuildReport(t *testing.T) {
+	g := graph(t, 7)
+	id := Identify(rand.New(rand.NewSource(8)), g, ExaminerConfig{})
+	ds := buildDS(g, 4)
+	rep := BuildReport(ds, id)
+	if rep.AllTrackingFlows != int64(4*len(g.Publishers)) {
+		t.Errorf("all flows = %d", rep.AllTrackingFlows)
+	}
+	if rep.SensitiveFlows == 0 {
+		t.Fatal("no sensitive flows")
+	}
+	var sum float64
+	var prev int64 = 1 << 62
+	for _, s := range rep.Shares {
+		sum += s.Percent
+		if s.Flows > prev {
+			t.Error("shares not descending")
+		}
+		prev = s.Flows
+		if !webgraph.IsSensitive(s.Category) {
+			t.Errorf("non-sensitive category %s in report", s.Category)
+		}
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("share sum = %f", sum)
+	}
+	if rep.PctOfAll() <= 0 || rep.PctOfAll() > 100 {
+		t.Errorf("PctOfAll = %f", rep.PctOfAll())
+	}
+}
+
+func TestDestByCategory(t *testing.T) {
+	g := graph(t, 9)
+	id := Identify(rand.New(rand.NewSource(10)), g, ExaminerConfig{})
+	ds := buildDS(g, 4)
+	edges := DestByCategory(ds, id, testSvc)
+	if len(edges) == 0 {
+		t.Fatal("no edges")
+	}
+	perCat := map[webgraph.Topic]float64{}
+	for _, e := range edges {
+		perCat[e.Category] += e.Percent
+		if e.Region != geodata.EU28.String() && e.Region != geodata.NorthAmerica.String() {
+			t.Errorf("unexpected region %s", e.Region)
+		}
+	}
+	for cat, sum := range perCat {
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("category %s percent sum = %f", cat, sum)
+		}
+	}
+}
+
+func TestCountryLeakage(t *testing.T) {
+	g := graph(t, 11)
+	id := Identify(rand.New(rand.NewSource(12)), g, ExaminerConfig{})
+	ds := buildDS(g, 4)
+	leaks := CountryLeakage(ds, id, testSvc)
+	if len(leaks) != 1 || leaks[0].Country != "DE" {
+		t.Fatalf("leaks = %+v", leaks)
+	}
+	l := leaks[0]
+	if l.Outside >= l.Total {
+		t.Errorf("outside %d >= total %d; half the rows terminate in DE", l.Outside, l.Total)
+	}
+	// Half the rows go to IP 1 (US): leakage ~50%.
+	if pct := l.OutsidePct(); pct < 40 || pct > 60 {
+		t.Errorf("OutsidePct = %f, want ~50", pct)
+	}
+}
+
+func TestNonEUUsersExcludedFromGeo(t *testing.T) {
+	g := graph(t, 13)
+	id := Identify(rand.New(rand.NewSource(14)), g, ExaminerConfig{})
+	ds := buildDS(g, 2)
+	ds.Countries[0] = "US" // relabel the user population
+	if edges := DestByCategory(ds, id, testSvc); len(edges) != 0 {
+		t.Error("non-EU users must be excluded from Fig 10")
+	}
+	if leaks := CountryLeakage(ds, id, testSvc); len(leaks) != 0 {
+		t.Error("non-EU users must be excluded from Fig 11")
+	}
+}

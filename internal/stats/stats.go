@@ -1,0 +1,247 @@
+// Package stats provides the small statistical toolkit the experiments
+// need: empirical CDFs, histograms, weighted share tables, majority voting,
+// and Pearson correlation. All functions are deterministic and allocate
+// only what they return.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution function over float64 samples.
+// The zero value is empty; Add samples then query. CDF is not safe for
+// concurrent mutation.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewCDF returns a CDF primed with the given samples.
+func NewCDF(samples ...float64) *CDF {
+	c := &CDF{}
+	c.Add(samples...)
+	return c
+}
+
+// Add appends samples.
+func (c *CDF) Add(samples ...float64) {
+	c.samples = append(c.samples, samples...)
+	c.sorted = false
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.samples) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// At returns P(X <= x), or 0 for an empty CDF.
+func (c *CDF) At(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	// Index of first sample > x.
+	i := sort.SearchFloat64s(c.samples, x)
+	// SearchFloat64s returns first index with samples[i] >= x; advance over
+	// equal values so the CDF is right-continuous (P(X <= x) inclusive).
+	for i < len(c.samples) && c.samples[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.samples))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using the nearest-rank
+// method. Returns NaN for an empty CDF or out-of-range q.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	c.ensureSorted()
+	if q == 0 {
+		return c.samples[0]
+	}
+	rank := int(math.Ceil(q*float64(len(c.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(c.samples) {
+		rank = len(c.samples) - 1
+	}
+	return c.samples[rank]
+}
+
+// Median is Quantile(0.5).
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, s := range c.samples {
+		sum += s
+	}
+	return sum / float64(len(c.samples))
+}
+
+// Points returns up to n (x, P(X<=x)) pairs evenly spaced by rank, suitable
+// for plotting. It always includes the minimum and maximum samples.
+func (c *CDF) Points(n int) []Point {
+	if len(c.samples) == 0 || n <= 0 {
+		return nil
+	}
+	c.ensureSorted()
+	if n == 1 {
+		return []Point{{c.samples[len(c.samples)-1], 1}}
+	}
+	out := make([]Point, 0, n)
+	total := float64(len(c.samples))
+	for i := 0; i < n; i++ {
+		rank := i * (len(c.samples) - 1) / (n - 1)
+		out = append(out, Point{c.samples[rank], float64(rank+1) / total})
+	}
+	return out
+}
+
+// Point is one (x, y) pair of a plotted series.
+type Point struct{ X, Y float64 }
+
+// Histogram counts occurrences of integer-valued observations.
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int64)}
+}
+
+// Observe adds weight w at bin v.
+func (h *Histogram) Observe(v int, w int64) {
+	h.counts[v] += w
+	h.total += w
+}
+
+// Count returns the weight at bin v.
+func (h *Histogram) Count(v int) int64 { return h.counts[v] }
+
+// Total returns the sum of all weights.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bins returns the sorted list of non-empty bins.
+func (h *Histogram) Bins() []int {
+	out := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ShareAtMost returns the fraction of total weight in bins <= v.
+// Returns 0 when the histogram is empty.
+func (h *Histogram) ShareAtMost(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum int64
+	for bin, c := range h.counts {
+		if bin <= v {
+			sum += c
+		}
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// Share is one labelled percentage row of a share table.
+type Share struct {
+	Label   string
+	Count   int64
+	Percent float64
+}
+
+// Shares converts labelled counts into percentage rows sorted by
+// descending count (ties broken by label for determinism).
+func Shares(counts map[string]int64) []Share {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]Share, 0, len(counts))
+	for label, c := range counts {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(c) / float64(total)
+		}
+		out = append(out, Share{Label: label, Count: c, Percent: pct})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// MajorityVote returns the most frequent label and its vote share.
+// Ties are broken lexicographically so the result is deterministic.
+// Returns ("", 0) for no votes.
+func MajorityVote(votes []string) (winner string, share float64) {
+	if len(votes) == 0 {
+		return "", 0
+	}
+	counts := make(map[string]int, len(votes))
+	for _, v := range votes {
+		counts[v]++
+	}
+	best, bestN := "", -1
+	for label, n := range counts {
+		if n > bestN || (n == bestN && label < best) {
+			best, bestN = label, n
+		}
+	}
+	return best, float64(bestN) / float64(len(votes))
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series, or NaN if the lengths differ, are < 2, or either variance is 0.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Percent returns 100*part/total, or 0 when total is 0.
+func Percent(part, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}

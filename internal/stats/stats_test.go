@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF(1, 2, 3, 4)
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Errorf("At(2) = %f, want 0.5", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %f, want 0", got)
+	}
+	if got := c.At(4); got != 1 {
+		t.Errorf("At(4) = %f, want 1", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %f, want 1", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.At(5) != 0 {
+		t.Error("empty CDF At != 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Error("empty CDF quantile must be NaN")
+	}
+	if !math.IsNaN(c.Mean()) {
+		t.Error("empty CDF mean must be NaN")
+	}
+	if c.Points(5) != nil {
+		t.Error("empty CDF points must be nil")
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF(10, 20, 30, 40, 50)
+	if got := c.Median(); got != 30 {
+		t.Errorf("Median = %f, want 30", got)
+	}
+	if got := c.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %f, want 10", got)
+	}
+	if got := c.Quantile(1); got != 50 {
+		t.Errorf("Quantile(1) = %f, want 50", got)
+	}
+	if !math.IsNaN(c.Quantile(1.5)) {
+		t.Error("out-of-range quantile must be NaN")
+	}
+}
+
+func TestCDFMean(t *testing.T) {
+	c := NewCDF(2, 4, 6)
+	if got := c.Mean(); got != 4 {
+		t.Errorf("Mean = %f, want 4", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points(5) returned %d", len(pts))
+	}
+	if pts[0].X != 1 || pts[len(pts)-1].X != 10 {
+		t.Errorf("points must span min..max, got %v", pts)
+	}
+	if pts[len(pts)-1].Y != 1 {
+		t.Errorf("last point y = %f, want 1", pts[len(pts)-1].Y)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y || pts[i].X < pts[i-1].X {
+			t.Errorf("points not monotone: %v", pts)
+		}
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = rng.NormFloat64() * 100
+	}
+	c := NewCDF(samples...)
+	f := func(a, b float64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.At(lo) <= c.At(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFQuantileInverseProperty(t *testing.T) {
+	// For any q in (0,1], At(Quantile(q)) >= q.
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]float64, 300)
+	for i := range samples {
+		samples[i] = rng.Float64() * 1000
+	}
+	c := NewCDF(samples...)
+	f := func(raw float64) bool {
+		q := math.Mod(math.Abs(raw), 1)
+		if q == 0 {
+			q = 0.5
+		}
+		x := c.Quantile(q)
+		return c.At(x) >= q-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1, 85)
+	h.Observe(2, 10)
+	h.Observe(12, 5)
+	if h.Total() != 100 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Count(1) != 85 {
+		t.Errorf("Count(1) = %d", h.Count(1))
+	}
+	if got := h.ShareAtMost(1); got != 0.85 {
+		t.Errorf("ShareAtMost(1) = %f", got)
+	}
+	if got := h.ShareAtMost(100); got != 1 {
+		t.Errorf("ShareAtMost(100) = %f", got)
+	}
+	bins := h.Bins()
+	if !sort.IntsAreSorted(bins) || len(bins) != 3 {
+		t.Errorf("Bins = %v", bins)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.ShareAtMost(5) != 0 {
+		t.Error("empty histogram share must be 0")
+	}
+	if len(h.Bins()) != 0 {
+		t.Error("empty histogram must have no bins")
+	}
+}
+
+func TestShares(t *testing.T) {
+	s := Shares(map[string]int64{"a": 10, "b": 30, "c": 60})
+	if len(s) != 3 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0].Label != "c" || s[0].Percent != 60 {
+		t.Errorf("first share = %+v", s[0])
+	}
+	if s[2].Label != "a" || s[2].Percent != 10 {
+		t.Errorf("last share = %+v", s[2])
+	}
+}
+
+func TestSharesDeterministicTies(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		s := Shares(map[string]int64{"x": 5, "y": 5, "z": 5})
+		if s[0].Label != "x" || s[1].Label != "y" || s[2].Label != "z" {
+			t.Fatalf("tie order not deterministic: %+v", s)
+		}
+	}
+}
+
+func TestSharesEmpty(t *testing.T) {
+	if s := Shares(nil); len(s) != 0 {
+		t.Errorf("Shares(nil) = %v", s)
+	}
+	s := Shares(map[string]int64{"only": 0})
+	if s[0].Percent != 0 {
+		t.Errorf("zero-total share pct = %f", s[0].Percent)
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	w, share := MajorityVote([]string{"DE", "DE", "NL", "DE", "FR"})
+	if w != "DE" {
+		t.Errorf("winner = %s", w)
+	}
+	if share != 0.6 {
+		t.Errorf("share = %f", share)
+	}
+	if w, s := MajorityVote(nil); w != "" || s != 0 {
+		t.Errorf("empty vote = (%q, %f)", w, s)
+	}
+	// Deterministic tie-break.
+	if w, _ := MajorityVote([]string{"b", "a"}); w != "a" {
+		t.Errorf("tie winner = %s, want a", w)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPos := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(x, yPos); math.Abs(r-1) > 1e-9 {
+		t.Errorf("perfect positive r = %f", r)
+	}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(x, yNeg); math.Abs(r+1) > 1e-9 {
+		t.Errorf("perfect negative r = %f", r)
+	}
+	if r := Pearson(x, []float64{1, 2}); !math.IsNaN(r) {
+		t.Error("length mismatch must be NaN")
+	}
+	if r := Pearson(x, []float64{3, 3, 3, 3, 3}); !math.IsNaN(r) {
+		t.Error("zero variance must be NaN")
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		p := Pearson(x, y)
+		if math.IsNaN(p) {
+			return true // zero variance possible, allowed
+		}
+		return p >= -1-1e-9 && p <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(1, 4) != 25 {
+		t.Error("Percent(1,4) != 25")
+	}
+	if Percent(5, 0) != 0 {
+		t.Error("Percent(_,0) != 0")
+	}
+}

@@ -1,0 +1,227 @@
+// Package tablefmt renders the reproduction's tables and figures as
+// plain-text artifacts: aligned tables, horizontal bar charts, ASCII CDF
+// plots, and Sankey flow summaries. Output is deterministic so it can be
+// diffed across runs.
+package tablefmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for i, h := range t.Headers {
+		if len(h) > widths[i] {
+			widths[i] = len(h)
+		}
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		var line strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			fmt.Fprintf(&line, "%-*s", widths[i], cell)
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		sep := make([]string, cols)
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar is one labelled value of a horizontal bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	// Note is appended after the numeric value (e.g. a raw count).
+	Note string
+}
+
+// BarChart renders labelled values as horizontal bars scaled so the largest
+// bar occupies width runes. Values must be non-negative.
+func BarChart(title string, width int, bars []Bar) string {
+	if width <= 0 {
+		width = 40
+	}
+	var max float64
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > max {
+			max = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for _, b := range bars {
+		n := 0
+		if max > 0 {
+			n = int(b.Value / max * float64(width))
+		}
+		if b.Value > 0 && n == 0 {
+			n = 1 // visible sliver for tiny non-zero values
+		}
+		fmt.Fprintf(&sb, "%-*s |%-*s %8.2f", labelW, b.Label, width, strings.Repeat("#", n), b.Value)
+		if b.Note != "" {
+			sb.WriteString("  ")
+			sb.WriteString(b.Note)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CDFPlot renders (x, y) points of a CDF as an ASCII scatter of fixed size.
+// Points must have y in [0, 1] and be sorted by x.
+func CDFPlot(title string, pts []struct{ X, Y float64 }, width, height int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 12
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	if len(pts) == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	minX, maxX := pts[0].X, pts[len(pts)-1].X
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		col := 0
+		if maxX > minX {
+			col = int((p.X - minX) / (maxX - minX) * float64(width-1))
+		}
+		row := height - 1 - int(p.Y*float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][col] = '*'
+	}
+	for i, line := range grid {
+		y := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&sb, "%4.2f |%s\n", y, string(line))
+	}
+	fmt.Fprintf(&sb, "      %-*.3g%*.3g\n", width/2, minX, width-width/2, maxX)
+	return sb.String()
+}
+
+// FlowEdge is one origin→destination edge of a Sankey-style flow summary.
+type FlowEdge struct {
+	From, To string
+	Percent  float64
+	Count    int64
+}
+
+// Sankey renders origin→destination percentages grouped by origin, the
+// textual equivalent of the paper's Sankey diagrams (Figs 6, 7, 8, 10).
+func Sankey(title string, edges []FlowEdge) string {
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	labelW := 0
+	for _, e := range edges {
+		if len(e.From) > labelW {
+			labelW = len(e.From)
+		}
+	}
+	prev := ""
+	for _, e := range edges {
+		from := e.From
+		if from == prev {
+			from = ""
+		} else {
+			prev = from
+		}
+		fmt.Fprintf(&sb, "%-*s -> %-22s %7.2f%%", labelW, from, e.To, e.Percent)
+		if e.Count > 0 {
+			fmt.Fprintf(&sb, "  (%d)", e.Count)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,141 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableBasic(t *testing.T) {
+	tbl := NewTable("Title", "Name", "Value")
+	tbl.AddRow("alpha", 42)
+	tbl.AddRow("b", 3.14159)
+	out := tbl.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "42") {
+		t.Errorf("missing row content:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Errorf("float not formatted with 2 decimals:\n%s", out)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+	// Header separator present.
+	if !strings.Contains(out, "----") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}
+
+func TestTableNoTrailingSpaces(t *testing.T) {
+	tbl := NewTable("", "A", "LongHeader")
+	tbl.AddRow("x", "y")
+	for _, line := range strings.Split(tbl.String(), "\n") {
+		if line != strings.TrimRight(line, " ") {
+			t.Errorf("trailing spaces in %q", line)
+		}
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tbl := NewTable("", "A", "B")
+	tbl.AddRow("short", "x")
+	tbl.AddRow("muchlongervalue", "y")
+	lines := strings.Split(strings.TrimSpace(tbl.String()), "\n")
+	// Column B should start at the same offset in both data rows.
+	r1, r2 := lines[2], lines[3]
+	if strings.Index(r2, "y") <= strings.Index(r1, "short")+len("short") {
+		t.Errorf("columns not aligned:\n%s", tbl.String())
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("Chart", 20, []Bar{
+		{Label: "big", Value: 100},
+		{Label: "half", Value: 50},
+		{Label: "tiny", Value: 0.1, Note: "n=3"},
+		{Label: "zero", Value: 0},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "Chart" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	big := strings.Count(lines[1], "#")
+	half := strings.Count(lines[2], "#")
+	tiny := strings.Count(lines[3], "#")
+	zero := strings.Count(lines[4], "#")
+	if big != 20 {
+		t.Errorf("largest bar = %d hashes, want 20", big)
+	}
+	if half != 10 {
+		t.Errorf("half bar = %d hashes, want 10", half)
+	}
+	if tiny != 1 {
+		t.Errorf("tiny non-zero bar = %d hashes, want 1 sliver", tiny)
+	}
+	if zero != 0 {
+		t.Errorf("zero bar = %d hashes, want 0", zero)
+	}
+	if !strings.Contains(lines[3], "n=3") {
+		t.Errorf("note missing: %q", lines[3])
+	}
+}
+
+func TestBarChartEmptyAndDefaults(t *testing.T) {
+	out := BarChart("", 0, nil)
+	if out != "" {
+		t.Errorf("empty chart = %q", out)
+	}
+	// Zero width must fall back to a sane default without panicking.
+	out = BarChart("t", -5, []Bar{{Label: "a", Value: 1}})
+	if !strings.Contains(out, "#") {
+		t.Errorf("default width chart missing bar: %q", out)
+	}
+}
+
+func TestCDFPlot(t *testing.T) {
+	pts := []struct{ X, Y float64 }{
+		{0, 0.1}, {5, 0.5}, {10, 1.0},
+	}
+	out := CDFPlot("cdf", pts, 30, 8)
+	if !strings.Contains(out, "cdf") {
+		t.Error("missing title")
+	}
+	if strings.Count(out, "*") < 3 {
+		t.Errorf("expected at least 3 plotted points:\n%s", out)
+	}
+	// Axis labels include min and max x.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "10") {
+		t.Errorf("missing axis labels:\n%s", out)
+	}
+}
+
+func TestCDFPlotEmpty(t *testing.T) {
+	out := CDFPlot("t", nil, 10, 5)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty plot = %q", out)
+	}
+}
+
+func TestSankey(t *testing.T) {
+	out := Sankey("Flows", []FlowEdge{
+		{From: "EU 28", To: "EU 28", Percent: 84.93, Count: 100},
+		{From: "EU 28", To: "N. America", Percent: 10.75},
+		{From: "S. America", To: "N. America", Percent: 90},
+	})
+	if !strings.Contains(out, "Flows") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "84.93%") {
+		t.Errorf("missing percent:\n%s", out)
+	}
+	if !strings.Contains(out, "(100)") {
+		t.Errorf("missing count:\n%s", out)
+	}
+	// Repeated origin is blanked on subsequent lines.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[2], " ") {
+		t.Errorf("second EU 28 line should blank origin: %q", lines[2])
+	}
+}

@@ -1,0 +1,411 @@
+package webgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config controls the size and mix of the synthetic web. The defaults
+// reproduce the scale of the paper's Table 1 dataset: 5,693 first-party
+// domains whose third-party embeddings span ~2.7K tracking eTLD+1s /
+// ~10K tracking FQDNs and ~9K non-tracking FQDNs.
+type Config struct {
+	NPublishers int // first-party sites (default 5693)
+
+	NAdNetworks int // mid-tier ad networks (default 700)
+	NExchanges  int // ad exchanges / SSPs (default 60)
+	NDSPs       int // demand-side platforms (default 600)
+	NDMPs       int // data-management / cookie-sync hubs (default 400)
+	NAnalytics  int // analytics trackers (default 900)
+	NCDNs       int // CDNs (default 120)
+	NWidgets    int // widget providers (default 280)
+
+	// WidgetFQDNsPerOrg controls per-customer subdomain fan-out for
+	// non-tracking services (default 30), matching the observation that
+	// roughly half the 19.3K third-party FQDNs are non-tracking.
+	WidgetFQDNsPerOrg int
+
+	// SensitiveSites is the number of publishers in GDPR-sensitive
+	// categories (default 1067, the paper's §6.1 count).
+	SensitiveSites int
+	// SensitiveWeightShare is the fraction of total visit weight carried
+	// by sensitive sites (default 0.029 ≈ the 2.89% of Fig 9).
+	SensitiveWeightShare float64
+
+	// ZipfExponent shapes publisher popularity (default 0.85).
+	ZipfExponent float64
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.NPublishers, 5693)
+	def(&c.NAdNetworks, 700)
+	def(&c.NExchanges, 60)
+	def(&c.NDSPs, 600)
+	def(&c.NDMPs, 400)
+	def(&c.NAnalytics, 900)
+	def(&c.NCDNs, 120)
+	def(&c.NWidgets, 280)
+	def(&c.WidgetFQDNsPerOrg, 30)
+	def(&c.SensitiveSites, 1067)
+	if c.SensitiveWeightShare == 0 {
+		c.SensitiveWeightShare = 0.029
+	}
+	if c.ZipfExponent == 0 {
+		c.ZipfExponent = 0.85
+	}
+	return c
+}
+
+// Scale returns a copy of the config with all population sizes multiplied
+// by f (minimum 1 each); used by tests to build small worlds quickly.
+func (c Config) Scale(f float64) Config {
+	c = c.withDefaults()
+	s := func(v *int) {
+		*v = int(math.Max(1, math.Round(float64(*v)*f)))
+	}
+	s(&c.NPublishers)
+	s(&c.NAdNetworks)
+	s(&c.NExchanges)
+	s(&c.NDSPs)
+	s(&c.NDMPs)
+	s(&c.NAnalytics)
+	s(&c.NCDNs)
+	s(&c.NWidgets)
+	s(&c.SensitiveSites)
+	if c.SensitiveSites >= c.NPublishers {
+		c.SensitiveSites = c.NPublishers / 5
+	}
+	return c
+}
+
+// tldPool gives the synthetic namespace some registrable-domain variety so
+// the eTLD+1 logic is exercised.
+var tldPool = []string{"com", "com", "com", "net", "io", "co", "org", "co.uk", "de", "fr"}
+
+// Build constructs the synthetic web deterministically from rng.
+func Build(rng *rand.Rand, cfg Config) *Graph {
+	cfg = cfg.withDefaults()
+	g := &Graph{}
+
+	b := builder{rng: rng, g: g, cfg: cfg}
+	b.buildMajors()
+	b.buildMidTier()
+	b.buildNonTracking()
+	g.indexServices()
+	b.buildPublishers()
+	return g
+}
+
+type builder struct {
+	rng *rand.Rand
+	g   *Graph
+	cfg Config
+
+	majorAnalytics []*Service // embedded on large fractions of sites
+	majorAdNets    []*Service
+}
+
+func (b *builder) addService(s *Service) *Service {
+	b.g.Services = append(b.g.Services, s)
+	return s
+}
+
+// buildMajors creates the paper's Google/Amazon/Facebook tier: a few
+// organizations owning several well-known tracking domains each.
+func (b *builder) buildMajors() {
+	google := []*Service{
+		{Org: "google", Role: RoleAdNetwork, Major: true, FQDNs: []string{
+			"pagead2.googlesyndication.com", "tpc.googlesyndication.com",
+			"adservice.google.com",
+		}},
+		{Org: "google", Role: RoleExchange, Major: true, FQDNs: []string{
+			"ad.doubleclick.net", "cm.g.doubleclick.net", "stats.g.doubleclick.net",
+			"securepubads.g.doubleclick.net",
+		}},
+		{Org: "google", Role: RoleAnalytics, Major: true, FQDNs: []string{
+			"www.google-analytics.com", "ssl.google-analytics.com",
+		}},
+	}
+	amazon := []*Service{
+		{Org: "amazon", Role: RoleAdNetwork, Major: true, FQDNs: []string{
+			"s.amazon-adsystem.com", "c.amazon-adsystem.com", "aax-eu.amazon-adsystem.com",
+		}},
+		{Org: "amazon", Role: RoleDSP, Major: true, FQDNs: []string{
+			"bid.amazon-adsystem.com",
+		}},
+	}
+	facebook := []*Service{
+		{Org: "facebook", Role: RoleAnalytics, Major: true, FQDNs: []string{
+			"connect.facebook.net", "pixel.facebook.com",
+		}},
+		{Org: "facebook", Role: RoleAdNetwork, Major: true, FQDNs: []string{
+			"an.facebook.com",
+		}},
+	}
+	for _, s := range google {
+		b.addService(s)
+	}
+	for _, s := range amazon {
+		b.addService(s)
+	}
+	for _, s := range facebook {
+		b.addService(s)
+	}
+	b.majorAnalytics = []*Service{google[2], facebook[0]}
+	b.majorAdNets = []*Service{google[0], google[1], amazon[0], facebook[1]}
+}
+
+// subPool names the auxiliary subdomains tracking orgs expose. They carry
+// the URL vocabulary the semi-automatic classifier keys on.
+var trackingSubs = []string{"ads", "sync", "rtb", "pixel", "match", "cs", "track", "bid"}
+
+func (b *builder) genTrackingService(role Role, i int, prefix string) *Service {
+	tld := tldPool[b.rng.Intn(len(tldPool))]
+	base := fmt.Sprintf("%s%04d.%s", prefix, i, tld)
+	n := 2 + b.rng.Intn(4) // 2..5 FQDNs
+	fqdns := make([]string, 0, n)
+	fqdns = append(fqdns, "www."+base)
+	perm := b.rng.Perm(len(trackingSubs))
+	for j := 0; j < n-1; j++ {
+		fqdns = append(fqdns, trackingSubs[perm[j]]+"."+base)
+	}
+	return &Service{Org: fmt.Sprintf("%s%04d", prefix, i), Role: role, FQDNs: fqdns}
+}
+
+func (b *builder) buildMidTier() {
+	for i := 0; i < b.cfg.NAdNetworks; i++ {
+		b.addService(b.genTrackingService(RoleAdNetwork, i, "adnet"))
+	}
+	for i := 0; i < b.cfg.NExchanges; i++ {
+		b.addService(b.genTrackingService(RoleExchange, i, "xchg"))
+	}
+	for i := 0; i < b.cfg.NDSPs; i++ {
+		b.addService(b.genTrackingService(RoleDSP, i, "dsp"))
+	}
+	for i := 0; i < b.cfg.NDMPs; i++ {
+		b.addService(b.genTrackingService(RoleDMP, i, "dmp"))
+	}
+	for i := 0; i < b.cfg.NAnalytics; i++ {
+		b.addService(b.genTrackingService(RoleAnalytics, i, "metrics"))
+	}
+}
+
+func (b *builder) buildNonTracking() {
+	for i := 0; i < b.cfg.NCDNs; i++ {
+		tld := tldPool[b.rng.Intn(len(tldPool))]
+		base := fmt.Sprintf("cdn%03d.%s", i, tld)
+		n := 1 + b.rng.Intn(b.cfg.WidgetFQDNsPerOrg)
+		fqdns := make([]string, 0, n+1)
+		fqdns = append(fqdns, "static."+base)
+		for j := 0; j < n; j++ {
+			fqdns = append(fqdns, fmt.Sprintf("e%d.%s", j, base))
+		}
+		b.addService(&Service{Org: fmt.Sprintf("cdn%03d", i), Role: RoleCDN, FQDNs: fqdns})
+	}
+	widgetKinds := []string{"chat", "comments", "video", "fonts", "maps", "badge"}
+	for i := 0; i < b.cfg.NWidgets; i++ {
+		kind := widgetKinds[i%len(widgetKinds)]
+		tld := tldPool[b.rng.Intn(len(tldPool))]
+		base := fmt.Sprintf("%s%03d.%s", kind, i, tld)
+		n := 1 + b.rng.Intn(b.cfg.WidgetFQDNsPerOrg*2)
+		fqdns := make([]string, 0, n+1)
+		fqdns = append(fqdns, "app."+base)
+		for j := 0; j < n; j++ {
+			fqdns = append(fqdns, fmt.Sprintf("c%d.%s", j, base))
+		}
+		b.addService(&Service{Org: fmt.Sprintf("%s%03d", kind, i), Role: RoleWidget, FQDNs: fqdns})
+	}
+}
+
+// pickZipf returns an index in [0, n) with probability proportional to
+// 1/(i+1)^s, using a precomputed cumulative table for O(log n) sampling.
+type zipfPicker struct {
+	cum []float64
+}
+
+func newZipfPicker(n int, s float64) *zipfPicker {
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	return &zipfPicker{cum: cum}
+}
+
+func (z *zipfPicker) pick(rng *rand.Rand) int {
+	x := rng.Float64() * z.cum[len(z.cum)-1]
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// sensitiveFlowShares reproduces Fig 9's within-sensitive flow shares.
+var sensitiveFlowShares = map[Topic]float64{
+	SensHealth:      0.36,
+	SensGambling:    0.21,
+	SensSexualOrien: 0.11,
+	SensPregnancy:   0.11,
+	SensPolitics:    0.09,
+	SensPorn:        0.07,
+	SensReligion:    0.025,
+	SensCancer:      0.02,
+	SensEthnicity:   0.02,
+	SensGuns:        0.015,
+	SensAlcohol:     0.015,
+	SensDeath:       0.015,
+}
+
+var publisherCountryPool = []string{
+	"ES", "GB", "DE", "FR", "IT", "PL", "GR", "RO", "CY", "DK", "BE", "HU", "BG",
+	"US", "US", "BR", "AR", "RU", "IN", "JP",
+}
+
+func (b *builder) buildPublishers() {
+	cfg := b.cfg
+	n := cfg.NPublishers
+	rng := b.rng
+
+	// Popularity: Zipf over general sites; sensitive sites share a fixed
+	// small weight budget so their flow share lands near Fig 9's 2.89%.
+	general := n - cfg.SensitiveSites
+	if general < 1 {
+		general = 1
+	}
+	var generalTotal float64
+	for i := 0; i < general; i++ {
+		generalTotal += 1 / math.Pow(float64(i+1), cfg.ZipfExponent)
+	}
+	// generalTotal carries (1 - share) of all weight.
+	sensBudget := generalTotal * cfg.SensitiveWeightShare / (1 - cfg.SensitiveWeightShare)
+
+	adNets := b.g.ServicesByRole(RoleAdNetwork)
+	analytics := b.g.ServicesByRole(RoleAnalytics)
+	widgets := b.g.ServicesByRole(RoleWidget)
+	cdns := b.g.ServicesByRole(RoleCDN)
+	adPick := newZipfPicker(len(adNets), 1.0)
+	anPick := newZipfPicker(len(analytics), 1.0)
+	wiPick := newZipfPicker(max(1, len(widgets)), 1.0)
+	cdPick := newZipfPicker(max(1, len(cdns)), 1.0)
+
+	embed := func(p *Publisher) {
+		// Major analytics on most sites.
+		for _, s := range b.majorAnalytics {
+			if rng.Float64() < 0.70 {
+				p.DirectTrackers = append(p.DirectTrackers, s)
+			}
+		}
+		// Long-tail analytics.
+		for k, kn := 0, 1+rng.Intn(4); k < kn; k++ {
+			p.DirectTrackers = append(p.DirectTrackers, analytics[anPick.pick(rng)])
+		}
+		// Ad slots: majors likely, plus mid-tier networks.
+		for _, s := range b.majorAdNets {
+			if rng.Float64() < 0.50 {
+				p.AdSlots = append(p.AdSlots, s)
+			}
+		}
+		for k, kn := 0, 1+rng.Intn(3); k < kn; k++ {
+			p.AdSlots = append(p.AdSlots, adNets[adPick.pick(rng)])
+		}
+		// Non-tracking embeds.
+		if len(widgets) > 0 {
+			for k, kn := 0, rng.Intn(3); k < kn; k++ {
+				p.Widgets = append(p.Widgets, widgets[wiPick.pick(rng)])
+			}
+		}
+		if len(cdns) > 0 {
+			for k, kn := 0, 1+rng.Intn(2); k < kn; k++ {
+				p.CDNs = append(p.CDNs, cdns[cdPick.pick(rng)])
+			}
+		}
+	}
+
+	// General sites.
+	generalTopics := GeneralTopics()
+	for i := 0; i < general; i++ {
+		tld := tldPool[rng.Intn(len(tldPool))]
+		p := &Publisher{
+			Domain:  fmt.Sprintf("site%05d.%s", i, tld),
+			Country: publisherCountryPool[rng.Intn(len(publisherCountryPool))],
+			Weight:  1 / math.Pow(float64(i+1), cfg.ZipfExponent),
+		}
+		nt := 5 + rng.Intn(11) // 5..15 topics, per §6.1
+		perm := rng.Perm(len(generalTopics))
+		for k := 0; k < nt && k < len(perm); k++ {
+			p.Topics = append(p.Topics, generalTopics[perm[k]])
+		}
+		embed(p)
+		b.g.Publishers = append(b.g.Publishers, p)
+	}
+
+	// Sensitive sites: counts per category proportional to flow share,
+	// each site's weight = category budget / sites in category.
+	cats := SensitiveCategories()
+	var shareTotal float64
+	for _, c := range cats {
+		shareTotal += sensitiveFlowShares[c]
+	}
+	idx := 0
+	for ci, cat := range cats {
+		count := int(math.Round(float64(cfg.SensitiveSites) * sensitiveFlowShares[cat] / shareTotal))
+		if ci == len(cats)-1 {
+			count = cfg.SensitiveSites - idx // absorb rounding
+		}
+		if count < 1 {
+			count = 1
+		}
+		catBudget := sensBudget * sensitiveFlowShares[cat] / shareTotal
+		for k := 0; k < count; k++ {
+			tld := tldPool[rng.Intn(len(tldPool))]
+			p := &Publisher{
+				Domain:    fmt.Sprintf("sens-%s%04d.%s", sanitize(cat), k, tld),
+				Country:   publisherCountryPool[rng.Intn(len(publisherCountryPool))],
+				Sensitive: cat,
+				Weight:    catBudget / float64(count),
+			}
+			// Public tags mask the sensitive category (§6.1).
+			p.Topics = append(p.Topics, MaskingTopic(cat))
+			nt := 4 + rng.Intn(8)
+			perm := rng.Perm(len(generalTopics))
+			for j := 0; j < nt && j < len(perm); j++ {
+				p.Topics = append(p.Topics, generalTopics[perm[j]])
+			}
+			embed(p)
+			b.g.Publishers = append(b.g.Publishers, p)
+			idx++
+		}
+	}
+}
+
+func sanitize(t Topic) string {
+	out := make([]byte, 0, len(t))
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c == ' ' {
+			c = '-'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

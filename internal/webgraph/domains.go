@@ -1,0 +1,58 @@
+// Package webgraph models the synthetic web the simulated users browse:
+// first-party publishers with topics and Zipf popularity, third-party
+// services (ad networks, exchanges, DSPs, trackers, CDNs, widgets), and
+// the embedding relationships between them. It is the stand-in for the
+// real web the paper's 350 extension users visited.
+package webgraph
+
+import "strings"
+
+// multiPartSuffixes is the small public-suffix subset the reproduction
+// needs. The paper extracts "TLD" (really eTLD+1, e.g. googlesyndication.com)
+// from FQDNs; a handful of two-level suffixes is enough for the synthetic
+// namespace plus realistic external names.
+var multiPartSuffixes = map[string]bool{
+	"co.uk": true, "org.uk": true, "ac.uk": true,
+	"com.au": true, "net.au": true,
+	"com.br": true, "co.jp": true, "co.kr": true,
+	"com.cn": true, "com.tw": true, "com.sg": true,
+	"co.za": true, "com.mx": true, "com.ar": true,
+}
+
+// ETLDPlusOne returns the registrable domain (the paper's "TLD" unit) for
+// a hostname: the public suffix plus one label. It returns the input
+// unchanged when it has too few labels.
+func ETLDPlusOne(host string) string {
+	host = strings.TrimSuffix(strings.ToLower(host), ".")
+	labels := strings.Split(host, ".")
+	if len(labels) <= 2 {
+		return host
+	}
+	lastTwo := strings.Join(labels[len(labels)-2:], ".")
+	if multiPartSuffixes[lastTwo] {
+		if len(labels) < 3 {
+			return host
+		}
+		return strings.Join(labels[len(labels)-3:], ".")
+	}
+	return lastTwo
+}
+
+// Hostname extracts the host part from a URL-ish string without requiring
+// a full URL parse: scheme and path are stripped if present.
+func Hostname(rawURL string) string {
+	s := rawURL
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.IndexByte(s, '@'); i >= 0 {
+		s = s[i+1:]
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.ToLower(s)
+}

@@ -1,0 +1,133 @@
+package webgraph
+
+import "fmt"
+
+// Role classifies a third-party service by its function in the RTB
+// ecosystem of Fig 1.
+type Role uint8
+
+const (
+	RoleAdNetwork Role = iota // ad serving / ad network (googlesyndication tier)
+	RoleExchange              // ad exchange / SSP running RTB auctions
+	RoleDSP                   // demand-side platform bidding in auctions
+	RoleDMP                   // data management platform / cookie-sync hub
+	RoleAnalytics             // analytics/audience measurement tracker
+	RoleCDN                   // static content delivery (non-tracking)
+	RoleWidget                // chat, comments, fonts, video (non-tracking)
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleAdNetwork:
+		return "adnetwork"
+	case RoleExchange:
+		return "exchange"
+	case RoleDSP:
+		return "dsp"
+	case RoleDMP:
+		return "dmp"
+	case RoleAnalytics:
+		return "analytics"
+	case RoleCDN:
+		return "cdn"
+	case RoleWidget:
+		return "widget"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// IsTracking reports whether requests to services of this role are ad or
+// tracking related (ground truth).
+func (r Role) IsTracking() bool {
+	switch r {
+	case RoleAdNetwork, RoleExchange, RoleDSP, RoleDMP, RoleAnalytics:
+		return true
+	}
+	return false
+}
+
+// Service is one third-party service: a set of FQDNs operated by one
+// organization for one function.
+type Service struct {
+	// Org is the owning organization's name; it matches a netsim.Org.
+	Org string
+	// Role is the service's function.
+	Role Role
+	// FQDNs are the hostnames the service answers on. The first entry is
+	// the primary serving name; later entries are auxiliary (sync., rtb.,
+	// pixel. subdomains or sibling domains).
+	FQDNs []string
+	// Major marks the paper's Google/Amazon/Facebook tier: embedded on a
+	// large share of publishers and holding a global server footprint.
+	Major bool
+}
+
+// Primary returns the service's main FQDN.
+func (s *Service) Primary() string { return s.FQDNs[0] }
+
+// Publisher is one first-party website.
+type Publisher struct {
+	// Domain is the site's registrable domain.
+	Domain string
+	// Country hosts the site (used only for flavor; tracking flows are
+	// what the study measures).
+	Country string
+	// Topics are the site's AdWords-style interest categories. For a
+	// sensitive site the true sensitive topic is included here.
+	Topics []Topic
+	// Sensitive is the site's sensitive category, or "" for a general
+	// site. When set, Topics still contains only the masked public
+	// categories plus the sensitive one (the tagger sees the masked ones).
+	Sensitive Topic
+	// Weight is the site's relative visit popularity (Zipf).
+	Weight float64
+
+	// Embedding plan: which third parties a full render touches.
+	DirectTrackers []*Service // analytics etc. embedded in first-party context
+	AdSlots        []*Service // ad networks with an ad slot on the page
+	Widgets        []*Service // chat/comments/video/fonts
+	CDNs           []*Service // static assets
+}
+
+// Graph is the complete synthetic web.
+type Graph struct {
+	Publishers []*Publisher
+	Services   []*Service
+
+	byRole map[Role][]*Service
+	byFQDN map[string]*Service
+}
+
+// ServicesByRole returns all services with the given role.
+func (g *Graph) ServicesByRole(r Role) []*Service { return g.byRole[r] }
+
+// ServiceByFQDN returns the service answering on the given hostname.
+func (g *Graph) ServiceByFQDN(fqdn string) (*Service, bool) {
+	s, ok := g.byFQDN[fqdn]
+	return s, ok
+}
+
+// TotalWeight returns the sum of publisher popularity weights.
+func (g *Graph) TotalWeight() float64 {
+	var sum float64
+	for _, p := range g.Publishers {
+		sum += p.Weight
+	}
+	return sum
+}
+
+// indexServices populates the lookup maps; the builder calls it last.
+func (g *Graph) indexServices() {
+	g.byRole = make(map[Role][]*Service)
+	g.byFQDN = make(map[string]*Service)
+	for _, s := range g.Services {
+		g.byRole[s.Role] = append(g.byRole[s.Role], s)
+		for _, f := range s.FQDNs {
+			if prev, dup := g.byFQDN[f]; dup && prev != s {
+				panic("webgraph: FQDN " + f + " registered to two services")
+			}
+			g.byFQDN[f] = s
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package webgraph
+
+// Topic is an interest category attached to a publisher, mirroring the
+// AdWords-style tags §6.1 uses (5–15 topics per domain).
+type Topic string
+
+// General (non-sensitive) topics.
+const (
+	TopicNews          Topic = "news"
+	TopicSports        Topic = "sports"
+	TopicTech          Topic = "technology"
+	TopicShopping      Topic = "shopping"
+	TopicTravel        Topic = "travel"
+	TopicFinance       Topic = "finance"
+	TopicEntertainment Topic = "entertainment"
+	TopicFood          Topic = "food & drinks"
+	TopicGames         Topic = "games"
+	TopicAutos         Topic = "autos"
+	TopicEducation     Topic = "education"
+	TopicMensInterests Topic = "men's interests"
+	TopicBeauty        Topic = "beauty & fitness"
+	TopicRealEstate    Topic = "real estate"
+	TopicScience       Topic = "science"
+)
+
+// The 12 sensitive categories of Fig 9. GDPR-sensitive data categories:
+// health and its cancer/death sub-reports, sexual life, beliefs, ethnicity,
+// plus nationally regulated topics (gambling, alcohol, guns, minors-adjacent).
+const (
+	SensHealth      Topic = "health"
+	SensGambling    Topic = "gambling"
+	SensSexualOrien Topic = "sexual orientation"
+	SensPregnancy   Topic = "pregnancy"
+	SensPolitics    Topic = "politics"
+	SensPorn        Topic = "porn"
+	SensReligion    Topic = "religion"
+	SensEthnicity   Topic = "ethnicity"
+	SensGuns        Topic = "guns"
+	SensAlcohol     Topic = "alcohol"
+	SensCancer      Topic = "cancer"
+	SensDeath       Topic = "death"
+)
+
+// SensitiveCategories lists the 12 categories in Fig 9's order of share.
+func SensitiveCategories() []Topic {
+	return []Topic{
+		SensHealth, SensGambling, SensSexualOrien, SensPregnancy,
+		SensPolitics, SensPorn, SensReligion, SensEthnicity,
+		SensGuns, SensAlcohol, SensCancer, SensDeath,
+	}
+}
+
+// GeneralTopics lists the non-sensitive topic pool.
+func GeneralTopics() []Topic {
+	return []Topic{
+		TopicNews, TopicSports, TopicTech, TopicShopping, TopicTravel,
+		TopicFinance, TopicEntertainment, TopicFood, TopicGames,
+		TopicAutos, TopicEducation, TopicMensInterests, TopicBeauty,
+		TopicRealEstate, TopicScience,
+	}
+}
+
+// IsSensitive reports whether the topic is one of the 12 GDPR-sensitive
+// categories.
+func IsSensitive(t Topic) bool {
+	switch t {
+	case SensHealth, SensGambling, SensSexualOrien, SensPregnancy,
+		SensPolitics, SensPorn, SensReligion, SensEthnicity,
+		SensGuns, SensAlcohol, SensCancer, SensDeath:
+		return true
+	}
+	return false
+}
+
+// MaskingTopic returns the innocuous AdWords-style category a sensitive
+// topic hides behind (§6.1: pregnancy sites tag as "Health", porn as
+// "Men's Interests", alcohol as "Food & Drinks", gambling as "Games").
+// This is why the paper needed manual inspection on top of automated tags.
+func MaskingTopic(t Topic) Topic {
+	switch t {
+	case SensHealth, SensCancer, SensDeath, SensPregnancy:
+		return TopicBeauty // tagged under generic health & fitness
+	case SensPorn, SensSexualOrien:
+		return TopicMensInterests
+	case SensAlcohol:
+		return TopicFood
+	case SensGambling:
+		return TopicGames
+	case SensPolitics, SensReligion, SensEthnicity:
+		return TopicNews
+	case SensGuns:
+		return TopicSports
+	default:
+		return t
+	}
+}

@@ -1,0 +1,77 @@
+package crossborder
+
+import (
+	"crossborder/internal/experiments"
+	"crossborder/internal/scenario"
+)
+
+// Options configures a reproduction run.
+type Options struct {
+	// Seed drives every random choice; the same seed reproduces the same
+	// study byte for byte. Zero means seed 1.
+	Seed int64
+	// Scale multiplies all population sizes. 1.0 is the paper's scale
+	// (350 users, 5,693 sites, ~7M third-party requests) and takes on
+	// the order of a minute; 0.1 runs in a few seconds. Zero means 1.0.
+	Scale float64
+	// VisitsPerUser overrides the mean page visits per user (0 = the
+	// paper's 219).
+	VisitsPerUser int
+}
+
+// Study is a fully built reproduction: the synthetic world, the collected
+// and classified dataset, the tracker inventory, the geolocation services,
+// and one method per table/figure of the paper.
+//
+// A Study is safe for concurrent reads after NewStudy returns.
+type Study struct {
+	*experiments.Suite
+}
+
+// NewStudy builds the world and runs the browser-extension study. This is
+// the expensive call; everything afterwards is aggregation.
+func NewStudy(o Options) *Study {
+	s := scenario.Build(scenario.Params{
+		Seed:          o.Seed,
+		Scale:         o.Scale,
+		VisitsPerUser: o.VisitsPerUser,
+	})
+	return &Study{Suite: experiments.NewSuite(s)}
+}
+
+// Scenario exposes the underlying world for advanced use (the cmd tools
+// and examples use it to reach the DNS substrate, inventory, and
+// geolocation services directly).
+func (st *Study) Scenario() *scenario.Scenario { return st.S }
+
+// RenderTable9 returns the paper's related-work comparison (Table 9),
+// which is transcription rather than experiment.
+func RenderTable9() string { return experiments.RenderTable9() }
+
+// RenderAll runs every experiment and returns the full set of rendered
+// tables and figures in paper order.
+func (st *Study) RenderAll() []string {
+	t8 := st.Table8()
+	return []string{
+		st.Table1().Render(),
+		st.Table2().Render(),
+		st.Fig2().Render(),
+		st.Fig3().Render(),
+		st.Fig4().Render(),
+		st.Fig5().Render(),
+		st.Table3().Render(),
+		st.Table4().Render(),
+		st.Fig6().Render(),
+		st.Fig7().Render(),
+		st.Fig8().Render(),
+		st.Table5().Render(),
+		st.Table6().Render(),
+		st.Fig9().Render(),
+		st.Fig10().Render(),
+		st.Fig11().Render(),
+		st.Table7().Render(),
+		t8.Render(),
+		st.Fig12(t8).Render(),
+		experiments.RenderTable9(),
+	}
+}
