@@ -30,4 +30,30 @@
 // Every table and figure of the paper has a corresponding method; see
 // EXPERIMENTS.md for the paper-vs-measured record and DESIGN.md for the
 // system inventory.
+//
+// # Parallel simulation and determinism
+//
+// The simulation/classification pipeline is multicore without giving up
+// bit-for-bit reproducibility, via three mechanisms:
+//
+//   - Per-user RNG streams. Every simulated user browses on a private
+//     stream whose seed is derived from (study seed, user ID) by a
+//     splitmix64-style hash (browser.UserSeed). A user's event sequence
+//     therefore never depends on which worker ran them, when, or what
+//     other users did — the property that makes fan-out safe.
+//   - Sharded collection with a deterministic merge. Each worker drives
+//     its own classify.Shard (private interner, publisher/country index,
+//     classification caches, per-user row buffers); no locks on the
+//     capture path. classify.ShardedCollector.Finalize then replays the
+//     captures in global user order, re-interning strings and remapping
+//     ids in encounter order, so the merged Dataset is byte-identical to
+//     a sequential run at any worker count (scenario.Params.Workers).
+//   - Read-only lookup substrates. dns.Server.Resolve after Freeze and
+//     netsim.World lookups after Freeze perform no writes and are safe
+//     for any number of concurrent readers (verified under -race).
+//
+// Downstream, core.Analyze shards its row scan over GOMAXPROCS workers
+// and merges the per-shard flow maps (commutative counter addition), and
+// experiments.Suite.Precompute runs the three geolocation joins
+// concurrently.
 package crossborder

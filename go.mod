@@ -1,0 +1,3 @@
+module crossborder
+
+go 1.24

@@ -93,6 +93,36 @@ func Parse(name, text string) (*List, []error) {
 // NumRules returns the number of compiled rules.
 func (l *List) NumRules() int { return len(l.rules) }
 
+// Memoizable reports whether every rule's outcome is fully determined by
+// the request hostname, the URL path up to (excluding) the query string,
+// and the page domain. When true, callers may cache Match verdicts per
+// (FQDN, path-sans-query, page-domain) — the classification fast path.
+//
+// The check is conservative: it requires each rule to be domain-anchored
+// (generic substring and |-anchored rules scan the whole URL, query
+// included), wildcard-free, not end-anchored, with no query characters in
+// the pattern and ^ only in final position (a trailing ^ matches the char
+// right after the path prefix, which is a separator — '?', '/' or URL end
+// — regardless of the query string).
+func (l *List) Memoizable() bool {
+	for i := range l.rules {
+		r := &l.rules[i]
+		if r.domainAnchor == "" || r.endAnchor || len(r.tokens) > 1 {
+			return false
+		}
+		if len(r.tokens) == 1 {
+			tok := r.tokens[0]
+			if strings.ContainsAny(tok, "?=&") {
+				return false
+			}
+			if c := strings.IndexByte(tok, '^'); c >= 0 && c != len(tok)-1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 func compileRule(line string) (Rule, error) {
 	r := Rule{Raw: line}
 	if strings.HasPrefix(line, "@@") {

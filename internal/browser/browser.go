@@ -10,6 +10,9 @@ package browser
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"crossborder/internal/dns"
@@ -42,7 +45,9 @@ type Event struct {
 }
 
 // Sink consumes the capture stream. OnVisit precedes the OnRequest calls
-// of that visit. Implementations are driven from a single goroutine.
+// of that visit. Each Sink instance is driven from exactly one goroutine:
+// the parallel pipeline hands every worker its own Sink (a shard), and
+// every user's full event stream lands in a single shard.
 type Sink interface {
 	OnVisit(u *User, p *webgraph.Publisher, at time.Time)
 	OnRequest(ev Event)
@@ -163,14 +168,88 @@ func NewSimulator(graph *webgraph.Graph, resolver *dns.Server, cfg Config) *Simu
 	}
 }
 
-// Run simulates every user's browsing and streams events into the sinks.
-// Deterministic for a given rng seed.
-func (s *Simulator) Run(rng *rand.Rand, users []*User, sinks ...Sink) {
+// UserSeed derives the seed of one user's private RNG stream from the
+// study seed via a splitmix64-style finalizer. Every user browses on an
+// independent stream, so the simulated event sequence of a user — and
+// therefore the merged dataset — is invariant to worker count and
+// scheduling order: stream splitting is what makes the parallel pipeline
+// bit-for-bit reproducible.
+func UserSeed(seed int64, userID int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(userID)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Run simulates every user's browsing on one goroutine and streams events
+// into the sinks. Each user browses on the private stream UserSeed(seed,
+// ID), so Run produces, user for user, exactly the events RunWorkers
+// produces at any worker count.
+func (s *Simulator) Run(seed int64, users []*User, sinks ...Sink) {
+	sc := newScratch()
 	for _, u := range users {
-		visits := s.visitCount(rng)
-		for v := 0; v < visits; v++ {
-			s.visit(rng, u, sinks)
-		}
+		s.runUser(u, seed, sinks, sc)
+	}
+}
+
+// RunWorkers fans the population out over a pool of workers (0 or
+// negative means runtime.GOMAXPROCS). sinksFor is called once per worker,
+// from the caller's goroutine, and returns the sinks that worker drives;
+// every user's full visit/request stream is delivered to exactly one
+// worker's sinks. Per-user RNG streams make the union of all shards
+// independent of worker count and of which worker picked up which user.
+func (s *Simulator) RunWorkers(seed int64, users []*User, workers int, sinksFor func(worker int) []Sink) {
+	if sinksFor == nil {
+		sinksFor = func(int) []Sink { return nil }
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(users) {
+		workers = len(users)
+	}
+	if workers <= 1 {
+		s.Run(seed, users, sinksFor(0)...)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sinks := sinksFor(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newScratch()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(users) {
+					return
+				}
+				s.runUser(users[i], seed, sinks, sc)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// scratch is per-worker reusable state, so the per-visit hot path does
+// not allocate a DNS cache map and an auction slice for every page.
+type scratch struct {
+	dnsCache map[string]netsim.IP
+	calls    []rtb.Call
+}
+
+func newScratch() *scratch {
+	return &scratch{dnsCache: make(map[string]netsim.IP, 64)}
+}
+
+// runUser replays one user's whole browsing study on their private
+// stream.
+func (s *Simulator) runUser(u *User, seed int64, sinks []Sink, sc *scratch) {
+	rng := rand.New(rand.NewSource(UserSeed(seed, u.ID)))
+	visits := s.visitCount(rng)
+	for v := 0; v < visits; v++ {
+		s.visit(rng, u, sinks, sc)
 	}
 }
 
@@ -185,7 +264,7 @@ func (s *Simulator) visitCount(rng *rand.Rand) int {
 }
 
 // visit renders one page.
-func (s *Simulator) visit(rng *rand.Rand, u *User, sinks []Sink) {
+func (s *Simulator) visit(rng *rand.Rand, u *User, sinks []Sink, sc *scratch) {
 	cfg := s.cfg
 	p := s.pubPick.pick(rng)
 	at := cfg.Start.Add(time.Duration(rng.Int63n(int64(cfg.End.Sub(cfg.Start)))))
@@ -195,7 +274,8 @@ func (s *Simulator) visit(rng *rand.Rand, u *User, sinks []Sink) {
 
 	// Per-visit DNS cache: repeated requests to one FQDN reuse the answer,
 	// like a real browser inside one TTL.
-	cache := make(map[string]netsim.IP)
+	cache := sc.dnsCache
+	clear(cache)
 	emit := func(call rtb.Call) {
 		ip, ok := cache[call.FQDN]
 		if !ok {
@@ -230,7 +310,8 @@ func (s *Simulator) visit(rng *rand.Rand, u *User, sinks []Sink) {
 
 	// 2. Ad slots: full RTB cascade plus creative asset fetches.
 	for _, adNet := range p.AdSlots {
-		calls := s.auction.Run(rng, adNet)
+		calls := s.auction.RunAppend(rng, adNet, sc.calls[:0])
+		sc.calls = calls[:0]
 		for _, c := range calls {
 			emit(c)
 		}

@@ -2,6 +2,7 @@ package browser
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -98,7 +99,7 @@ func TestSimulationProducesEvents(t *testing.T) {
 	sim := NewSimulator(g, srv, Config{VisitsPerUser: 10})
 	users := MakeUsers([]CountryCount{{"DE", 3}, {"ES", 2}})
 	col := newCollector()
-	sim.Run(rand.New(rand.NewSource(2)), users, col)
+	sim.Run(2, users, col)
 
 	if col.visits == 0 {
 		t.Fatal("no visits")
@@ -132,7 +133,7 @@ func TestSimulationDeterministic(t *testing.T) {
 	run := func() []Event {
 		sim := NewSimulator(g, srv, Config{VisitsPerUser: 5})
 		col := newCollector()
-		sim.Run(rand.New(rand.NewSource(7)), users, col)
+		sim.Run(7, users, col)
 		return col.events
 	}
 	a, b := run(), run()
@@ -151,7 +152,7 @@ func TestHTTPSShare(t *testing.T) {
 	sim := NewSimulator(g, srv, Config{VisitsPerUser: 30})
 	users := MakeUsers([]CountryCount{{"DE", 3}})
 	col := newCollector()
-	sim.Run(rand.New(rand.NewSource(5)), users, col)
+	sim.Run(5, users, col)
 	https := 0
 	for _, ev := range col.events {
 		if ev.HTTPS {
@@ -170,7 +171,7 @@ func TestTrafficMixTrackingDominates(t *testing.T) {
 	sim := NewSimulator(g, srv, Config{VisitsPerUser: 40})
 	users := MakeUsers([]CountryCount{{"DE", 5}})
 	col := newCollector()
-	sim.Run(rand.New(rand.NewSource(8)), users, col)
+	sim.Run(8, users, col)
 	tracking := 0
 	for _, ev := range col.events {
 		if ev.Call.Service.Role.IsTracking() {
@@ -217,7 +218,7 @@ func TestPerVisitDNSCache(t *testing.T) {
 			seen[k] = ev.IP
 		},
 	}
-	sim.Run(rand.New(rand.NewSource(10)), users, checker)
+	sim.Run(10, users, checker)
 }
 
 type funcSink struct {
@@ -228,12 +229,75 @@ type funcSink struct {
 func (f *funcSink) OnVisit(u *User, p *webgraph.Publisher, at time.Time) { f.onVisit(u, p, at) }
 func (f *funcSink) OnRequest(ev Event)                                   { f.onRequest(ev) }
 
+// TestRunWorkersInvariance is the stream-splitting contract: the set of
+// per-user event streams must be identical whatever the worker count,
+// because every user browses on a private RNG stream derived from
+// (seed, user ID).
+func TestRunWorkersInvariance(t *testing.T) {
+	g, srv := testRig(t, 13)
+	users := MakeUsers([]CountryCount{{"DE", 4}, {"ES", 3}, {"BR", 2}})
+
+	type evKey struct {
+		fqdn  string
+		ip    netsim.IP
+		https bool
+	}
+	capture := func(workers int) map[int][]evKey {
+		sim := NewSimulator(g, srv, Config{VisitsPerUser: 8})
+		perUser := make(map[int][]evKey)
+		var mu sync.Mutex
+		sim.RunWorkers(21, users, workers, func(w int) []Sink {
+			return []Sink{&funcSink{
+				onVisit: func(*User, *webgraph.Publisher, time.Time) {},
+				onRequest: func(ev Event) {
+					k := evKey{ev.Call.FQDN, ev.IP, ev.HTTPS}
+					mu.Lock()
+					perUser[ev.User.ID] = append(perUser[ev.User.ID], k)
+					mu.Unlock()
+				},
+			}}
+		})
+		return perUser
+	}
+
+	seq := capture(1)
+	par := capture(3)
+	if len(seq) != len(par) {
+		t.Fatalf("user counts differ: %d vs %d", len(seq), len(par))
+	}
+	for id, evs := range seq {
+		got := par[id]
+		if len(got) != len(evs) {
+			t.Fatalf("user %d: %d events sequential vs %d parallel", id, len(evs), len(got))
+		}
+		for i := range evs {
+			if evs[i] != got[i] {
+				t.Fatalf("user %d event %d differs: %+v vs %+v", id, i, evs[i], got[i])
+			}
+		}
+	}
+}
+
+func TestUserSeedStreamsDistinct(t *testing.T) {
+	seen := make(map[int64]int)
+	for id := 0; id < 10000; id++ {
+		s := UserSeed(1, id)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("users %d and %d share stream seed %d", prev, id, s)
+		}
+		seen[s] = id
+	}
+	if UserSeed(1, 5) == UserSeed(2, 5) {
+		t.Error("different study seeds must give a user different streams")
+	}
+}
+
 func TestVisitCountScaling(t *testing.T) {
 	g, srv := testRig(t, 11)
 	sim := NewSimulator(g, srv, Config{VisitsPerUser: 100})
 	users := MakeUsers([]CountryCount{{"DE", 20}})
 	col := newCollector()
-	sim.Run(rand.New(rand.NewSource(12)), users, col)
+	sim.Run(12, users, col)
 	mean := float64(col.visits) / float64(len(users))
 	if mean < 60 || mean > 140 {
 		t.Errorf("mean visits per user = %.1f, want ~100", mean)

@@ -15,7 +15,6 @@
 package classify
 
 import (
-	"strings"
 	"time"
 
 	"crossborder/internal/blocklist"
@@ -172,115 +171,59 @@ func (d *Dataset) Publisher(r Row) *webgraph.Publisher { return d.Publishers[r.P
 func (d *Dataset) Time(r Row) time.Time { return d.Start.AddDate(0, 0, int(r.Day)) }
 
 // Collector is a browser.Sink that builds the Dataset and runs stage 1
-// (filter-list matching) online as requests arrive.
+// (filter-list matching) online as requests arrive. It is the sequential
+// convenience wrapper around a one-shard ShardedCollector; parallel
+// pipelines use ShardedCollector directly.
 type Collector struct {
-	ds *Dataset
-
-	easylist    *blocklist.List
-	easyprivacy *blocklist.List
-
-	countryIdx map[geodata.Country]uint8
-	pubIdx     map[*webgraph.Publisher]int32
-	graph      *webgraph.Graph
+	sc *ShardedCollector
+	sh *Shard
 }
 
 // NewCollector returns a collector classifying against the two lists.
 func NewCollector(graph *webgraph.Graph, easylist, easyprivacy *blocklist.List, start time.Time) *Collector {
-	return &Collector{
-		ds: &Dataset{
-			FQDNs: NewInterner(),
-			Start: start,
-		},
-		easylist:    easylist,
-		easyprivacy: easyprivacy,
-		countryIdx:  make(map[geodata.Country]uint8),
-		pubIdx:      make(map[*webgraph.Publisher]int32),
-		graph:       graph,
-	}
+	sc := NewShardedCollector(graph, easylist, easyprivacy, start, 1)
+	return &Collector{sc: sc, sh: sc.Shard(0)}
 }
 
 // OnVisit implements browser.Sink.
 func (c *Collector) OnVisit(u *browser.User, p *webgraph.Publisher, at time.Time) {
-	c.ds.Visits++
-	if _, ok := c.pubIdx[p]; !ok {
-		c.pubIdx[p] = int32(len(c.ds.Publishers))
-		c.ds.Publishers = append(c.ds.Publishers, p)
-	}
+	c.sh.OnVisit(u, p, at)
 }
 
 // OnRequest implements browser.Sink: stage-1 classification + row storage.
-func (c *Collector) OnRequest(ev browser.Event) {
-	url := ev.Call.URL()
-	row := Row{
-		URLHash:   fnv64(url),
-		IP:        ev.IP,
-		FQDN:      c.ds.FQDNs.ID(ev.Call.FQDN),
-		RefFQDN:   c.ds.FQDNs.ID(ev.Call.RefFQDN),
-		Publisher: c.pubIdx[ev.Publisher],
-		User:      int32(ev.User.ID),
-		Day:       uint16(ev.At.Sub(c.ds.Start) / (24 * time.Hour)),
-	}
-	cID, ok := c.countryIdx[ev.User.Country]
-	if !ok {
-		cID = uint8(len(c.ds.Countries))
-		c.countryIdx[ev.User.Country] = cID
-		c.ds.Countries = append(c.ds.Countries, ev.User.Country)
-	}
-	row.Country = cID
+func (c *Collector) OnRequest(ev browser.Event) { c.sh.OnRequest(ev) }
 
-	if ev.Call.HasArgs {
-		row.Flags |= FlagHasArgs
-	}
-	if ev.HTTPS {
-		row.Flags |= FlagHTTPS
-	}
-	if containsKeyword(url) {
-		row.Flags |= FlagKeyword
-	}
-	if svc, ok := c.graph.ServiceByFQDN(ev.Call.FQDN); ok && svc.Role.IsTracking() {
-		row.Flags |= FlagTruthing
-	}
-
-	q := blocklist.Request{URL: url, PageDomain: ev.Publisher.Domain}
-	if c.easylist.Match(q) || c.easyprivacy.Match(q) {
-		row.Class = ClassABP
-	} else {
-		row.Class = ClassClean
-	}
-	c.ds.Rows = append(c.ds.Rows, row)
-}
-
-// containsKeyword scans a URL for the stage-3 vocabulary.
+// containsKeyword scans a URL for the stage-3 vocabulary in one pass,
+// case-insensitively, without allocating.
 func containsKeyword(url string) bool {
-	l := strings.ToLower(url)
-	for _, k := range Keywords {
-		if strings.Contains(l, k) {
-			return true
-		}
-	}
-	return false
+	return keywordAC.matchParts(url)
 }
 
-// fnv64 is FNV-1a over the URL for unique-request counting.
-func fnv64(s string) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
+// FNV-1a constants; fnvAdd folds one string fragment into a running hash
+// so URL hashing needs no concatenated "https://"+fqdn+path string.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvAdd(h uint64, s string) uint64 {
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
-		h *= prime
+		h *= fnvPrime
 	}
 	return h
 }
 
 // Finalize runs stages 2 and 3 over the collected rows and returns the
-// dataset. The collector must not be used afterwards.
+// dataset. The collector must not be used afterwards. Users are merged in
+// the order this collector first saw them, which for a sequential
+// simulation is exactly the browsing order.
 func (c *Collector) Finalize() *Dataset {
-	ds := c.ds
-	runSemiStages(ds)
-	return ds
+	order := make([]capRef, len(c.sh.caps))
+	for i := range c.sh.caps {
+		order[i] = capRef{sh: c.sh, idx: i}
+	}
+	return c.sc.merge(order)
 }
 
 // runSemiStages performs referrer propagation (stage 2) and the keyword

@@ -2,6 +2,7 @@ package classify
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -46,7 +47,7 @@ func rig(t *testing.T, seed int64, users []browser.CountryCount, visits int) *Da
 
 	col := NewCollector(g, el, ep, start)
 	sim := browser.NewSimulator(g, srv, browser.Config{VisitsPerUser: visits})
-	sim.Run(rng, browser.MakeUsers(users), col)
+	sim.Run(seed, browser.MakeUsers(users), col)
 	return col.Finalize()
 }
 
@@ -291,4 +292,133 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// shardRig rebuilds the rig substrate so the sharded-vs-sequential test
+// can run the same simulation through both collector shapes.
+func shardRig(t *testing.T, seed int64) (*webgraph.Graph, *dns.Server, *blocklist.List, *blocklist.List) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := webgraph.Build(rng, webgraph.Config{}.Scale(0.05))
+	srv := dns.NewServer(nil)
+	end := time.Date(2018, 1, 15, 0, 0, 0, 0, time.UTC)
+	countries := []geodata.Country{"US", "DE", "NL", "GB", "IE", "FR"}
+	ip := uint32(0x20000000)
+	for _, s := range g.Services {
+		for _, f := range s.FQDNs {
+			srv.Register(f, s.Org, dns.PolicyNearest, 300*time.Second, []dns.ServerIP{
+				{IP: netsim.IP(ip), Country: countries[int(ip)%len(countries)], From: start, To: end},
+			})
+			ip++
+		}
+	}
+	elText, epText := blocklist.Generate(rng, g, blocklist.Coverage{})
+	el, _ := blocklist.Parse("easylist", elText)
+	ep, _ := blocklist.Parse("easyprivacy", epText)
+	return g, srv, el, ep
+}
+
+func datasetsEqual(t *testing.T, a, b *Dataset) {
+	t.Helper()
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+	if a.FQDNs.Len() != b.FQDNs.Len() {
+		t.Fatalf("interner sizes differ: %d vs %d", a.FQDNs.Len(), b.FQDNs.Len())
+	}
+	for id := 0; id < a.FQDNs.Len(); id++ {
+		if a.FQDNs.Str(uint32(id)) != b.FQDNs.Str(uint32(id)) {
+			t.Fatalf("interner id %d: %q vs %q", id, a.FQDNs.Str(uint32(id)), b.FQDNs.Str(uint32(id)))
+		}
+	}
+	if len(a.Countries) != len(b.Countries) {
+		t.Fatalf("country tables differ in size")
+	}
+	for i := range a.Countries {
+		if a.Countries[i] != b.Countries[i] {
+			t.Fatalf("country id %d: %s vs %s", i, a.Countries[i], b.Countries[i])
+		}
+	}
+	if len(a.Publishers) != len(b.Publishers) {
+		t.Fatalf("publisher tables differ in size")
+	}
+	for i := range a.Publishers {
+		if a.Publishers[i] != b.Publishers[i] {
+			t.Fatalf("publisher id %d differs", i)
+		}
+	}
+	if a.Visits != b.Visits {
+		t.Fatalf("visits differ: %d vs %d", a.Visits, b.Visits)
+	}
+}
+
+// TestShardedMergeMatchesSequential is the shard/merge contract at the
+// classify level: a parallel capture merged in user order must be
+// byte-identical to the one-goroutine capture.
+func TestShardedMergeMatchesSequential(t *testing.T) {
+	g, srv, el, ep := shardRig(t, 11)
+	users := browser.MakeUsers([]browser.CountryCount{{Country: "DE", Users: 4}, {Country: "ES", Users: 3}})
+	sim := browser.NewSimulator(g, srv, browser.Config{VisitsPerUser: 20})
+
+	seq := NewCollector(g, el, ep, start)
+	sim.Run(5, users, seq)
+	seqDS := seq.Finalize()
+
+	const workers = 3
+	sc := NewShardedCollector(g, el, ep, start, workers)
+	sim.RunWorkers(5, users, workers, func(w int) []browser.Sink {
+		return []browser.Sink{sc.Shard(w)}
+	})
+	parDS := sc.Finalize(users)
+
+	datasetsEqual(t, seqDS, parDS)
+}
+
+// TestKeywordMatcherMatchesNaive cross-checks the Aho-Corasick scan
+// against the original ToLower+Contains loop on adversarial and random
+// inputs.
+func TestKeywordMatcherMatchesNaive(t *testing.T) {
+	naive := func(url string) bool {
+		l := strings.ToLower(url)
+		for _, k := range Keywords {
+			if strings.Contains(l, k) {
+				return true
+			}
+		}
+		return false
+	}
+	fixed := []string{
+		"", "https://x.com/", "https://sync.dmp01.com/cookiesync?uid=1",
+		"https://x.com/usermatc", "https://x.com/usermatchX", "USERMATCH",
+		"https://x.com/sy", "SyNc", "rtb", "r-t-b", "xxrtbxx",
+		"https://x.com/cookiesyn c", "trac", "track", "/co/llect",
+		"https://x.com/adser/v", "pixel", "pi xel", "bi", "obid",
+	}
+	for _, u := range fixed {
+		if got, want := containsKeyword(u), naive(u); got != want {
+			t.Errorf("containsKeyword(%q) = %v, naive = %v", u, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	alphabet := "abcdefgHIJ/?.=&:%-_xyzSYNCrtbi"
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		u := string(b)
+		if got, want := containsKeyword(u), naive(u); got != want {
+			t.Fatalf("containsKeyword(%q) = %v, naive = %v", u, got, want)
+		}
+	}
+	// Fragment-wise scanning must equal whole-string scanning.
+	if keywordAC.matchParts("https://", "sync.x.com", "/a") != containsKeyword("https://sync.x.com/a") {
+		t.Error("fragment scan diverges from whole-URL scan")
+	}
 }

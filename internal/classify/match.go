@@ -1,0 +1,108 @@
+package classify
+
+// acMatcher is a dense Aho-Corasick automaton over the lowercase ASCII
+// letter alphabet, built once over Keywords. It replaces the stage-3
+// strings.ToLower + strings.Contains loop with a single pass over the URL
+// bytes: no lowered copy is allocated and every keyword is checked
+// simultaneously. Non-letter bytes reset the automaton to the root, which
+// is exact for keyword vocabularies made of letters only.
+type acMatcher struct {
+	// next[state][letter] is the goto function with failure transitions
+	// pre-resolved into it.
+	next [][26]int32
+	// out[state] reports whether any keyword ends at (a suffix of) state.
+	out []bool
+}
+
+// keywordAC is built at init over the package vocabulary. Mutating
+// Keywords after init does not re-train the matcher.
+var keywordAC = buildAC(Keywords)
+
+// buildAC constructs the automaton. Patterns must be non-empty, lowercase
+// ASCII letters; buildAC panics otherwise, since the vocabulary is a
+// compile-time constant of this package.
+func buildAC(patterns []string) *acMatcher {
+	m := &acMatcher{next: make([][26]int32, 1), out: make([]bool, 1)}
+	// Phase 1: trie.
+	for _, p := range patterns {
+		if p == "" {
+			panic("classify: empty keyword")
+		}
+		state := int32(0)
+		for i := 0; i < len(p); i++ {
+			c := p[i]
+			if c < 'a' || c > 'z' {
+				panic("classify: keyword " + p + " is not lowercase letters")
+			}
+			nxt := m.next[state][c-'a']
+			if nxt == 0 {
+				nxt = int32(len(m.next))
+				m.next = append(m.next, [26]int32{})
+				m.out = append(m.out, false)
+				m.next[state][c-'a'] = nxt
+			}
+			state = nxt
+		}
+		m.out[state] = true
+	}
+	// Phase 2: BFS failure links, folded directly into next and out.
+	fail := make([]int32, len(m.next))
+	queue := make([]int32, 0, len(m.next))
+	for c := 0; c < 26; c++ {
+		if s := m.next[0][c]; s != 0 {
+			queue = append(queue, s)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		if m.out[fail[s]] {
+			m.out[s] = true
+		}
+		for c := 0; c < 26; c++ {
+			t := m.next[s][c]
+			if t != 0 {
+				fail[t] = m.next[fail[s]][c]
+				queue = append(queue, t)
+			} else {
+				m.next[s][c] = m.next[fail[s]][c]
+			}
+		}
+	}
+	return m
+}
+
+// scan feeds one string fragment through the automaton from state,
+// returning the new state and whether a keyword completed. Uppercase
+// ASCII is folded on the fly; any non-letter byte resets to the root.
+func (m *acMatcher) scan(state int32, s string) (int32, bool) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c < 'a' || c > 'z' {
+			state = 0
+			continue
+		}
+		state = m.next[state][c-'a']
+		if m.out[state] {
+			return state, true
+		}
+	}
+	return state, false
+}
+
+// matchParts reports whether the concatenation of the fragments contains
+// a keyword. Carrying the automaton state across fragment boundaries
+// makes this exactly equivalent to scanning the concatenated string,
+// without building it.
+func (m *acMatcher) matchParts(parts ...string) bool {
+	state := int32(0)
+	for _, p := range parts {
+		var hit bool
+		if state, hit = m.scan(state, p); hit {
+			return true
+		}
+	}
+	return false
+}

@@ -7,7 +7,9 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"crossborder/internal/classify"
 	"crossborder/internal/geo"
@@ -77,12 +79,67 @@ func (a *Analysis) Total() int64 { return a.total }
 // Unknown returns the number of unlocatable flows.
 func (a *Analysis) Unknown() int64 { return a.unknown }
 
+// Merge folds another accumulator into a. Counter addition commutes, so
+// merging per-shard analyses in any order yields the same totals as one
+// sequential pass — which is what keeps the parallel Analyze
+// deterministic.
+func (a *Analysis) Merge(b *Analysis) {
+	for f, n := range b.byFlow {
+		a.byFlow[f] += n
+	}
+	a.total += b.total
+	a.unknown += b.unknown
+}
+
+// analyzeRowsPerShard is the minimum chunk that justifies a worker: below
+// this, goroutine + merge overhead beats the scan.
+const analyzeRowsPerShard = 1 << 16
+
 // Analyze joins the classified dataset's tracking rows with a geolocation
 // service. filter, when non-nil, selects which rows participate (e.g.
 // only EU28 users, only sensitive sites).
+//
+// Large datasets are scanned by a pool of workers over row shards, each
+// accumulating into a private Analysis, merged at the end; the service
+// must be safe for concurrent Locate calls (all geo implementations
+// are), and filter, like the service, may be invoked from multiple
+// goroutines at once and must not mutate shared state. The result is
+// identical to the sequential scan.
 func Analyze(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bool) *Analysis {
+	workers := runtime.GOMAXPROCS(0)
+	if max := 1 + len(ds.Rows)/analyzeRowsPerShard; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		return analyzeRange(ds, svc, filter, 0, len(ds.Rows))
+	}
+	parts := make([]*Analysis, workers)
+	var wg sync.WaitGroup
+	chunk := (len(ds.Rows) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ds.Rows) {
+			hi = len(ds.Rows)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = analyzeRange(ds, svc, filter, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	a := parts[0]
+	for _, p := range parts[1:] {
+		a.Merge(p)
+	}
+	return a
+}
+
+// analyzeRange is the sequential scan over ds.Rows[lo:hi].
+func analyzeRange(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bool, lo, hi int) *Analysis {
 	a := NewAnalysis()
-	for _, r := range ds.Rows {
+	for _, r := range ds.Rows[lo:hi] {
 		if !r.Class.IsTracking() {
 			continue
 		}

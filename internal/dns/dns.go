@@ -88,10 +88,16 @@ type Resolution struct {
 }
 
 // Server is the authoritative resolver for the synthetic world.
-// Register all zones during construction; Resolve is then safe for
-// concurrent use as long as each goroutine passes its own *rand.Rand.
+// Register all zones during construction, then call Freeze; Resolve is
+// afterwards safe for concurrent use as long as each goroutine passes its
+// own *rand.Rand and the resolution log is nil or itself concurrency-safe
+// (the parallel simulation pipeline runs with a nil log and feeds passive
+// DNS directly from zone construction). Resolve never mutates server
+// state, which is what makes the read path race-free; Register after
+// Freeze panics so the invariant cannot be broken accidentally.
 type Server struct {
-	zones map[string]*entry
+	zones  map[string]*entry
+	frozen bool
 	// log receives every resolution when non-nil.
 	log func(Resolution)
 	// Spill is the probability that a PolicyNearest answer falls back to
@@ -114,9 +120,16 @@ func NewServer(logFn func(Resolution)) *Server {
 	return &Server{zones: make(map[string]*entry), log: logFn}
 }
 
+// Freeze marks zone construction finished. Resolve is safe for
+// concurrent readers afterwards; further Register calls panic.
+func (s *Server) Freeze() { s.frozen = true }
+
 // Register adds a zone for fqdn. Later registrations for the same FQDN
-// replace earlier ones.
+// replace earlier ones. Register panics after Freeze.
 func (s *Server) Register(fqdn, org string, policy Policy, ttl time.Duration, servers []ServerIP) {
+	if s.frozen {
+		panic("dns: Register after Freeze")
+	}
 	if len(servers) == 0 {
 		panic("dns: Register with no servers for " + fqdn)
 	}
@@ -171,12 +184,17 @@ var ErrNXDomain = errors.New("dns: NXDOMAIN")
 var ErrNoActiveServer = errors.New("dns: no active server for name")
 
 // Resolve answers a query from a user in the given country at time t.
+// It performs no writes to server state and is safe for concurrent use
+// after Freeze (each goroutine with its own rng).
 func (s *Server) Resolve(rng *rand.Rand, fqdn string, userCountry geodata.Country, t time.Time) (netsim.IP, error) {
 	e, ok := s.zones[fqdn]
 	if !ok {
 		return 0, ErrNXDomain
 	}
-	active := activeServers(e.servers, t)
+	// Filter into a stack buffer: the common case (every binding active)
+	// must not allocate, since Resolve sits on the per-request hot path.
+	var buf [32]ServerIP
+	active := appendActive(buf[:0], e.servers, t)
 	if len(active) == 0 {
 		return 0, ErrNoActiveServer
 	}
@@ -195,8 +213,7 @@ func (s *Server) Resolve(rng *rand.Rand, fqdn string, userCountry geodata.Countr
 	return ip, nil
 }
 
-func activeServers(servers []ServerIP, t time.Time) []ServerIP {
-	out := make([]ServerIP, 0, len(servers))
+func appendActive(out, servers []ServerIP, t time.Time) []ServerIP {
 	for _, sv := range servers {
 		if sv.ActiveAt(t) {
 			out = append(out, sv)
@@ -218,14 +235,18 @@ func pick(rng *rand.Rand, policy Policy, active []ServerIP, user geodata.Country
 		return active[0].IP
 	case PolicyContinent:
 		cont := geodata.ContinentOf(user)
-		var same []ServerIP
-		for _, sv := range active {
-			if sameEurope(geodata.ContinentOf(sv.Country), cont) {
-				same = append(same, sv)
+		// Count-then-select keeps the draw identical to collecting the
+		// matches into a slice, without allocating one per query.
+		n := 0
+		for i := range active {
+			if sameEurope(geodata.ContinentOf(active[i].Country), cont) {
+				n++
 			}
 		}
-		if len(same) > 0 {
-			return same[rng.Intn(len(same))].IP
+		if n > 0 {
+			return nthMatch(active, rng.Intn(n), func(sv *ServerIP) bool {
+				return sameEurope(geodata.ContinentOf(sv.Country), cont)
+			})
 		}
 		// No server on the user's continent: serve from the nearest
 		// region (a South American user of a US/EU service lands in the
@@ -234,14 +255,16 @@ func pick(rng *rand.Rand, policy Policy, active []ServerIP, user geodata.Country
 	default: // PolicyNearest
 		// 1. Same country, when the geo mapping for it is active.
 		if localOK {
-			var inCountry []ServerIP
-			for _, sv := range active {
-				if sv.Country == user {
-					inCountry = append(inCountry, sv)
+			n := 0
+			for i := range active {
+				if active[i].Country == user {
+					n++
 				}
 			}
-			if len(inCountry) > 0 {
-				return inCountry[rng.Intn(len(inCountry))].IP
+			if n > 0 {
+				return nthMatch(active, rng.Intn(n), func(sv *ServerIP) bool {
+					return sv.Country == user
+				})
 			}
 		}
 		// 2. Nearest within the user's continent (Europe is treated as
@@ -271,6 +294,20 @@ func pick(rng *rand.Rand, policy Policy, active []ServerIP, user geodata.Country
 		// 3. Globally nearest.
 		return nearestServer(active, user)
 	}
+}
+
+// nthMatch returns the IP of the n-th (0-based) server satisfying ok.
+// The caller guarantees at least n+1 matches exist.
+func nthMatch(active []ServerIP, n int, ok func(*ServerIP) bool) netsim.IP {
+	for i := range active {
+		if ok(&active[i]) {
+			if n == 0 {
+				return active[i].IP
+			}
+			n--
+		}
+	}
+	panic("dns: nthMatch out of range")
 }
 
 // nearestServer returns the active server geographically closest to the

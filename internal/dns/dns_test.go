@@ -1,7 +1,9 @@
 package dns
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -254,5 +256,88 @@ func TestPolicyStrings(t *testing.T) {
 			t.Errorf("policy %d string %q", p, s)
 		}
 		seen[s] = true
+	}
+}
+
+func TestRegisterAfterFreezePanics(t *testing.T) {
+	srv := NewServer(nil)
+	from := time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC)
+	to := from.AddDate(0, 6, 0)
+	servers := []ServerIP{{IP: 1, Country: "DE", From: from, To: to}}
+	srv.Register("a.example", "org", PolicyNearest, time.Minute, servers)
+	srv.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register after Freeze must panic")
+		}
+	}()
+	srv.Register("b.example", "org", PolicyNearest, time.Minute, servers)
+}
+
+// TestResolveConcurrentReadOnly drives the frozen resolver from many
+// goroutines, each with a private rng, and checks every goroutine gets
+// exactly the answers a lone goroutine with the same rng seed gets. Run
+// under -race this also proves the resolve path performs no writes.
+func TestResolveConcurrentReadOnly(t *testing.T) {
+	srv := NewServer(nil)
+	srv.Spill = 0.1
+	from := time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC)
+	to := from.AddDate(0, 6, 0)
+	countries := []geodata.Country{"DE", "US", "FR", "GB", "BR"}
+	policies := []Policy{PolicyNearest, PolicyContinent, PolicyHQ, PolicyRandom}
+	var zones []string
+	for i := 0; i < 40; i++ {
+		var servers []ServerIP
+		for k := 0; k < 4; k++ {
+			servers = append(servers, ServerIP{
+				IP:      netsim.IP(0x10000000 + i*16 + k),
+				Country: countries[(i+k)%len(countries)],
+				From:    from, To: to,
+			})
+		}
+		fqdn := fmt.Sprintf("z%02d.example", i)
+		srv.Register(fqdn, "org", policies[i%len(policies)], time.Minute, servers)
+		zones = append(zones, fqdn)
+	}
+	srv.Freeze()
+
+	day := from.AddDate(0, 1, 0)
+	resolveAll := func(seed int64) []netsim.IP {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]netsim.IP, 0, 4*len(zones))
+		for round := 0; round < 4; round++ {
+			for _, z := range zones {
+				ip, err := srv.Resolve(rng, z, countries[round%len(countries)], day)
+				if err != nil {
+					t.Errorf("resolve %s: %v", z, err)
+				}
+				out = append(out, ip)
+			}
+		}
+		return out
+	}
+
+	const goroutines = 8
+	want := make([][]netsim.IP, goroutines)
+	for gi := range want {
+		want[gi] = resolveAll(int64(gi + 1))
+	}
+	got := make([][]netsim.IP, goroutines)
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			got[gi] = resolveAll(int64(gi + 1))
+		}(gi)
+	}
+	wg.Wait()
+	for gi := range want {
+		for i := range want[gi] {
+			if want[gi][i] != got[gi][i] {
+				t.Fatalf("goroutine %d answer %d: %s sequentially vs %s concurrently",
+					gi, i, want[gi][i], got[gi][i])
+			}
+		}
 	}
 }

@@ -9,9 +9,9 @@
 package rtb
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"crossborder/internal/webgraph"
 )
@@ -153,8 +153,13 @@ func pickFQDN(rng *rand.Rand, s *webgraph.Service, wantSub string) string {
 // embedded on the page; the returned calls are ordered by causality
 // (each call's RefFQDN names an earlier call's FQDN or "" for the page).
 func (a *Auction) Run(rng *rand.Rand, adNet *webgraph.Service) []Call {
+	return a.RunAppend(rng, adNet, nil)
+}
+
+// RunAppend is Run appending into calls, letting hot loops reuse one
+// buffer across auctions instead of allocating a slice per ad slot.
+func (a *Auction) RunAppend(rng *rand.Rand, adNet *webgraph.Service, calls []Call) []Call {
 	cfg := a.cfg
-	var calls []Call
 
 	// 1. The publisher-context ad call. Initiated by first-party-embedded
 	// JavaScript, so its referrer is the page (§3.2 notes these populate
@@ -163,7 +168,7 @@ func (a *Auction) Run(rng *rand.Rand, adNet *webgraph.Service) []Call {
 	calls = append(calls, Call{
 		Service: adNet,
 		FQDN:    adFQDN,
-		Path:    fmt.Sprintf("/adserv/slot?sz=300x250&cb=%d", rng.Intn(20000)),
+		Path:    "/adserv/slot?sz=300x250&cb=" + strconv.Itoa(rng.Intn(20000)),
 		HasArgs: true,
 		Keyword: "adserv",
 		RefFQDN: "",
@@ -179,7 +184,7 @@ func (a *Auction) Run(rng *rand.Rand, adNet *webgraph.Service) []Call {
 	calls = append(calls, Call{
 		Service: xchg,
 		FQDN:    xFQDN,
-		Path:    fmt.Sprintf("/rtb/auction?aid=%d&pub=%d", rng.Int63n(200000), rng.Intn(6000)),
+		Path:    "/rtb/auction?aid=" + strconv.FormatInt(rng.Int63n(200000), 10) + "&pub=" + strconv.Itoa(rng.Intn(6000)),
 		HasArgs: true,
 		Keyword: "rtb",
 		RefFQDN: adFQDN,
@@ -195,7 +200,7 @@ func (a *Auction) Run(rng *rand.Rand, adNet *webgraph.Service) []Call {
 			calls = append(calls, Call{
 				Service: dsp,
 				FQDN:    f,
-				Path:    fmt.Sprintf("/bid?auction=%d&floor=%d", rng.Int63n(200000), rng.Intn(500)),
+				Path:    "/bid?auction=" + strconv.FormatInt(rng.Int63n(200000), 10) + "&floor=" + strconv.Itoa(rng.Intn(500)),
 				HasArgs: true,
 				Keyword: "bid",
 				RefFQDN: xFQDN,
@@ -212,7 +217,7 @@ func (a *Auction) Run(rng *rand.Rand, adNet *webgraph.Service) []Call {
 		calls = append(calls, Call{
 			Service: winner,
 			FQDN:    wFQDN,
-			Path:    fmt.Sprintf("/creative?imp=%d", rng.Int63n(300000)),
+			Path:    "/creative?imp=" + strconv.FormatInt(rng.Int63n(300000), 10),
 			HasArgs: true,
 			Keyword: "",
 			RefFQDN: xFQDN,
@@ -233,7 +238,7 @@ func (a *Auction) Run(rng *rand.Rand, adNet *webgraph.Service) []Call {
 				calls = append(calls, Call{
 					Service: dmp,
 					FQDN:    f,
-					Path:    fmt.Sprintf("/%s?uid=%d&partner=%s", kw, rng.Int63n(400000), prev),
+					Path:    "/" + kw + "?uid=" + strconv.FormatInt(rng.Int63n(400000), 10) + "&partner=" + prev,
 					HasArgs: true,
 					Keyword: kw,
 					RefFQDN: prev,
@@ -246,7 +251,7 @@ func (a *Auction) Run(rng *rand.Rand, adNet *webgraph.Service) []Call {
 		calls = append(calls, Call{
 			Service: winner,
 			FQDN:    pickFQDN(rng, winner, "pixel"),
-			Path:    fmt.Sprintf("/pixel?event=imp&ts=%d", rng.Int63n(250000)),
+			Path:    "/pixel?event=imp&ts=" + strconv.FormatInt(rng.Int63n(250000), 10),
 			HasArgs: true,
 			Keyword: "pixel",
 			RefFQDN: wFQDN,
@@ -263,7 +268,7 @@ func DirectTrackerCall(rng *rand.Rand, s *webgraph.Service) Call {
 	return Call{
 		Service: s,
 		FQDN:    pickFQDN(rng, s, "track"),
-		Path:    fmt.Sprintf("/collect?tid=%d&ev=pageview&dl=%d", rng.Intn(4000), rng.Int63n(100000)),
+		Path:    "/collect?tid=" + strconv.Itoa(rng.Intn(4000)) + "&ev=pageview&dl=" + strconv.FormatInt(rng.Int63n(100000), 10),
 		HasArgs: true,
 		Keyword: "track",
 		RefFQDN: "",
@@ -277,7 +282,7 @@ func WidgetCall(rng *rand.Rand, s *webgraph.Service) Call {
 	p := paths[rng.Intn(len(paths))]
 	hasArgs := rng.Float64() < 0.15 // a few widgets version-pin with ?v=
 	if hasArgs {
-		p += fmt.Sprintf("?v=%d", rng.Intn(100))
+		p += "?v=" + strconv.Itoa(rng.Intn(100))
 	}
 	return Call{
 		Service: s,

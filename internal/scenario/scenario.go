@@ -13,6 +13,7 @@ package scenario
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"crossborder/internal/blocklist"
@@ -43,6 +44,12 @@ type Params struct {
 	// SkipSensitive disables the §6 identification pass (cheap to keep
 	// on; exposed for ablation).
 	SkipSensitive bool
+	// Workers sets the simulation/classification worker-pool size
+	// (0 = runtime.GOMAXPROCS). Any value produces the same Dataset
+	// byte for byte: users browse on private RNG streams derived from
+	// (Seed, user ID), and the per-worker collector shards merge in user
+	// order. 1 forces the sequential baseline.
+	Workers int
 }
 
 func (p Params) withDefaults() Params {
@@ -137,6 +144,9 @@ func Build(p Params) *Scenario {
 	b := &worldBuilder{s: s, rng: rng}
 	b.build()
 	s.World.Freeze()
+	// Zone construction is done; freezing makes the resolver provably
+	// read-only for the concurrent browsing workers below.
+	s.DNS.Freeze()
 
 	// Filter lists over the finished graph.
 	elText, epText := blocklist.Generate(rng, s.Graph, blocklist.Coverage{})
@@ -150,18 +160,27 @@ func Build(p Params) *Scenario {
 		panic("scenario: generated easyprivacy failed to parse")
 	}
 
-	// The browsing study.
+	// The browsing study: users fan out over a worker pool, each on a
+	// private RNG stream, each worker capturing into its own collector
+	// shard; the shards merge into one Dataset in user order. The result
+	// is invariant to Workers (see Params.Workers).
 	s.Users = browser.MakeUsers(scalePopulation(browser.DefaultPopulation(), p.Scale))
 	visits := p.VisitsPerUser
 	if visits == 0 {
 		visits = 219
 	}
-	collector := classify.NewCollector(s.Graph, s.EasyList, s.EasyPrivacy, studyStart)
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	collector := classify.NewShardedCollector(s.Graph, s.EasyList, s.EasyPrivacy, studyStart, workers)
 	sim := browser.NewSimulator(s.Graph, s.DNS, browser.Config{
 		Start: studyStart, End: studyEnd, VisitsPerUser: visits,
 	})
-	sim.Run(rng, s.Users, collector)
-	s.Dataset = collector.Finalize()
+	sim.RunWorkers(p.Seed, s.Users, workers, func(w int) []browser.Sink {
+		return []browser.Sink{collector.Shard(w)}
+	})
+	s.Dataset = collector.Finalize(s.Users)
 
 	// Tracker IP inventory and geolocation services.
 	s.Inventory = trackerdb.Compile(s.Dataset, s.PDNS)
@@ -224,16 +243,22 @@ func (s *Scenario) OrgClouds(fqdn string) []geodata.CloudProvider {
 
 // FQDNWeights derives tracking-FQDN popularity from the extension
 // dataset's request counts, the profile the ISP synthesizer replays.
+// The slice is ordered by interner id (first-appearance order in the
+// dataset), not map order: the synthesizer samples weights positionally,
+// so a randomized order would make the §7 ISP tables drift between runs
+// of the same seed.
 func (s *Scenario) FQDNWeights() []netflow.FQDNWeight {
-	counts := make(map[uint32]int64)
+	counts := make([]int64, s.Dataset.FQDNs.Len())
 	for _, r := range s.Dataset.Rows {
 		if r.Class.IsTracking() {
 			counts[r.FQDN]++
 		}
 	}
-	out := make([]netflow.FQDNWeight, 0, len(counts))
+	var out []netflow.FQDNWeight
 	for id, n := range counts {
-		out = append(out, netflow.FQDNWeight{FQDN: s.Dataset.FQDNs.Str(id), Weight: float64(n)})
+		if n > 0 {
+			out = append(out, netflow.FQDNWeight{FQDN: s.Dataset.FQDNs.Str(uint32(id)), Weight: float64(n)})
+		}
 	}
 	return out
 }

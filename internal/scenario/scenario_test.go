@@ -255,3 +255,115 @@ func TestOrgRank(t *testing.T) {
 		}
 	}
 }
+
+// datasetHash fingerprints everything the classification pipeline
+// produced: the row slice, the interner tables, the country and
+// publisher indexes, and the visit count.
+func datasetHash(s *Scenario) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (x >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mixStr := func(str string) {
+		for i := 0; i < len(str); i++ {
+			h ^= uint64(str[i])
+			h *= prime
+		}
+		mix(uint64(len(str)))
+	}
+	ds := s.Dataset
+	for _, r := range ds.Rows {
+		mix(r.URLHash)
+		mix(uint64(r.IP))
+		mix(uint64(r.FQDN))
+		mix(uint64(r.RefFQDN))
+		mix(uint64(r.Publisher))
+		mix(uint64(r.User))
+		mix(uint64(r.Day))
+		mix(uint64(r.Country))
+		mix(uint64(r.Flags))
+		mix(uint64(r.Class))
+	}
+	for id := 0; id < ds.FQDNs.Len(); id++ {
+		mixStr(ds.FQDNs.Str(uint32(id)))
+	}
+	for _, c := range ds.Countries {
+		mixStr(string(c))
+	}
+	for _, p := range ds.Publishers {
+		mixStr(p.Domain)
+	}
+	mix(uint64(ds.Visits))
+	return h
+}
+
+// TestWorkerCountInvariance is the PR's determinism contract: the
+// finalized Dataset — and the experiment outputs derived from it — must
+// hash identically whether the simulation ran sequentially or on a
+// worker pool, because per-user RNG streams and the shard/merge step
+// make the pipeline independent of scheduling.
+func TestWorkerCountInvariance(t *testing.T) {
+	p := Params{Seed: 5, Scale: 0.02, VisitsPerUser: 8}
+
+	p.Workers = 1
+	seq := Build(p)
+	p.Workers = 4
+	par := Build(p)
+
+	if hs, hp := datasetHash(seq), datasetHash(par); hs != hp {
+		t.Fatalf("dataset hash differs: sequential %x vs 4 workers %x", hs, hp)
+	}
+	if seq.Inventory.NumIPs() != par.Inventory.NumIPs() ||
+		seq.Inventory.NumExtra() != par.Inventory.NumExtra() {
+		t.Error("tracker inventories differ across worker counts")
+	}
+
+	// Per-table experiment outputs must agree too (core.Analyze itself
+	// shards internally; its merge must also be order-insensitive).
+	for _, svc := range []struct {
+		name string
+		a, b *core.Analysis
+	}{
+		{"truth", core.Analyze(seq.Dataset, seq.Truth, nil), core.Analyze(par.Dataset, par.Truth, nil)},
+		{"maxmind", core.Analyze(seq.Dataset, seq.MaxMind, nil), core.Analyze(par.Dataset, par.MaxMind, nil)},
+	} {
+		ic1, eu1, eur1, n1 := svc.a.RegionConfinement(core.EU28Origin)
+		ic2, eu2, eur2, n2 := svc.b.RegionConfinement(core.EU28Origin)
+		if ic1 != ic2 || eu1 != eu2 || eur1 != eur2 || n1 != n2 {
+			t.Errorf("%s confinement differs: (%v %v %v %v) vs (%v %v %v %v)",
+				svc.name, ic1, eu1, eur1, n1, ic2, eu2, eur2, n2)
+		}
+	}
+}
+
+// TestWeightedPoolMatchesLinearScan pins the precomputed-cumulative
+// picker to the draw semantics of the original subtract-scan.
+func TestWeightedPoolMatchesLinearScan(t *testing.T) {
+	linear := func(x int, pool []struct {
+		c geodata.Country
+		w int
+	}) geodata.Country {
+		for _, e := range pool {
+			x -= e.w
+			if x < 0 {
+				return e.c
+			}
+		}
+		return pool[len(pool)-1].c
+	}
+	for _, pool := range [][]struct {
+		c geodata.Country
+		w int
+	}{euDCPool, hqPool} {
+		p := newWeightedPool(pool)
+		for x := 0; x < p.total; x++ {
+			if got, want := p.countries[p.upperBound(x)], linear(x, pool); got != want {
+				t.Fatalf("x=%d: picker %s, linear scan %s", x, got, want)
+			}
+		}
+	}
+}

@@ -42,23 +42,55 @@ var hqPool = []struct {
 	{"RU", 2}, {"CH", 1}, {"ES", 2}, {"IT", 2}, {"SE", 1},
 }
 
-func pickWeighted(rng *rand.Rand, pool []struct {
+// weightedPool is a weighted country sampler with the cumulative sums
+// precomputed once, replacing the draw that re-summed the pool on every
+// call inside the org/zone build loops. pick consumes exactly one Intn
+// and returns the same country the linear subtract-scan would have, so
+// world construction is unchanged draw for draw.
+type weightedPool struct {
+	countries []geodata.Country
+	cum       []int
+	total     int
+}
+
+func newWeightedPool(pool []struct {
 	c geodata.Country
 	w int
-}) geodata.Country {
-	total := 0
-	for _, e := range pool {
-		total += e.w
+}) *weightedPool {
+	p := &weightedPool{
+		countries: make([]geodata.Country, len(pool)),
+		cum:       make([]int, len(pool)),
 	}
-	x := rng.Intn(total)
-	for _, e := range pool {
-		x -= e.w
-		if x < 0 {
-			return e.c
+	for i, e := range pool {
+		p.total += e.w
+		p.countries[i] = e.c
+		p.cum[i] = p.total
+	}
+	return p
+}
+
+func (p *weightedPool) pick(rng *rand.Rand) geodata.Country {
+	return p.countries[p.upperBound(rng.Intn(p.total))]
+}
+
+// upperBound returns the first index whose cumulative weight exceeds x.
+func (p *weightedPool) upperBound(x int) int {
+	lo, hi := 0, len(p.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return pool[len(pool)-1].c
+	return lo
 }
+
+var (
+	euDCPicker = newWeightedPool(euDCPool)
+	hqPicker   = newWeightedPool(hqPool)
+)
 
 // midClouds are the providers mid-tier trackers lease origin servers
 // from: the hyperscalers and classic hosters. (CloudFlare and Equinix
@@ -170,7 +202,7 @@ func (b *worldBuilder) buildOrg(svc *webgraph.Service) {
 		plan.countries = []geodata.Country{"US", "US", "IE", "SE", "DE", "NL"}
 		poolPerDC, prefix = b.scaled(108, 4), 24
 	default:
-		hq = pickWeighted(rng, hqPool)
+		hq = hqPicker.pick(rng)
 		plan.countries = append(plan.countries, hq)
 		rank := orgRank(name)
 		switch kind {
@@ -283,7 +315,7 @@ func (b *worldBuilder) addBigFive(plan *orgPlan) {
 
 func (b *worldBuilder) addEUDCs(plan *orgPlan, n int) {
 	for i := 0; i < n; i++ {
-		c := pickWeighted(b.rng, euDCPool)
+		c := euDCPicker.pick(b.rng)
 		dup := false
 		for _, prev := range plan.countries {
 			if prev == c {

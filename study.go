@@ -51,6 +51,7 @@ func RenderTable9() string { return experiments.RenderTable9() }
 // RenderAll runs every experiment and returns the full set of rendered
 // tables and figures in paper order.
 func (st *Study) RenderAll() []string {
+	st.Precompute() // the three geolocation joins run concurrently
 	t8 := st.Table8()
 	return []string{
 		st.Table1().Render(),
