@@ -1,8 +1,8 @@
 // Benchmarks: one per table and figure of the paper, plus substrate
-// micro-benchmarks and the ablation benches DESIGN.md calls out. Each
-// experiment bench reports the headline quantity it regenerates via
-// b.ReportMetric, so `go test -bench` output doubles as a compact
-// reproduction summary.
+// micro-benchmarks and ablation benches isolating each methodology
+// stage. Each experiment bench reports the headline quantity it
+// regenerates via b.ReportMetric, so `go test -bench` output doubles as
+// a compact reproduction summary.
 package crossborder
 
 import (
@@ -261,7 +261,7 @@ func BenchmarkTable9RelatedWork(b *testing.B) {
 	}
 }
 
-// --- Ablation benches (DESIGN.md §6) ---
+// --- Ablation benches ---
 
 // BenchmarkAblationClassifierABPOnly measures how much tracking the
 // filter lists alone catch versus the full multi-stage classifier.

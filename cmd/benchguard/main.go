@@ -1,0 +1,93 @@
+// Command benchguard turns a benchmark run into a CI gate: it reads
+// `go test -bench` output on stdin, compares the benchmark's best ns/op
+// against the pinned value in BENCH_baseline.json, and exits non-zero
+// when the regression exceeds the allowed fraction.
+//
+// Usage:
+//
+//	go test -run=NONE -bench='^BenchmarkScenarioBuild$' -benchtime=5x . |
+//	    go run ./cmd/benchguard -baseline BENCH_baseline.json -max-regress 0.25
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// baseline mirrors the slice of BENCH_baseline.json benchguard needs:
+// the pinned post-PR numbers per benchmark.
+type baseline struct {
+	PostPR map[string]struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"post_pr"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON with post_pr.<bench>.ns_per_op")
+	bench := flag.String("bench", "BenchmarkScenarioBuild", "benchmark name to guard")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed ns/op regression as a fraction of the baseline")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("read baseline: %v", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parse baseline %s: %v", *baselinePath, err)
+	}
+	pinned, ok := base.PostPR[*bench]
+	if !ok || pinned.NsPerOp <= 0 {
+		fatalf("baseline %s has no post_pr entry for %s", *baselinePath, *bench)
+	}
+
+	// Bench lines look like:
+	//   BenchmarkScenarioBuild-8   5   67202645 ns/op   ...
+	// The GOMAXPROCS suffix is optional. Multiple matches (e.g. -count)
+	// keep the best run — the fairest steady-state estimate on noisy
+	// shared runners.
+	line := regexp.MustCompile(`^` + regexp.QuoteMeta(*bench) + `(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+	best := 0.0
+	seen := 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fmt.Println(sc.Text()) // pass the bench output through for the CI log
+		m := line.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			continue
+		}
+		seen++
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read bench output: %v", err)
+	}
+	if seen == 0 {
+		fatalf("no %s result found on stdin", *bench)
+	}
+
+	limit := pinned.NsPerOp * (1 + *maxRegress)
+	change := 100 * (best - pinned.NsPerOp) / pinned.NsPerOp
+	fmt.Printf("benchguard: %s best %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
+		*bench, best, pinned.NsPerOp, change, 100**maxRegress)
+	if best > limit {
+		fatalf("%s regressed beyond the %.0f%% budget", *bench, 100**maxRegress)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}

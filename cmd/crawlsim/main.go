@@ -9,6 +9,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +24,14 @@ func main() {
 	dump := flag.Int("dump", 0, "emit every Nth captured request as CSV (0 = none)")
 	flag.Parse()
 
-	study := crossborder.NewStudy(crossborder.Options{Seed: *seed, Scale: *scale, VisitsPerUser: *visits})
+	study, err := crossborder.New(context.Background(),
+		crossborder.WithSeed(*seed),
+		crossborder.WithScale(*scale),
+		crossborder.WithVisitsPerUser(*visits))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	s := study.Scenario()
 
 	fmt.Print(study.Table1().Render())

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -41,7 +42,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	study := crossborder.NewStudy(crossborder.Options{Seed: *seed, Scale: *scale, VisitsPerUser: 40})
+	study, err := crossborder.New(context.Background(),
+		crossborder.WithSeed(*seed),
+		crossborder.WithScale(*scale),
+		crossborder.WithVisitsPerUser(40))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	s := study.Scenario()
 	rng := rand.New(rand.NewSource(*seed + 99))
 	day := time.Date(2018, 4, 4, 12, 0, 0, 0, time.UTC)

@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 
 	"crossborder"
 	"crossborder/internal/geo"
@@ -19,7 +21,14 @@ func main() {
 	n := flag.Int("n", 15, "IPs to print individually (the agreement summary always uses all)")
 	flag.Parse()
 
-	study := crossborder.NewStudy(crossborder.Options{Seed: *seed, Scale: *scale, VisitsPerUser: 40})
+	study, err := crossborder.New(context.Background(),
+		crossborder.WithSeed(*seed),
+		crossborder.WithScale(*scale),
+		crossborder.WithVisitsPerUser(40))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	s := study.Scenario()
 	ips := s.Inventory.IPs()
 

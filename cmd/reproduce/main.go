@@ -1,10 +1,18 @@
 // Command reproduce runs the full reproduction of "Tracing Cross Border
 // Web Tracking" (IMC 2018) and prints every table and figure of the
-// paper's evaluation as plain-text artifacts.
+// paper's evaluation, driven entirely by the experiment registry.
 //
 // Usage:
 //
-//	reproduce [-scale 0.25] [-seed 1] [-visits 219] [-only Fig7]
+//	reproduce [-scale 0.25] [-seed 1] [-visits 219] [-workers 0]
+//	          [-only fig7,table8] [-json|-csv] [-progress]
+//	reproduce -list
+//
+// -list prints the registry (id, paper section, title) without building
+// anything. -only takes one or more comma-separated, case-insensitive
+// experiment ids; a bad id prints the valid ids. -json and -csv switch
+// the output to the machine-readable artifact encodings. Ctrl-C cancels
+// the build cleanly mid-phase.
 //
 // At -scale 1 the run simulates the paper's full 7M-request study and
 // takes on the order of a minute; smaller scales keep every shape and
@@ -12,9 +20,12 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -25,76 +36,169 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "population scale (1.0 = the paper's 350 users / 7.2M requests)")
 	seed := flag.Int64("seed", 1, "world seed; same seed, same study")
 	visits := flag.Int("visits", 0, "mean page visits per user (0 = the paper's 219)")
-	only := flag.String("only", "", "render a single experiment (e.g. Table5, Fig7); empty = all")
+	workers := flag.Int("workers", 0, "simulation worker-pool size (0 = GOMAXPROCS; output is identical at any value)")
+	only := flag.String("only", "", "comma-separated experiment ids to render (e.g. fig7,table8; case-insensitive); empty = all")
+	list := flag.Bool("list", false, "print the experiment registry (id, section, title) and exit")
+	asJSON := flag.Bool("json", false, "emit the structured results as one JSON array")
+	asCSV := flag.Bool("csv", false, "emit the structured results as flattened CSV rows")
+	progress := flag.Bool("progress", false, "report per-phase build progress on stderr")
 	flag.Parse()
+
+	if *list {
+		for _, e := range crossborder.Experiments() {
+			fmt.Printf("%-8s %-6s %s\n", e.ID, e.Section, e.Title)
+		}
+		return
+	}
+	if *asJSON && *asCSV {
+		fmt.Fprintln(os.Stderr, "-json and -csv are mutually exclusive")
+		os.Exit(2)
+	}
+
+	// Resolve the requested ids through the registry before paying for
+	// the build, so a typo fails fast with the valid id list.
+	ids := crossborder.ExperimentIDs()
+	if *only != "" {
+		ids = nil
+		seen := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			exp, ok := crossborder.LookupExperiment(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; valid ids:\n", name)
+				for _, e := range crossborder.Experiments() {
+					fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
+				}
+				os.Exit(2)
+			}
+			if seen[exp.ID] {
+				continue
+			}
+			seen[exp.ID] = true
+			ids = append(ids, exp.ID)
+		}
+		if len(ids) == 0 {
+			fmt.Fprintln(os.Stderr, "-only given but no experiment ids parsed")
+			os.Exit(2)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []crossborder.Option{
+		crossborder.WithSeed(*seed),
+		crossborder.WithScale(*scale),
+		crossborder.WithVisitsPerUser(*visits),
+		crossborder.WithWorkers(*workers),
+	}
+	if *progress {
+		opts = append(opts, crossborder.WithProgress(func(ev crossborder.PhaseEvent) {
+			fmt.Fprintf(os.Stderr, "\r%-10s %d/%d (%v)   ",
+				ev.Phase, ev.Done, ev.Total, ev.Elapsed.Round(time.Millisecond))
+			if ev.Done == ev.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "building scenario (scale=%.2f seed=%d)...\n", *scale, *seed)
-	study := crossborder.NewStudy(crossborder.Options{
-		Seed: *seed, Scale: *scale, VisitsPerUser: *visits,
-	})
+	study, err := crossborder.New(ctx, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "build aborted: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "scenario ready in %v; running experiments\n", time.Since(start).Round(time.Millisecond))
 
-	if *only != "" {
-		render, ok := renderOne(study, *only)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use Table1..Table9 or Fig2..Fig12\n", *only)
-			os.Exit(2)
+	// A full run executes the whole dependency graph in parallel up
+	// front (Precompute + concurrent experiments); the per-Suite cache
+	// then makes the sequential emit loops below free.
+	if *only == "" {
+		if _, err := study.RunAll(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "run aborted: %v\n", err)
+			os.Exit(1)
 		}
-		fmt.Println(render)
-		return
 	}
 
-	for _, artifact := range study.RenderAll() {
-		fmt.Println(artifact)
-		fmt.Println(strings.Repeat("=", 78))
+	switch {
+	case *asJSON:
+		err = emitJSON(ctx, study, ids)
+	case *asCSV:
+		err = emitCSV(ctx, study, ids)
+	default:
+		err = emitText(ctx, study, ids, *only == "")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run aborted: %v\n", err)
+		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-func renderOne(st *crossborder.Study, name string) (string, bool) {
-	switch strings.ToLower(name) {
-	case "table1":
-		return st.Table1().Render(), true
-	case "table2":
-		return st.Table2().Render(), true
-	case "fig2":
-		return st.Fig2().Render(), true
-	case "fig3":
-		return st.Fig3().Render(), true
-	case "fig4":
-		return st.Fig4().Render(), true
-	case "fig5":
-		return st.Fig5().Render(), true
-	case "table3":
-		return st.Table3().Render(), true
-	case "table4":
-		return st.Table4().Render(), true
-	case "fig6":
-		return st.Fig6().Render(), true
-	case "fig7":
-		return st.Fig7().Render(), true
-	case "fig8":
-		return st.Fig8().Render(), true
-	case "table5":
-		return st.Table5().Render(), true
-	case "table6":
-		return st.Table6().Render(), true
-	case "fig9":
-		return st.Fig9().Render(), true
-	case "fig10":
-		return st.Fig10().Render(), true
-	case "fig11":
-		return st.Fig11().Render(), true
-	case "table7":
-		return st.Table7().Render(), true
-	case "table8":
-		return st.Table8().Render(), true
-	case "fig12":
-		return st.Fig12(st.Table8()).Render(), true
-	case "table9":
-		return crossborder.RenderTable9(), true
-	default:
-		return "", false
+// emitText renders the artifacts as plain text, with the separator
+// rule between them when the full evaluation runs.
+func emitText(ctx context.Context, study *crossborder.Study, ids []string, separators bool) error {
+	for _, id := range ids {
+		a, err := study.Artifact(ctx, id)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a.Render())
+		if separators {
+			fmt.Println(strings.Repeat("=", 78))
+		}
 	}
+	return nil
+}
+
+// emitJSON prints one JSON array with an object per experiment: id,
+// title, section, and the structured result.
+func emitJSON(ctx context.Context, study *crossborder.Study, ids []string) error {
+	type entry struct {
+		ID      string          `json:"id"`
+		Title   string          `json:"title"`
+		Section string          `json:"section"`
+		Result  json.RawMessage `json:"result"`
+	}
+	out := make([]entry, 0, len(ids))
+	for _, id := range ids {
+		a, err := study.Artifact(ctx, id)
+		if err != nil {
+			return err
+		}
+		raw, err := a.JSON()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		exp, _ := crossborder.LookupExperiment(id)
+		out = append(out, entry{ID: exp.ID, Title: exp.Title, Section: exp.Section, Result: raw})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// emitCSV prints every artifact's flattened rows as one CSV stream with
+// an experiment column: "experiment,path,value".
+func emitCSV(ctx context.Context, study *crossborder.Study, ids []string) error {
+	fmt.Println("experiment,path,value")
+	for _, id := range ids {
+		a, err := study.Artifact(ctx, id)
+		if err != nil {
+			return err
+		}
+		raw, err := a.CSV()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+		for _, line := range lines[1:] { // drop the per-artifact header
+			fmt.Printf("%s,%s\n", id, line)
+		}
+	}
+	return nil
 }

@@ -22,14 +22,37 @@
 //     tracing (internal/sensitive), and the §7 ISP NetFlow scale-up
 //     (internal/netflow).
 //
-// The simplest entry point is Study:
+// # The staged pipeline
 //
-//	study := crossborder.NewStudy(crossborder.Options{Scale: 0.1})
+// New builds the study as a context-aware pipeline — world/zones,
+// simulation, classification, inventory, geolocation, sensitive
+// identification — with cancellation checkpoints inside every expensive
+// phase and per-phase progress events:
+//
+//	study, err := crossborder.New(ctx,
+//		crossborder.WithScale(0.1),
+//		crossborder.WithProgress(func(ev crossborder.PhaseEvent) {
+//			log.Printf("%s %d/%d", ev.Phase, ev.Done, ev.Total)
+//		}))
+//	if err != nil { ... } // ctx.Err() on cancellation, workers drained
 //	fmt.Println(study.Fig7().Render()) // the MaxMind-vs-IPmap flip
 //
-// Every table and figure of the paper has a corresponding method; see
-// EXPERIMENTS.md for the paper-vs-measured record and DESIGN.md for the
-// system inventory.
+// NewStudy remains as a deprecated, non-cancellable shim.
+//
+// # The experiment registry
+//
+// Every table and figure of the paper is a registered Experiment with a
+// canonical id ("table1" ... "fig12"), paper section, dependencies, and
+// a runner producing an Artifact (plain-text Render plus JSON and CSV
+// encodings of the structured result). See EXPERIMENTS.md — generated
+// from the registry — for the full index, and README.md for a
+// quickstart. The registry executes as a dependency graph:
+//
+//	arts, err := study.RunAll(ctx)        // parallel, paper order
+//	a, err := study.Artifact(ctx, "fig7") // one experiment, deps first
+//
+// Study.RenderAll renders the whole evaluation in paper order,
+// byte-identical for a fixed seed at any level of parallelism.
 //
 // # Parallel simulation and determinism
 //
@@ -47,13 +70,13 @@
 //     capture path. classify.ShardedCollector.Finalize then replays the
 //     captures in global user order, re-interning strings and remapping
 //     ids in encounter order, so the merged Dataset is byte-identical to
-//     a sequential run at any worker count (scenario.Params.Workers).
+//     a sequential run at any worker count (WithWorkers).
 //   - Read-only lookup substrates. dns.Server.Resolve after Freeze and
 //     netsim.World lookups after Freeze perform no writes and are safe
 //     for any number of concurrent readers (verified under -race).
 //
 // Downstream, core.Analyze shards its row scan over GOMAXPROCS workers
 // and merges the per-shard flow maps (commutative counter addition), and
-// experiments.Suite.Precompute runs the three geolocation joins
-// concurrently.
+// the registry's RunAll computes independent experiments concurrently
+// over the precomputed geolocation joins.
 package crossborder

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"sort"
 
 	"crossborder"
@@ -31,7 +33,11 @@ func main() {
 		return
 	}
 
-	study := crossborder.NewStudy(crossborder.Options{Seed: 1, Scale: *scale})
+	study, err := crossborder.New(context.Background(),
+		crossborder.WithSeed(1), crossborder.WithScale(*scale))
+	if err != nil {
+		log.Fatal(err)
+	}
 	s := study.Scenario()
 
 	type orgStat struct {

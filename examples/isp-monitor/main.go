@@ -11,8 +11,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
 	"time"
 
@@ -27,7 +29,13 @@ func main() {
 	weeks := flag.Int("weeks", 8, "weekly snapshots around the GDPR date")
 	flag.Parse()
 
-	study := crossborder.NewStudy(crossborder.Options{Seed: 1, Scale: *scale, VisitsPerUser: 60})
+	study, err := crossborder.New(context.Background(),
+		crossborder.WithSeed(1),
+		crossborder.WithScale(*scale),
+		crossborder.WithVisitsPerUser(60))
+	if err != nil {
+		log.Fatal(err)
+	}
 	s := study.Scenario()
 	fqdns := s.FQDNWeights()
 	synth := &netflow.Synthesizer{Resolver: s.DNS}

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 
 	"crossborder"
 	"crossborder/internal/geodata"
@@ -24,7 +26,11 @@ func main() {
 	scale := flag.Float64("scale", 0.08, "study scale")
 	flag.Parse()
 
-	study := crossborder.NewStudy(crossborder.Options{Seed: 1, Scale: *scale})
+	study, err := crossborder.New(context.Background(),
+		crossborder.WithSeed(1), crossborder.WithScale(*scale))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The Table 5 ladder: each mechanism's aggregate potential.
 	t5 := study.Table5()

@@ -9,7 +9,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"os"
 
 	"crossborder"
 	"crossborder/internal/geodata"
@@ -17,8 +20,19 @@ import (
 
 func main() {
 	// Scale 0.08 simulates ~30 users and ~300K third-party requests in a
-	// couple of seconds; crank it to 1.0 for the paper's full study.
-	study := crossborder.NewStudy(crossborder.Options{Seed: 1, Scale: 0.08})
+	// couple of seconds; crank it to 1.0 for the paper's full study. The
+	// context cancels the build; WithProgress watches the pipeline work.
+	study, err := crossborder.New(context.Background(),
+		crossborder.WithSeed(1),
+		crossborder.WithScale(0.08),
+		crossborder.WithProgress(func(ev crossborder.PhaseEvent) {
+			if ev.Done == ev.Total {
+				fmt.Fprintf(os.Stderr, "phase %-10s done (%d items)\n", ev.Phase, ev.Total)
+			}
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Table 1: what the browser extension collected.
 	fmt.Print(study.Table1().Render())

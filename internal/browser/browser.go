@@ -9,6 +9,7 @@
 package browser
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -186,10 +187,24 @@ func UserSeed(seed int64, userID int) int64 {
 // ID), so Run produces, user for user, exactly the events RunWorkers
 // produces at any worker count.
 func (s *Simulator) Run(seed int64, users []*User, sinks ...Sink) {
+	_ = s.RunContext(context.Background(), seed, users, nil, sinks...)
+}
+
+// RunContext is Run with cancellation and a completion hook: the context
+// is checked before every page visit, and onUser (if non-nil) is invoked
+// after each user finishes with the cumulative count of completed users.
+// Returns ctx.Err() if cancelled, nil otherwise.
+func (s *Simulator) RunContext(ctx context.Context, seed int64, users []*User, onUser func(done int), sinks ...Sink) error {
 	sc := newScratch()
-	for _, u := range users {
-		s.runUser(u, seed, sinks, sc)
+	for i, u := range users {
+		if err := s.runUser(ctx, u, seed, sinks, sc); err != nil {
+			return err
+		}
+		if onUser != nil {
+			onUser(i + 1)
+		}
 	}
+	return nil
 }
 
 // RunWorkers fans the population out over a pool of workers (0 or
@@ -199,6 +214,20 @@ func (s *Simulator) Run(seed int64, users []*User, sinks ...Sink) {
 // worker's sinks. Per-user RNG streams make the union of all shards
 // independent of worker count and of which worker picked up which user.
 func (s *Simulator) RunWorkers(seed int64, users []*User, workers int, sinksFor func(worker int) []Sink) {
+	_ = s.RunWorkersContext(context.Background(), seed, users, workers, sinksFor, nil)
+}
+
+// RunWorkersContext is RunWorkers with cancellation and progress. Every
+// worker checks the context before each page visit and drains promptly on
+// cancellation; RunWorkersContext returns only after all workers have
+// exited, so no goroutine outlives the call. onUser (if non-nil) is
+// invoked after each finished user with the cumulative completion count;
+// it may be called concurrently from different workers and must be
+// goroutine-safe. Returns ctx.Err() if cancelled, nil otherwise.
+func (s *Simulator) RunWorkersContext(ctx context.Context, seed int64, users []*User, workers int, sinksFor func(worker int) []Sink, onUser func(done int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if sinksFor == nil {
 		sinksFor = func(int) []Sink { return nil }
 	}
@@ -209,10 +238,9 @@ func (s *Simulator) RunWorkers(seed int64, users []*User, workers int, sinksFor 
 		workers = len(users)
 	}
 	if workers <= 1 {
-		s.Run(seed, users, sinksFor(0)...)
-		return
+		return s.RunContext(ctx, seed, users, onUser, sinksFor(0)...)
 	}
-	var next atomic.Int64
+	var next, done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		sinks := sinksFor(w)
@@ -225,11 +253,17 @@ func (s *Simulator) RunWorkers(seed int64, users []*User, workers int, sinksFor 
 				if i >= len(users) {
 					return
 				}
-				s.runUser(users[i], seed, sinks, sc)
+				if err := s.runUser(ctx, users[i], seed, sinks, sc); err != nil {
+					return
+				}
+				if onUser != nil {
+					onUser(int(done.Add(1)))
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // scratch is per-worker reusable state, so the per-visit hot path does
@@ -244,13 +278,19 @@ func newScratch() *scratch {
 }
 
 // runUser replays one user's whole browsing study on their private
-// stream.
-func (s *Simulator) runUser(u *User, seed int64, sinks []Sink, sc *scratch) {
+// stream. The context is checked before every visit so cancellation
+// propagates mid-user; a partially captured user is fine because the
+// whole dataset is discarded on error.
+func (s *Simulator) runUser(ctx context.Context, u *User, seed int64, sinks []Sink, sc *scratch) error {
 	rng := rand.New(rand.NewSource(UserSeed(seed, u.ID)))
 	visits := s.visitCount(rng)
 	for v := 0; v < visits; v++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		s.visit(rng, u, sinks, sc)
 	}
+	return nil
 }
 
 // visitCount draws the number of visits for one user around the mean.

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"sort"
+	"strconv"
+)
+
+// Artifact is the common currency of the experiment registry: one
+// rendered table or figure of the paper's evaluation, carrying the
+// structured result it was computed from.
+type Artifact interface {
+	// Render returns the plain-text artifact, byte-identical to the
+	// output of the corresponding Suite method's Render.
+	Render() string
+	// JSON marshals the structured result as indented JSON.
+	JSON() ([]byte, error)
+	// CSV flattens the structured result into machine-readable
+	// "path,value" rows (one row per scalar leaf, object keys sorted,
+	// array elements indexed).
+	CSV() ([]byte, error)
+	// Value exposes the underlying result value (e.g. a Table8Result)
+	// for dependent experiments and typed callers.
+	Value() any
+}
+
+// artifact is the registry's Artifact implementation: a structured
+// result plus its renderer.
+type artifact struct {
+	value  any
+	render func() string
+}
+
+// NewArtifact wraps a structured experiment result and its renderer
+// into an Artifact. The pointer return keeps artifacts comparable by
+// identity (the Suite cache hands out the same artifact every time).
+func NewArtifact(value any, render func() string) Artifact {
+	return &artifact{value: value, render: render}
+}
+
+func (a *artifact) Render() string { return a.render() }
+
+func (a *artifact) Value() any { return a.value }
+
+func (a *artifact) JSON() ([]byte, error) {
+	return json.MarshalIndent(a.value, "", "  ")
+}
+
+func (a *artifact) CSV() ([]byte, error) {
+	return flattenCSV(a.value)
+}
+
+// flattenCSV encodes any JSON-marshalable value as deterministic
+// "path,value" CSV rows: objects contribute dot-joined key paths in
+// sorted order, arrays contribute [i] indices, and every scalar leaf
+// becomes one row.
+func flattenCSV(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	var tree any
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	if err := dec.Decode(&tree); err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"path", "value"}}
+	flattenNode("", tree, &rows)
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.WriteAll(rows); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func flattenNode(path string, v any, rows *[][]string) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			child := k
+			if path != "" {
+				child = path + "." + k
+			}
+			flattenNode(child, t[k], rows)
+		}
+	case []any:
+		for i, e := range t {
+			flattenNode(path+"["+strconv.Itoa(i)+"]", e, rows)
+		}
+	case json.Number:
+		*rows = append(*rows, []string{path, t.String()})
+	case string:
+		*rows = append(*rows, []string{path, t})
+	case bool:
+		*rows = append(*rows, []string{path, strconv.FormatBool(t)})
+	case nil:
+		*rows = append(*rows, []string{path, ""})
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MarkdownIndex renders the registry as the EXPERIMENTS.md document: one
+// row per artifact with id, title, paper section, dependencies, and the
+// one-line description. The repo's EXPERIMENTS.md is this function's
+// output verbatim; a test asserts they stay in sync.
+func MarkdownIndex() string {
+	var b strings.Builder
+	b.WriteString("# Experiments\n")
+	b.WriteString("\n")
+	b.WriteString("<!-- Generated from the experiment registry")
+	b.WriteString(" (internal/experiments/registry.go); do not edit by hand.\n")
+	b.WriteString("     Regenerate with: go test -run TestExperimentsMarkdownInSync . -update -->\n")
+	b.WriteString("\n")
+	b.WriteString("Every table and figure of \"Tracing Cross Border Web Tracking\"\n")
+	b.WriteString("(IMC 2018) is a registered experiment. Each one renders as plain text\n")
+	b.WriteString("(`Render`), marshals as JSON (`JSON`), and flattens to CSV (`CSV`);\n")
+	b.WriteString("`cmd/reproduce -list` prints this same index, and\n")
+	b.WriteString("`cmd/reproduce -only <id> [-json|-csv]` runs any subset by id.\n")
+	b.WriteString("\n")
+	b.WriteString("| ID | Title | Section | Depends on | Description |\n")
+	b.WriteString("|----|-------|---------|------------|-------------|\n")
+	for _, e := range registry {
+		deps := "—"
+		if len(e.Deps) > 0 {
+			deps = strings.Join(e.Deps, ", ")
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s |\n",
+			e.ID, e.Title, e.Section, deps, e.Desc)
+	}
+	b.WriteString("\n")
+	b.WriteString("The registry executes as a dependency graph: `Suite.RunAll` computes\n")
+	b.WriteString("independent experiments in parallel over the precomputed geolocation\n")
+	b.WriteString("joins and runs dependencies (e.g. `table8` before `fig12`) first.\n")
+	b.WriteString("Output order is always paper order, byte-identical for a fixed seed.\n")
+	return b.String()
+}

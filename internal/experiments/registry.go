@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Experiment is one registered artifact of the paper's evaluation: a
+// table or figure with a canonical id, the paper section it appears in,
+// the experiments it depends on, and the Run hook producing its
+// Artifact.
+type Experiment struct {
+	// ID is the canonical lower-case identifier, e.g. "fig7", "table8".
+	ID string
+	// Title is the artifact's caption.
+	Title string
+	// Section is the paper section the artifact belongs to, e.g. "§4.2".
+	Section string
+	// Desc is a one-line description (used for EXPERIMENTS.md and
+	// `reproduce -list`).
+	Desc string
+	// Deps lists experiment ids whose artifacts must be computed first;
+	// Run receives them keyed by id.
+	Deps []string
+	// Run computes the artifact. It may consult ctx for cancellation;
+	// deps holds one Artifact per entry of Deps.
+	Run func(ctx context.Context, su *Suite, deps map[string]Artifact) (Artifact, error)
+}
+
+// registry holds every experiment in paper order (the order RenderAll
+// and RunAll emit artifacts in).
+var (
+	registry      []Experiment
+	registryIndex = make(map[string]int)
+)
+
+// Register adds an experiment to the registry. Registration order is
+// paper order. It panics on a duplicate or empty id, a missing Run
+// hook, or a dependency that has not been registered yet (the paper
+// order is also a valid topological order, so forward deps are bugs).
+func Register(e Experiment) {
+	id := strings.ToLower(strings.TrimSpace(e.ID))
+	if id == "" {
+		panic("experiments: Register with empty ID")
+	}
+	if e.Run == nil {
+		panic("experiments: Register " + id + " with nil Run")
+	}
+	if _, dup := registryIndex[id]; dup {
+		panic("experiments: duplicate experiment " + id)
+	}
+	for _, d := range e.Deps {
+		if _, ok := registryIndex[strings.ToLower(d)]; !ok {
+			panic("experiments: " + id + " depends on unregistered " + d)
+		}
+	}
+	e.ID = id
+	registryIndex[id] = len(registry)
+	registry = append(registry, e)
+}
+
+// All returns the registered experiments in paper order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// IDs returns every registered experiment id in paper order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Get looks an experiment up by id, case-insensitively.
+func Get(id string) (Experiment, bool) {
+	i, ok := registryIndex[strings.ToLower(strings.TrimSpace(id))]
+	if !ok {
+		return Experiment{}, false
+	}
+	return registry[i], true
+}
+
+// IDs returns the registry's experiment ids in paper order.
+func (su *Suite) IDs() []string { return IDs() }
+
+// Get looks an experiment up by id, case-insensitively.
+func (su *Suite) Get(id string) (Experiment, bool) { return Get(id) }
+
+// artifactCell caches one experiment's computed Artifact per Suite.
+type artifactCell struct {
+	mu sync.Mutex
+	a  Artifact
+}
+
+// cell returns (creating if needed) the cache cell for one experiment.
+func (su *Suite) cell(id string) *artifactCell {
+	su.cellsMu.Lock()
+	defer su.cellsMu.Unlock()
+	if su.cells == nil {
+		su.cells = make(map[string]*artifactCell, len(registry))
+	}
+	c := su.cells[id]
+	if c == nil {
+		c = &artifactCell{}
+		su.cells[id] = c
+	}
+	return c
+}
+
+// Artifact computes (or returns the cached) artifact of one experiment,
+// computing its dependencies first. Safe for concurrent use; each
+// experiment runs at most once per Suite. An unknown id returns an
+// error naming the valid ids.
+func (su *Suite) Artifact(ctx context.Context, id string) (Artifact, error) {
+	exp, ok := Get(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (valid ids: %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	c := su.cell(exp.ID)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.a != nil {
+		return c.a, nil
+	}
+	var deps map[string]Artifact
+	if len(exp.Deps) > 0 {
+		deps = make(map[string]Artifact, len(exp.Deps))
+		for _, d := range exp.Deps {
+			da, err := su.Artifact(ctx, d)
+			if err != nil {
+				return nil, err
+			}
+			deps[strings.ToLower(d)] = da
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	a, err := exp.Run(ctx, su, deps)
+	if err != nil {
+		return nil, err
+	}
+	c.a = a
+	return a, nil
+}
+
+// RunAll executes the full dependency graph: every registered
+// experiment, independent ones in parallel over the shared Precompute
+// substrate (the three geolocation joins and their sync.Once guards),
+// dependencies before dependents. The artifacts come back in paper
+// order regardless of execution interleaving — every experiment is a
+// deterministic function of the scenario, so the output is identical to
+// a sequential run.
+func (su *Suite) RunAll(ctx context.Context) ([]Artifact, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	su.Precompute()
+	ids := IDs()
+	out := make([]Artifact, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			out[i], errs[i] = su.Artifact(ctx, id)
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// reg registers a dependency-free experiment whose runner ignores the
+// context (the underlying computation is not divisible).
+func reg(id, title, section, desc string, run func(su *Suite) Artifact) {
+	Register(Experiment{
+		ID: id, Title: title, Section: section, Desc: desc,
+		Run: func(_ context.Context, su *Suite, _ map[string]Artifact) (Artifact, error) {
+			return run(su), nil
+		},
+	})
+}
+
+// The paper's nineteen measured artifacts plus the Table 9
+// transcription, in paper order.
+func init() {
+	reg("table1", "The real users dataset statistics", "§3.1",
+		"Dataset summary: users, first/third-party domains and requests collected by the extension.",
+		func(su *Suite) Artifact { r := su.Table1(); return NewArtifact(r, r.Render) })
+	reg("table2", "AdBlockPlus lists vs semi-automatic classification", "§3.2",
+		"Filter-list vs semi-automatic tracking detection, plus classifier precision/recall against generator truth.",
+		func(su *Suite) Artifact { r := su.Table2(); return NewArtifact(r, r.Render) })
+	reg("fig2", "3rd-party requests per website (CDF)", "§3.2",
+		"CDFs of clean / ad+tracking / all third-party requests per website.",
+		func(su *Suite) Artifact { r := su.Fig2(); return NewArtifact(r, r.Render) })
+	reg("fig3", "Top 20 TLDs of ad + tracking domains", "§3.2",
+		"The top-20 tracking eTLD+1s with the ABP-vs-semi detection split.",
+		func(su *Suite) Artifact { r := su.Fig3(); return NewArtifact(r, r.Render) })
+	reg("fig4", "Domains served per tracking IP", "§3.3",
+		"How many registrable domains each tracker IP serves, and the pDNS-only inventory share.",
+		func(su *Suite) Artifact { r := su.Fig4(); return NewArtifact(r, r.Render) })
+	reg("fig5", "IPs hosting 10+ ad+tracking domains", "§3.3",
+		"The cookie-sync / ad-exchange IPs serving ten or more tracking domains, by country.",
+		func(su *Suite) Artifact { r := su.Fig5(); return NewArtifact(r, r.Render) })
+	reg("table3", "Pair-wise agreement across geolocation tools", "§3.4",
+		"Country- and continent-level agreement between MaxMind, IP-API, and RIPE IPmap.",
+		func(su *Suite) Artifact { r := su.Table3(); return NewArtifact(r, r.Render) })
+	reg("table4", "MaxMind mis-geolocation of major ad+tracking orgs", "§3.4",
+		"MaxMind's per-org error rates against ground truth for Google, Amazon, and Facebook IPs.",
+		func(su *Suite) Artifact { r := su.Table4(); return NewArtifact(r, r.Render) })
+	reg("fig6", "Ad + tracking flows between continents", "§4.1",
+		"The continent-to-continent Sankey of all tracking flows under RIPE IPmap.",
+		func(su *Suite) Artifact { r := su.Fig6(); return NewArtifact(r, r.Render) })
+	reg("fig7", "EU28 destinations by geolocation service", "§4.2",
+		"The headline flip: MaxMind vs RIPE IPmap destinations of EU28 users' tracking flows.",
+		func(su *Suite) Artifact { r := su.Fig7(); return NewArtifact(r, r.Render) })
+	reg("fig8", "Tracking flows from EU28 countries", "§4.3",
+		"The EU28 country-to-country Sankey and per-country national confinement.",
+		func(su *Suite) Artifact { r := su.Fig8(); return NewArtifact(r, r.Render) })
+	reg("table5", "Localization improvements", "§5.1",
+		"Confinement under the what-if localization ladder: DNS redirection, PoP mirroring, cloud migration.",
+		func(su *Suite) Artifact { r := su.Table5(); return NewArtifact(r, r.Render) })
+	reg("table6", "Improvements over TLD redirection", "§5.2",
+		"Per-country gains of PoP mirroring and full cloud migration over TLD-level DNS redirection.",
+		func(su *Suite) Artifact { r := su.Table6(); return NewArtifact(r, r.Render) })
+	reg("fig9", "Sensitive-category share of tracking flows", "§6",
+		"Tracking-flow share per sensitive category (health, sexual orientation, ...).",
+		func(su *Suite) Artifact { r := su.Fig9(); return NewArtifact(r, r.Render) })
+	reg("fig10", "Destination continents of sensitive flows", "§6",
+		"Where EU28 users' sensitive-category tracking flows terminate.",
+		func(su *Suite) Artifact { r := su.Fig10(); return NewArtifact(r, r.Render) })
+	reg("fig11", "Sensitive flows leaving the user's country", "§6",
+		"Per-country leakage of sensitive tracking flows outside the user's country.",
+		func(su *Suite) Artifact { r := su.Fig11(); return NewArtifact(r, r.Render) })
+	reg("table7", "Profile of the four European ISPs", "§7.1",
+		"The demographics of the four ISPs whose NetFlow feeds the §7 scale-up.",
+		func(su *Suite) Artifact { r := su.Table7(); return NewArtifact(r, r.Render) })
+	reg("table8", "Sampled tracking flow statistics across EU ISPs", "§7.2",
+		"Sixteen ISP-day NetFlow snapshots: sampled tracking flows and region confinement over time.",
+		func(su *Suite) Artifact { r := su.Table8(); return NewArtifact(r, r.Render) })
+	Register(Experiment{
+		ID:      "fig12",
+		Title:   "Top 5 destination countries per ISP",
+		Section: "§7.2",
+		Desc:    "The April 4 snapshot's top destination countries per ISP, extracted from Table 8.",
+		Deps:    []string{"table8"},
+		Run: func(_ context.Context, su *Suite, deps map[string]Artifact) (Artifact, error) {
+			t8, ok := deps["table8"].Value().(Table8Result)
+			if !ok {
+				return nil, fmt.Errorf("experiments: fig12 dependency table8 carries %T, want Table8Result",
+					deps["table8"].Value())
+			}
+			r := su.Fig12(t8)
+			return NewArtifact(r, r.Render), nil
+		},
+	})
+	reg("table9", "Related work comparison", "§8",
+		"The paper's qualitative related-work table, transcribed (documentation, not simulation).",
+		func(*Suite) Artifact { return NewArtifact(Table9(), RenderTable9) })
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// paperOrder is the order the paper presents its artifacts in — the
+// order the pre-registry RenderAll hard-coded.
+var paperOrder = []string{
+	"table1", "table2", "fig2", "fig3", "fig4", "fig5",
+	"table3", "table4", "fig6", "fig7", "fig8",
+	"table5", "table6", "fig9", "fig10", "fig11",
+	"table7", "table8", "fig12", "table9",
+}
+
+// TestRegistryCompleteness asserts that every Suite table/figure method
+// is registered exactly once (plus the Table 9 transcription, which has
+// no Suite method) and that nothing else snuck into the registry.
+func TestRegistryCompleteness(t *testing.T) {
+	tf := regexp.MustCompile(`^(Table|Fig)\d+$`)
+	want := map[string]bool{"table9": true}
+	st := reflect.TypeOf(&Suite{})
+	for i := 0; i < st.NumMethod(); i++ {
+		name := st.Method(i).Name
+		if tf.MatchString(name) {
+			want[strings.ToLower(name)] = true
+		}
+	}
+	counts := make(map[string]int)
+	for _, id := range IDs() {
+		counts[id]++
+	}
+	for id := range want {
+		if counts[id] != 1 {
+			t.Errorf("experiment %s registered %d times, want exactly 1", id, counts[id])
+		}
+	}
+	for id := range counts {
+		if !want[id] {
+			t.Errorf("registered experiment %s has no Suite method", id)
+		}
+	}
+}
+
+// TestRegistryPaperOrder pins RunAll's output order to the paper order.
+func TestRegistryPaperOrder(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(paperOrder) {
+		t.Fatalf("registry has %d experiments, want %d", len(ids), len(paperOrder))
+	}
+	for i, id := range ids {
+		if id != paperOrder[i] {
+			t.Errorf("IDs()[%d] = %s, want %s", i, id, paperOrder[i])
+		}
+	}
+}
+
+// TestRegistryMetadata requires every entry to carry the fields the
+// -list output and EXPERIMENTS.md are generated from.
+func TestRegistryMetadata(t *testing.T) {
+	for _, e := range All() {
+		if e.Title == "" || e.Section == "" || e.Desc == "" {
+			t.Errorf("experiment %s missing metadata: title=%q section=%q desc=%q",
+				e.ID, e.Title, e.Section, e.Desc)
+		}
+		if !strings.HasPrefix(e.Section, "§") {
+			t.Errorf("experiment %s section %q is not a paper section", e.ID, e.Section)
+		}
+	}
+}
+
+// TestRegistryGetCaseInsensitive checks the lookup contract used by
+// `reproduce -only`.
+func TestRegistryGetCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"fig7", "Fig7", "FIG7", " fig7 "} {
+		e, ok := Get(name)
+		if !ok || e.ID != "fig7" {
+			t.Errorf("Get(%q) = (%q, %v), want fig7", name, e.ID, ok)
+		}
+	}
+	if _, ok := Get("fig13"); ok {
+		t.Error("Get(fig13) must fail")
+	}
+}
+
+// TestRegistryFig12SeesTable8 exercises the dependency graph: fig12
+// must receive table8's artifact and agree with the directly computed
+// composition.
+func TestRegistryFig12SeesTable8(t *testing.T) {
+	su := testSuite(t)
+	ctx := context.Background()
+	f12a, err := su.Artifact(ctx, "Fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8a, err := su.Artifact(ctx, "table8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, ok := t8a.Value().(Table8Result)
+	if !ok {
+		t.Fatalf("table8 artifact carries %T", t8a.Value())
+	}
+	if want := su.Fig12(t8).Render(); f12a.Render() != want {
+		t.Error("registry fig12 differs from direct Fig12(Table8()) composition")
+	}
+	f12, ok := f12a.Value().(Fig12Result)
+	if !ok {
+		t.Fatalf("fig12 artifact carries %T", f12a.Value())
+	}
+	apr := SnapshotDates()[1]
+	for _, rep := range t8.Reports {
+		if !rep.Date.Equal(apr) {
+			continue
+		}
+		got := f12.PerISP[rep.ISP]
+		if len(got) != len(rep.TopCountries) {
+			t.Fatalf("fig12 %s has %d countries, table8 report has %d",
+				rep.ISP, len(got), len(rep.TopCountries))
+		}
+		for i := range got {
+			if got[i] != rep.TopCountries[i] {
+				t.Errorf("fig12 %s[%d] = %+v, want table8's %+v",
+					rep.ISP, i, got[i], rep.TopCountries[i])
+			}
+		}
+	}
+}
+
+// TestArtifactCached asserts one computation per experiment per Suite.
+func TestArtifactCached(t *testing.T) {
+	su := testSuite(t)
+	ctx := context.Background()
+	a1, err := su.Artifact(ctx, "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := su.Artifact(ctx, "TABLE1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("second Artifact call must return the cached artifact")
+	}
+}
+
+// TestArtifactEncodings checks the three encodings of one artifact.
+func TestArtifactEncodings(t *testing.T) {
+	su := testSuite(t)
+	a, err := su.Artifact(context.Background(), "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := su.Table1().Render(); a.Render() != want {
+		t.Error("artifact render differs from the Suite method's render")
+	}
+	raw, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Stats struct{ Users int }
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("artifact JSON does not parse: %v", err)
+	}
+	if decoded.Stats.Users == 0 {
+		t.Error("artifact JSON lost the structured result")
+	}
+	csvOut, err := a.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(csvOut)
+	if !strings.HasPrefix(s, "path,value\n") {
+		t.Errorf("CSV missing header: %q", s[:min(len(s), 40)])
+	}
+	if !strings.Contains(s, "Stats.Users,") {
+		t.Errorf("CSV missing flattened field: %q", s)
+	}
+}
+
+// TestArtifactUnknownID requires the error to teach the valid ids.
+func TestArtifactUnknownID(t *testing.T) {
+	su := &Suite{} // never touched: lookup fails before any computation
+	_, err := su.Artifact(context.Background(), "fig99")
+	if err == nil {
+		t.Fatal("unknown id must error")
+	}
+	if !strings.Contains(err.Error(), "table1") || !strings.Contains(err.Error(), "fig12") {
+		t.Errorf("error must list valid ids, got: %v", err)
+	}
+}
+
+// TestRunAllCancelled asserts a dead context aborts before any work.
+func TestRunAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	su := &Suite{} // RunAll must not reach the (nil) scenario
+	if _, err := su.RunAll(ctx); err != context.Canceled {
+		t.Fatalf("RunAll on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

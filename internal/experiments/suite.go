@@ -13,7 +13,8 @@ import (
 	"crossborder/internal/scenario"
 )
 
-// Suite caches the expensive joint analyses over one scenario.
+// Suite caches the expensive joint analyses over one scenario, plus one
+// computed Artifact per registered experiment (see registry.go).
 type Suite struct {
 	S *scenario.Scenario
 
@@ -21,6 +22,9 @@ type Suite struct {
 		truth, ipmap, maxmind sync.Once
 	}
 	truthA, ipmapA, maxmindA *core.Analysis
+
+	cellsMu sync.Mutex
+	cells   map[string]*artifactCell
 }
 
 // NewSuite wraps a built scenario.

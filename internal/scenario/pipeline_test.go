@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBuildContextCancelMidSimulation cancels the pipeline from inside
+// the simulation phase and requires a prompt ctx.Err() return with
+// every worker goroutine drained.
+func TestBuildContextCancelMidSimulation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	var cancelledAt time.Time
+	p := Params{
+		Seed: 3, Scale: 0.05, VisitsPerUser: 120,
+		Progress: func(ev PhaseEvent) {
+			if ev.Phase == PhaseSimulate && ev.Done > 0 {
+				once.Do(func() {
+					cancelledAt = time.Now()
+					cancel()
+				})
+			}
+		},
+	}
+	before := runtime.NumGoroutine()
+	s, err := BuildContext(ctx, p)
+	returned := time.Now()
+	if err != context.Canceled {
+		t.Fatalf("BuildContext = %v, want context.Canceled", err)
+	}
+	if s != nil {
+		t.Fatal("cancelled build must not return a scenario")
+	}
+	if cancelledAt.IsZero() {
+		t.Fatal("cancel never fired: simulation emitted no progress")
+	}
+	if d := returned.Sub(cancelledAt); d > 10*time.Second {
+		t.Errorf("cancellation took %v to propagate", d)
+	}
+	// The workers join before BuildContext returns; give the runtime a
+	// moment to retire them, then require the goroutine count back at
+	// the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked: %d running, baseline %d", n, before)
+	}
+}
+
+// TestBuildContextPreCancelled must fail before doing any work.
+func TestBuildContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := BuildContext(ctx, Params{Seed: 1, Scale: 0.02}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("pre-cancelled build still ran for %v", d)
+	}
+}
+
+// TestProgressEventsMonotone records a full build's progress stream and
+// checks the event contract: every phase fires, in pipeline order, with
+// Done monotone from 0 to Total and Elapsed non-negative.
+func TestProgressEventsMonotone(t *testing.T) {
+	var events []PhaseEvent
+	_, err := BuildContext(context.Background(), Params{
+		Seed: 2, Scale: 0.02, VisitsPerUser: 8,
+		// Delivery is serialized by the pipeline, so plain append is safe.
+		Progress: func(ev PhaseEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+
+	var phaseSeq []Phase
+	last := make(map[Phase]PhaseEvent)
+	first := make(map[Phase]PhaseEvent)
+	for i, ev := range events {
+		if ev.Done < 0 || ev.Done > ev.Total {
+			t.Fatalf("event %d: Done %d outside [0,%d]", i, ev.Done, ev.Total)
+		}
+		if ev.Elapsed < 0 {
+			t.Fatalf("event %d: negative elapsed %v", i, ev.Elapsed)
+		}
+		if prev, seen := last[ev.Phase]; seen {
+			if len(phaseSeq) > 0 && phaseSeq[len(phaseSeq)-1] != ev.Phase {
+				t.Fatalf("event %d: phase %s resumed after %s started",
+					i, ev.Phase, phaseSeq[len(phaseSeq)-1])
+			}
+			if ev.Done < prev.Done {
+				t.Fatalf("event %d: phase %s Done regressed %d -> %d",
+					i, ev.Phase, prev.Done, ev.Done)
+			}
+		} else {
+			phaseSeq = append(phaseSeq, ev.Phase)
+			first[ev.Phase] = ev
+		}
+		last[ev.Phase] = ev
+	}
+
+	want := Phases()
+	if len(phaseSeq) != len(want) {
+		t.Fatalf("saw phases %v, want %v", phaseSeq, want)
+	}
+	for i, ph := range want {
+		if phaseSeq[i] != ph {
+			t.Fatalf("phase order %v, want %v", phaseSeq, want)
+		}
+		if first[ph].Done != 0 {
+			t.Errorf("phase %s first event Done = %d, want 0", ph, first[ph].Done)
+		}
+		if ev := last[ph]; ev.Done != ev.Total {
+			t.Errorf("phase %s ended at %d/%d, want complete", ph, ev.Done, ev.Total)
+		}
+	}
+	// The simulation phase must tick per user, not just start/end.
+	if last[PhaseSimulate].Total < 2 {
+		t.Fatalf("simulate total = %d, want the user count", last[PhaseSimulate].Total)
+	}
+}
+
+// TestBuildContextDeterminism: the context-aware pipeline must produce
+// the exact world the legacy Build produces (it is the same code path,
+// but the progress plumbing must never leak into the RNG).
+func TestBuildContextDeterminism(t *testing.T) {
+	p := Params{Seed: 11, Scale: 0.02, VisitsPerUser: 8}
+	a := Build(p)
+	withProgress := p
+	withProgress.Progress = func(PhaseEvent) {}
+	b, err := BuildContext(context.Background(), withProgress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Dataset.Rows) != len(b.Dataset.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Dataset.Rows), len(b.Dataset.Rows))
+	}
+	for i := range a.Dataset.Rows {
+		if a.Dataset.Rows[i] != b.Dataset.Rows[i] {
+			t.Fatalf("row %d differs with progress enabled", i)
+		}
+	}
+}

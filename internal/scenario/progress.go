@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase names one stage of the build pipeline. The phases run in the
+// order Phases returns; cancellation is checked between phases and at
+// fine-grained checkpoints inside the expensive ones.
+type Phase string
+
+// The pipeline's stages, in execution order.
+const (
+	// PhaseWorld covers web-graph generation, organization footprints,
+	// DNS zone construction, and filter-list generation.
+	PhaseWorld Phase = "world"
+	// PhaseSimulate is the browsing study: every user replays their
+	// visits over the worker pool. Progress ticks once per finished user.
+	PhaseSimulate Phase = "simulate"
+	// PhaseClassify merges the per-worker collector shards into the
+	// final classified Dataset.
+	PhaseClassify Phase = "classify"
+	// PhaseInventory compiles the tracker IP inventory (observed IPs
+	// plus passive-DNS completion).
+	PhaseInventory Phase = "inventory"
+	// PhaseGeolocate constructs the geolocation services (ground truth,
+	// MaxMind, IP-API, RIPE IPmap).
+	PhaseGeolocate Phase = "geolocate"
+	// PhaseSensitive runs the §6 sensitive-category identification.
+	// Skipped when Params.SkipSensitive is set.
+	PhaseSensitive Phase = "sensitive"
+)
+
+// Phases returns the canonical phase order of BuildContext.
+func Phases() []Phase {
+	return []Phase{
+		PhaseWorld, PhaseSimulate, PhaseClassify,
+		PhaseInventory, PhaseGeolocate, PhaseSensitive,
+	}
+}
+
+// PhaseEvent is one progress report from the build pipeline. Within a
+// phase, Done is monotone non-decreasing and never exceeds Total; every
+// phase emits at least a 0/Total and a Total/Total event.
+type PhaseEvent struct {
+	// Phase is the stage this event reports on.
+	Phase Phase
+	// Done and Total count the phase's work items (users for the
+	// simulation, services for world construction; coarser phases report
+	// a single item).
+	Done, Total int
+	// Elapsed is the time spent in this phase so far.
+	Elapsed time.Duration
+}
+
+// progress serializes PhaseEvent delivery. Ticks arrive from concurrent
+// simulation workers, so emission is guarded by a mutex; the guard also
+// enforces per-phase monotonicity of Done.
+type progress struct {
+	fn func(PhaseEvent)
+
+	mu      sync.Mutex
+	phase   Phase
+	done    int
+	total   int
+	started time.Time
+}
+
+// newProgress wraps the user callback; fn may be nil, making every
+// method a no-op.
+func newProgress(fn func(PhaseEvent)) *progress {
+	return &progress{fn: fn}
+}
+
+// startPhase opens a phase and emits its 0/total event.
+func (p *progress) startPhase(ph Phase, total int) {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.phase, p.done, p.total, p.started = ph, 0, total, time.Now()
+	p.emit()
+}
+
+// tick advances the current phase by n items and emits.
+func (p *progress) tick(n int) {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done += n
+	if p.done > p.total {
+		p.done = p.total
+	}
+	p.emit()
+}
+
+// finishPhase completes the current phase (Done = Total) and emits.
+func (p *progress) finishPhase() {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done = p.total
+	p.emit()
+}
+
+// emit must be called with the mutex held.
+func (p *progress) emit() {
+	p.fn(PhaseEvent{
+		Phase:   p.phase,
+		Done:    p.done,
+		Total:   p.total,
+		Elapsed: time.Since(p.started),
+	})
+}

@@ -6,11 +6,13 @@
 // services, and the sensitive-site identification.
 //
 // All calibration knobs live in Params; the defaults were tuned so the
-// shape of every table and figure in the paper holds (see EXPERIMENTS.md
-// for the paper-vs-measured record).
+// shape of every table and figure in the paper holds (EXPERIMENTS.md
+// indexes the artifacts; the experiments package's tests pin the
+// paper-vs-measured bands).
 package scenario
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -50,6 +52,13 @@ type Params struct {
 	// (Seed, user ID), and the per-worker collector shards merge in user
 	// order. 1 forces the sequential baseline.
 	Workers int
+	// Progress, when non-nil, receives per-phase progress events from
+	// BuildContext (phase name, items done/total, elapsed). Events for a
+	// phase are monotone in Done; simulation events arrive from worker
+	// goroutines but delivery is serialized, so the callback itself need
+	// not be goroutine-safe. Progress never influences the built world:
+	// the same Params produce the same Scenario with or without it.
+	Progress func(PhaseEvent)
 }
 
 func (p Params) withDefaults() Params {
@@ -104,9 +113,35 @@ var (
 
 // Build assembles the world. At Scale=1 this simulates the full 7.2M
 // request study and takes tens of seconds; tests should pass 0.02–0.1.
+//
+// Build is the non-cancellable entry point; it is BuildContext over
+// context.Background().
 func Build(p Params) *Scenario {
+	s, err := BuildContext(context.Background(), p)
+	if err != nil {
+		// Unreachable: the background context never cancels and
+		// cancellation is the only error source.
+		panic("scenario: " + err.Error())
+	}
+	return s
+}
+
+// BuildContext assembles the world as a staged pipeline — world/zones,
+// simulation, classification, inventory, geolocation, sensitive — with
+// cancellation checkpoints between and inside phases and per-phase
+// progress events through Params.Progress. On cancellation it returns
+// (nil, ctx.Err()) promptly and leaves no goroutines behind: the
+// simulation workers drain before the call returns.
+func BuildContext(ctx context.Context, p Params) (*Scenario, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p = p.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(p.Seed))
+	prog := newProgress(p.Progress)
 
 	s := &Scenario{
 		Params:    p,
@@ -118,6 +153,9 @@ func Build(p Params) *Scenario {
 	}
 
 	s.Graph = webgraph.Build(rng, webgraph.Config{}.Scale(p.Scale))
+	// World-phase progress counts each service twice: once through the
+	// org-footprint pass, once through the zone-construction pass.
+	prog.startPhase(PhaseWorld, 2*len(s.Graph.Services))
 	s.World = netsim.NewWorld()
 	s.DNS = dns.NewServer(nil)
 	// Imperfect geo load balancing: a slice of nearest-policy answers
@@ -141,8 +179,10 @@ func Build(p Params) *Scenario {
 		return hashCoin(fqdn, string(user), epoch) < q
 	}
 
-	b := &worldBuilder{s: s, rng: rng}
-	b.build()
+	b := &worldBuilder{s: s, rng: rng, ctx: ctx, prog: prog}
+	if err := b.build(); err != nil {
+		return nil, err
+	}
 	s.World.Freeze()
 	// Zone construction is done; freezing makes the resolver provably
 	// read-only for the concurrent browsing workers below.
@@ -159,6 +199,7 @@ func Build(p Params) *Scenario {
 	if len(errs) != 0 {
 		panic("scenario: generated easyprivacy failed to parse")
 	}
+	prog.finishPhase()
 
 	// The browsing study: users fan out over a worker pool, each on a
 	// private RNG stream, each worker capturing into its own collector
@@ -173,26 +214,57 @@ func Build(p Params) *Scenario {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	prog.startPhase(PhaseSimulate, len(s.Users))
 	collector := classify.NewShardedCollector(s.Graph, s.EasyList, s.EasyPrivacy, studyStart, workers)
 	sim := browser.NewSimulator(s.Graph, s.DNS, browser.Config{
 		Start: studyStart, End: studyEnd, VisitsPerUser: visits,
 	})
-	sim.RunWorkers(p.Seed, s.Users, workers, func(w int) []browser.Sink {
+	err := sim.RunWorkersContext(ctx, p.Seed, s.Users, workers, func(w int) []browser.Sink {
 		return []browser.Sink{collector.Shard(w)}
-	})
-	s.Dataset = collector.Finalize(s.Users)
+	}, func(int) { prog.tick(1) })
+	if err != nil {
+		return nil, err
+	}
+	prog.finishPhase()
 
-	// Tracker IP inventory and geolocation services.
+	prog.startPhase(PhaseClassify, 1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.Dataset = collector.Finalize(s.Users)
+	prog.finishPhase()
+
+	// Tracker IP inventory.
+	prog.startPhase(PhaseInventory, 1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.Inventory = trackerdb.Compile(s.Dataset, s.PDNS)
+	prog.finishPhase()
+
+	// Geolocation services: one tick per service.
+	prog.startPhase(PhaseGeolocate, 4)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.Truth = geo.Truth{World: s.World}
+	prog.tick(1)
 	s.MaxMind = geo.NewMaxMind(s.World)
+	prog.tick(1)
 	s.IPAPI = geo.NewIPAPI(s.MaxMind)
+	prog.tick(1)
 	s.IPMap = geo.NewIPMap(s.World, geo.DefaultMesh())
+	prog.tick(1)
 
 	if !p.SkipSensitive {
+		prog.startPhase(PhaseSensitive, 1)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s.Identification = sensitive.Identify(rng, s.Graph, sensitive.ExaminerConfig{})
+		prog.finishPhase()
 	}
-	return s
+	return s, nil
 }
 
 // hashCoin returns a deterministic pseudo-uniform float64 in [0,1) from

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -104,8 +105,10 @@ var midClouds = []geodata.CloudProvider{
 
 // worldBuilder constructs orgs, deployments, DNS zones and the pDNS feed.
 type worldBuilder struct {
-	s   *Scenario
-	rng *rand.Rand
+	s    *Scenario
+	rng  *rand.Rand
+	ctx  context.Context
+	prog *progress
 
 	// rotationMid splits the study period for rotating bindings.
 	rotationMid time.Time
@@ -134,14 +137,29 @@ func (b *worldBuilder) scaled(full, min int) int {
 	return n
 }
 
-func (b *worldBuilder) build() {
+func (b *worldBuilder) build() error {
 	b.rotationMid = b.s.Start.Add(b.s.End.Sub(b.s.Start) / 2)
 	b.pools = make(map[string][]dcPool)
 
-	b.buildOrgs()
-	b.buildZones()
+	if err := b.buildOrgs(); err != nil {
+		return err
+	}
+	if err := b.buildZones(); err != nil {
+		return err
+	}
 	b.buildSharedInfra()
 	b.buildStandbyIPs()
+	return nil
+}
+
+// checkpoint polls for cancellation; the org and zone loops call it
+// every few dozen services so a cancelled context aborts world
+// construction promptly.
+func (b *worldBuilder) checkpoint(i int) error {
+	if i%64 == 0 {
+		return b.ctx.Err()
+	}
+	return nil
 }
 
 // orgPlan captures the footprint decision for one org.
@@ -151,15 +169,20 @@ type orgPlan struct {
 
 // buildOrgs walks the graph's services, creates one netsim org per
 // distinct owner and deploys its datacenter footprint.
-func (b *worldBuilder) buildOrgs() {
+func (b *worldBuilder) buildOrgs() error {
 	seen := make(map[string]bool)
-	for _, svc := range b.s.Graph.Services {
+	for i, svc := range b.s.Graph.Services {
+		if err := b.checkpoint(i); err != nil {
+			return err
+		}
+		b.prog.tick(1)
 		if seen[svc.Org] {
 			continue
 		}
 		seen[svc.Org] = true
 		b.buildOrg(svc)
 	}
+	return nil
 }
 
 func (b *worldBuilder) buildOrg(svc *webgraph.Service) {
@@ -371,8 +394,12 @@ func (b *worldBuilder) policyFor(svc *webgraph.Service) dns.Policy {
 // buildZones registers one DNS zone per FQDN, picks its server IPs from
 // the org's pools, assigns rotation windows, and feeds every binding to
 // the pDNS replication store.
-func (b *worldBuilder) buildZones() {
-	for _, svc := range b.s.Graph.Services {
+func (b *worldBuilder) buildZones() error {
+	for i, svc := range b.s.Graph.Services {
+		if err := b.checkpoint(i); err != nil {
+			return err
+		}
+		b.prog.tick(1)
 		policy := b.policyFor(svc)
 		pools := b.pools[svc.Org]
 		if len(pools) == 0 {
@@ -434,6 +461,7 @@ func (b *worldBuilder) buildZones() {
 			}
 		}
 	}
+	return nil
 }
 
 // zoneServers draws perDC addresses per datacenter pool and applies

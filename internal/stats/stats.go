@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 )
@@ -112,6 +113,28 @@ func (c *CDF) Points(n int) []Point {
 
 // Point is one (x, y) pair of a plotted series.
 type Point struct{ X, Y float64 }
+
+// MarshalJSON encodes the CDF as its summary statistics plus up to 40
+// rank-spaced (x, y) points, so empirical distributions survive the
+// structured artifact encoders despite the unexported sample storage.
+func (c *CDF) MarshalJSON() ([]byte, error) {
+	out := struct {
+		Count  int     `json:"count"`
+		Mean   float64 `json:"mean"`
+		Median float64 `json:"median"`
+		P90    float64 `json:"p90"`
+		Max    float64 `json:"max"`
+		Points []Point `json:"points,omitempty"`
+	}{Count: c.Len()}
+	if c.Len() > 0 {
+		out.Mean = c.Mean()
+		out.Median = c.Median()
+		out.P90 = c.Quantile(0.9)
+		out.Max = c.Quantile(1)
+		out.Points = c.Points(40)
+	}
+	return json.Marshal(out)
+}
 
 // Histogram counts occurrences of integer-valued observations.
 type Histogram struct {

@@ -1,0 +1,65 @@
+package crossborder
+
+import (
+	"crossborder/internal/scenario"
+)
+
+// PhaseEvent is one progress report from the build pipeline: the phase
+// name, items done/total, and elapsed time in the phase. Delivered to
+// the WithProgress callback; events within a phase are monotone in Done.
+type PhaseEvent = scenario.PhaseEvent
+
+// Phase names one stage of the build pipeline (world, simulate,
+// classify, inventory, geolocate, sensitive).
+type Phase = scenario.Phase
+
+// The build pipeline's stages, in execution order.
+const (
+	PhaseWorld     = scenario.PhaseWorld
+	PhaseSimulate  = scenario.PhaseSimulate
+	PhaseClassify  = scenario.PhaseClassify
+	PhaseInventory = scenario.PhaseInventory
+	PhaseGeolocate = scenario.PhaseGeolocate
+	PhaseSensitive = scenario.PhaseSensitive
+)
+
+// Phases returns the canonical phase order of the build pipeline.
+func Phases() []Phase { return scenario.Phases() }
+
+// Option configures New. The zero configuration reproduces the paper at
+// full scale with seed 1.
+type Option func(*Options)
+
+// WithSeed sets the world seed; the same seed reproduces the same study
+// byte for byte. Zero means seed 1.
+func WithSeed(seed int64) Option {
+	return func(o *Options) { o.Seed = seed }
+}
+
+// WithScale multiplies all population sizes. 1.0 is the paper's scale
+// (350 users, 5,693 sites, ~7M third-party requests); 0.1 runs in a few
+// seconds. Zero means 1.0.
+func WithScale(scale float64) Option {
+	return func(o *Options) { o.Scale = scale }
+}
+
+// WithVisitsPerUser overrides the mean page visits per user (0 = the
+// paper's 219).
+func WithVisitsPerUser(n int) Option {
+	return func(o *Options) { o.VisitsPerUser = n }
+}
+
+// WithWorkers sets the simulation worker-pool size (0 = GOMAXPROCS).
+// Any value produces the same dataset byte for byte; 1 forces the
+// sequential baseline.
+func WithWorkers(n int) Option {
+	return func(o *Options) { o.Workers = n }
+}
+
+// WithProgress registers a per-phase progress callback. Events carry
+// the phase name, items done/total, and elapsed time; within a phase
+// Done is monotone non-decreasing. Delivery is serialized, so fn need
+// not be goroutine-safe. Progress never changes the built world.
+func WithProgress(fn func(PhaseEvent)) Option {
+	return func(o *Options) { o.Progress = fn }
+}

@@ -1,11 +1,15 @@
 package crossborder
 
 import (
+	"context"
+
 	"crossborder/internal/experiments"
 	"crossborder/internal/scenario"
 )
 
-// Options configures a reproduction run.
+// Options configures a reproduction run. Most callers should use New
+// with functional options instead of filling this struct directly; the
+// struct remains exported for the deprecated NewStudy entry point.
 type Options struct {
 	// Seed drives every random choice; the same seed reproduces the same
 	// study byte for byte. Zero means seed 1.
@@ -17,26 +21,88 @@ type Options struct {
 	// VisitsPerUser overrides the mean page visits per user (0 = the
 	// paper's 219).
 	VisitsPerUser int
+	// Workers sets the simulation worker-pool size (0 = GOMAXPROCS);
+	// any value produces the same dataset byte for byte.
+	Workers int
+	// Progress, when non-nil, receives per-phase pipeline events.
+	Progress func(PhaseEvent)
 }
 
-// Study is a fully built reproduction: the synthetic world, the collected
-// and classified dataset, the tracker inventory, the geolocation services,
-// and one method per table/figure of the paper.
+// Experiment is one registered artifact of the paper's evaluation: id,
+// title, paper section, dependencies, and the runner producing its
+// Artifact. The registry holds all 19 measured artifacts plus the
+// Table 9 transcription, in paper order.
+type Experiment = experiments.Experiment
+
+// Artifact is one computed table or figure: Render for the plain-text
+// form, JSON and CSV for machine-readable encodings of the structured
+// result, Value for the typed result itself.
+type Artifact = experiments.Artifact
+
+// Experiments returns the full experiment registry in paper order. It
+// does not require a built Study — listing is free.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentIDs returns every registered experiment id in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// LookupExperiment finds a registered experiment by id,
+// case-insensitively ("Fig7" and "fig7" both work).
+func LookupExperiment(id string) (Experiment, bool) { return experiments.Get(id) }
+
+// Study is a fully built reproduction: the synthetic world, the
+// collected and classified dataset, the tracker inventory, the
+// geolocation services, and the experiment registry over them. Through
+// the embedded Suite it exposes both the typed per-experiment methods
+// (Table1 ... Fig12) and the registry API (IDs, Get, Artifact, RunAll).
 //
-// A Study is safe for concurrent reads after NewStudy returns.
+// A Study is safe for concurrent reads after New returns.
 type Study struct {
 	*experiments.Suite
 }
 
-// NewStudy builds the world and runs the browser-extension study. This is
-// the expensive call; everything afterwards is aggregation.
-func NewStudy(o Options) *Study {
-	s := scenario.Build(scenario.Params{
+// New builds the world and runs the browser-extension study as a staged
+// pipeline: world/zones, simulation, classification, inventory,
+// geolocation, sensitive identification. This is the expensive call;
+// everything afterwards is aggregation.
+//
+// The context cancels the build between and inside phases — the
+// simulation checks it before every page visit — returning ctx.Err()
+// with all worker goroutines drained. WithProgress observes per-phase
+// progress.
+func New(ctx context.Context, opts ...Option) (*Study, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s, err := scenario.BuildContext(ctx, scenario.Params{
 		Seed:          o.Seed,
 		Scale:         o.Scale,
 		VisitsPerUser: o.VisitsPerUser,
+		Workers:       o.Workers,
+		Progress:      o.Progress,
 	})
-	return &Study{Suite: experiments.NewSuite(s)}
+	if err != nil {
+		return nil, err
+	}
+	return &Study{Suite: experiments.NewSuite(s)}, nil
+}
+
+// NewStudy builds the whole study eagerly without cancellation or
+// progress.
+//
+// Deprecated: use New, which threads a context through the build
+// pipeline and accepts functional options:
+//
+//	study, err := crossborder.New(ctx, crossborder.WithScale(0.1))
+func NewStudy(o Options) *Study {
+	st, err := New(context.Background(), func(dst *Options) { *dst = o })
+	if err != nil {
+		// Unreachable: the background context never cancels and
+		// cancellation is the pipeline's only error source.
+		panic("crossborder: " + err.Error())
+	}
+	return st
 }
 
 // Scenario exposes the underlying world for advanced use (the cmd tools
@@ -48,31 +114,30 @@ func (st *Study) Scenario() *scenario.Scenario { return st.S }
 // which is transcription rather than experiment.
 func RenderTable9() string { return experiments.RenderTable9() }
 
-// RenderAll runs every experiment and returns the full set of rendered
-// tables and figures in paper order.
+// RenderAll runs every experiment through the registry and returns the
+// rendered tables and figures in paper order.
 func (st *Study) RenderAll() []string {
-	st.Precompute() // the three geolocation joins run concurrently
-	t8 := st.Table8()
-	return []string{
-		st.Table1().Render(),
-		st.Table2().Render(),
-		st.Fig2().Render(),
-		st.Fig3().Render(),
-		st.Fig4().Render(),
-		st.Fig5().Render(),
-		st.Table3().Render(),
-		st.Table4().Render(),
-		st.Fig6().Render(),
-		st.Fig7().Render(),
-		st.Fig8().Render(),
-		st.Table5().Render(),
-		st.Table6().Render(),
-		st.Fig9().Render(),
-		st.Fig10().Render(),
-		st.Fig11().Render(),
-		st.Table7().Render(),
-		t8.Render(),
-		st.Fig12(t8).Render(),
-		experiments.RenderTable9(),
+	out, err := st.RenderAllContext(context.Background())
+	if err != nil {
+		// Unreachable: the background context never cancels and the
+		// registry runners only fail on cancellation.
+		panic("crossborder: " + err.Error())
 	}
+	return out
+}
+
+// RenderAllContext is RenderAll with cancellation: it executes the
+// registry's dependency graph (independent experiments in parallel) and
+// renders the artifacts in paper order. For a fixed seed the output is
+// byte-identical at any level of parallelism.
+func (st *Study) RenderAllContext(ctx context.Context) ([]string, error) {
+	arts, err := st.Suite.RunAll(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(arts))
+	for i, a := range arts {
+		out[i] = a.Render()
+	}
+	return out, nil
 }
