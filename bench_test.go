@@ -272,12 +272,14 @@ func BenchmarkAblationClassifierABPOnly(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		abpOnly, full = 0, 0
-		for _, r := range ds.Rows {
-			if r.Class == classify.ClassABP {
-				abpOnly++
-			}
-			if r.Class.IsTracking() {
-				full++
+		for ci := 0; ci < ds.Store.NumChunks(); ci++ {
+			for _, cls := range ds.Store.Classes(ci) {
+				if cls == classify.ClassABP {
+					abpOnly++
+				}
+				if cls.IsTracking() {
+					full++
+				}
 			}
 		}
 	}
@@ -411,5 +413,5 @@ func BenchmarkCoreAnalyze(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		core.Analyze(su.S.Dataset, su.S.Truth, nil)
 	}
-	b.ReportMetric(float64(len(su.S.Dataset.Rows)), "rows")
+	b.ReportMetric(float64(su.S.Dataset.Len()), "rows")
 }

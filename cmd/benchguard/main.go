@@ -1,12 +1,16 @@
 // Command benchguard turns a benchmark run into a CI gate: it reads
-// `go test -bench` output on stdin, compares the benchmark's best ns/op
-// against the pinned value in BENCH_baseline.json, and exits non-zero
-// when the regression exceeds the allowed fraction.
+// `go test -bench` output on stdin, compares each guarded benchmark's
+// best ns/op — and, when the run used -benchmem and the baseline pins
+// one, its best allocs/op — against the values in BENCH_baseline.json,
+// and exits non-zero when a regression exceeds the allowed fraction.
+// With -emit it also writes every parsed benchmark result as JSON, the
+// file CI uploads as the per-PR benchmark artifact.
 //
 // Usage:
 //
-//	go test -run=NONE -bench='^BenchmarkScenarioBuild$' -benchtime=5x . |
-//	    go run ./cmd/benchguard -baseline BENCH_baseline.json -max-regress 0.25
+//	go test -run=NONE -bench='^BenchmarkScenarioBuild$' -benchtime=5x -benchmem . |
+//	    go run ./cmd/benchguard -baseline BENCH_baseline.json \
+//	        -bench BenchmarkScenarioBuild -max-regress 0.25 -max-allocs-regress 0.25
 package main
 
 import (
@@ -17,20 +21,38 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 )
 
 // baseline mirrors the slice of BENCH_baseline.json benchguard needs:
 // the pinned post-PR numbers per benchmark.
 type baseline struct {
 	PostPR map[string]struct {
-		NsPerOp float64 `json:"ns_per_op"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
 	} `json:"post_pr"`
 }
 
+// result is the best (lowest) observed numbers for one benchmark.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	hasAllocs   bool
+}
+
+// benchLine matches `BenchmarkX-8  5  123 ns/op[  456 B/op  7 allocs/op]`;
+// the GOMAXPROCS suffix and the -benchmem columns are optional. Extra
+// ReportMetric columns may follow and are ignored.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON with post_pr.<bench>.ns_per_op")
-	bench := flag.String("bench", "BenchmarkScenarioBuild", "benchmark name to guard")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON with post_pr.<bench>.{ns_per_op,allocs_per_op}")
+	bench := flag.String("bench", "BenchmarkScenarioBuild", "comma-separated benchmark names to guard")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed ns/op regression as a fraction of the baseline")
+	maxAllocs := flag.Float64("max-allocs-regress", 0.25, "maximum allowed allocs/op regression as a fraction of the baseline (gated only when the baseline pins allocs and the run used -benchmem)")
+	emit := flag.String("emit", "", "write every parsed benchmark result to this JSON file")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -41,49 +63,88 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatalf("parse baseline %s: %v", *baselinePath, err)
 	}
-	pinned, ok := base.PostPR[*bench]
-	if !ok || pinned.NsPerOp <= 0 {
-		fatalf("baseline %s has no post_pr entry for %s", *baselinePath, *bench)
-	}
 
-	// Bench lines look like:
-	//   BenchmarkScenarioBuild-8   5   67202645 ns/op   ...
-	// The GOMAXPROCS suffix is optional. Multiple matches (e.g. -count)
-	// keep the best run — the fairest steady-state estimate on noisy
-	// shared runners.
-	line := regexp.MustCompile(`^` + regexp.QuoteMeta(*bench) + `(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
-	best := 0.0
-	seen := 0
+	// Multiple runs of one benchmark (e.g. -count) keep the best — the
+	// fairest steady-state estimate on noisy shared runners.
+	results := make(map[string]*result)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		fmt.Println(sc.Text()) // pass the bench output through for the CI log
-		m := line.FindStringSubmatch(sc.Text())
+		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[1], 64)
+		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
 			continue
 		}
-		seen++
-		if best == 0 || ns < best {
-			best = ns
+		r := results[m[1]]
+		if r == nil {
+			r = &result{NsPerOp: ns}
+			results[m[1]] = r
+		} else if ns < r.NsPerOp {
+			r.NsPerOp = ns
+		}
+		if m[3] != "" {
+			bytes, _ := strconv.ParseFloat(m[3], 64)
+			allocs, _ := strconv.ParseFloat(m[4], 64)
+			if !r.hasAllocs || allocs < r.AllocsPerOp {
+				r.AllocsPerOp = allocs
+			}
+			if !r.hasAllocs || bytes < r.BytesPerOp {
+				r.BytesPerOp = bytes
+			}
+			r.hasAllocs = true
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fatalf("read bench output: %v", err)
 	}
-	if seen == 0 {
-		fatalf("no %s result found on stdin", *bench)
+
+	if *emit != "" {
+		out, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fatalf("encode results: %v", err)
+		}
+		if err := os.WriteFile(*emit, append(out, '\n'), 0o644); err != nil {
+			fatalf("write %s: %v", *emit, err)
+		}
 	}
 
-	limit := pinned.NsPerOp * (1 + *maxRegress)
-	change := 100 * (best - pinned.NsPerOp) / pinned.NsPerOp
-	fmt.Printf("benchguard: %s best %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
-		*bench, best, pinned.NsPerOp, change, 100**maxRegress)
-	if best > limit {
-		fatalf("%s regressed beyond the %.0f%% budget", *bench, 100**maxRegress)
+	failed := false
+	for _, name := range strings.Split(*bench, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		pinned, ok := base.PostPR[name]
+		if !ok || pinned.NsPerOp <= 0 {
+			fatalf("baseline %s has no post_pr entry for %s", *baselinePath, name)
+		}
+		got, ok := results[name]
+		if !ok {
+			fatalf("no %s result found on stdin", name)
+		}
+		change := 100 * (got.NsPerOp - pinned.NsPerOp) / pinned.NsPerOp
+		fmt.Printf("benchguard: %s best %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
+			name, got.NsPerOp, pinned.NsPerOp, change, 100**maxRegress)
+		if got.NsPerOp > pinned.NsPerOp*(1+*maxRegress) {
+			fmt.Fprintf(os.Stderr, "benchguard: %s ns/op regressed beyond the %.0f%% budget\n", name, 100**maxRegress)
+			failed = true
+		}
+		if pinned.AllocsPerOp > 0 && got.hasAllocs {
+			change := 100 * (got.AllocsPerOp - pinned.AllocsPerOp) / pinned.AllocsPerOp
+			fmt.Printf("benchguard: %s best %.0f allocs/op vs baseline %.0f allocs/op (%+.1f%%, limit +%.0f%%)\n",
+				name, got.AllocsPerOp, pinned.AllocsPerOp, change, 100**maxAllocs)
+			if got.AllocsPerOp > pinned.AllocsPerOp*(1+*maxAllocs) {
+				fmt.Fprintf(os.Stderr, "benchguard: %s allocs/op regressed beyond the %.0f%% budget\n", name, 100**maxAllocs)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"crossborder"
+	"crossborder/internal/classify"
 )
 
 func main() {
@@ -42,9 +43,9 @@ func main() {
 		w := bufio.NewWriter(os.Stdout)
 		defer w.Flush()
 		fmt.Fprintln(w, "user_country,first_party,third_party_fqdn,server_ip,class,https,day")
-		for i, row := range s.Dataset.Rows {
+		s.Dataset.EachRow(func(i int, row classify.Row) {
 			if i%*dump != 0 {
-				continue
+				return
 			}
 			fmt.Fprintf(w, "%s,%s,%s,%s,%s,%t,%d\n",
 				s.Dataset.Country(row),
@@ -54,6 +55,6 @@ func main() {
 				row.Class,
 				row.HTTPS(),
 				row.Day)
-		}
+		})
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"crossborder"
+	"crossborder/internal/classify"
 	"crossborder/internal/geodata"
 	"crossborder/internal/webgraph"
 )
@@ -46,13 +47,13 @@ func main() {
 	byOrg := map[string]*orgStat{}
 	var total, inCountry, inEU, outsideEU, sensitive, sensitiveOut int64
 
-	for _, row := range s.Dataset.Rows {
+	s.Dataset.EachRow(func(_ int, row classify.Row) {
 		if !row.Class.IsTracking() || s.Dataset.Country(row) != home {
-			continue
+			return
 		}
 		loc, ok := s.IPMap.Locate(row.IP)
 		if !ok {
-			continue
+			return
 		}
 		total++
 		if loc.Country == home {
@@ -85,7 +86,7 @@ func main() {
 				sensitiveOut++
 			}
 		}
-	}
+	})
 
 	if total == 0 {
 		fmt.Printf("no tracking flows observed for users in %s at this scale\n", home)

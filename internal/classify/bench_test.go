@@ -1,0 +1,69 @@
+package classify
+
+import (
+	"runtime"
+	"testing"
+
+	"crossborder/internal/browser"
+)
+
+// semiBenchDataset builds a merged dataset in post-stage-1 state (semi
+// stages not yet run) plus a pristine copy of the class columns, so
+// each benchmark iteration can rewind and re-run the fixpoint.
+func semiBenchDataset(b *testing.B, chunkRows int) (*Dataset, [][]Class) {
+	b.Helper()
+	g, srv, el, ep := shardRig(b, 31)
+	users := browser.MakeUsers([]browser.CountryCount{
+		{Country: "DE", Users: 6}, {Country: "ES", Users: 4}, {Country: "FR", Users: 4},
+	})
+	sim := browser.NewSimulator(g, srv, browser.Config{VisitsPerUser: 40})
+	sc := NewShardedCollector(g, el, ep, start, 1)
+	sim.Run(7, users, sc.Shard(0))
+	order := make([]capRef, len(sc.Shard(0).caps))
+	for i := range order {
+		order[i] = capRef{sh: sc.Shard(0), idx: i}
+	}
+	ds, err := sc.mergeInto(order, NewMemStoreChunked(chunkRows), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pristine := make([][]Class, ds.Store.NumChunks())
+	for ci := range pristine {
+		src := ds.Store.Classes(ci)
+		pristine[ci] = append([]Class(nil), src...)
+	}
+	return ds, pristine
+}
+
+func rewindClasses(ds *Dataset, pristine [][]Class) {
+	for ci, src := range pristine {
+		copy(ds.Store.Classes(ci), src)
+	}
+}
+
+// BenchmarkSemiStages measures the sharded semi-stage fixpoint at the
+// worker count the pipeline would use (GOMAXPROCS), over a multi-chunk
+// store. On a single-core runner this degenerates to the sequential
+// engine; BenchmarkSemiStagesSequential pins that baseline explicitly
+// so multicore runs can report the speedup.
+func BenchmarkSemiStages(b *testing.B) {
+	ds, pristine := semiBenchDataset(b, 2048)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportMetric(float64(ds.Len()), "rows")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rewindClasses(ds, pristine)
+		runSemiStages(ds, workers)
+	}
+}
+
+// BenchmarkSemiStagesSequential is the one-worker reference engine over
+// the same store.
+func BenchmarkSemiStagesSequential(b *testing.B) {
+	ds, pristine := semiBenchDataset(b, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rewindClasses(ds, pristine)
+		runSemiStages(ds, 1)
+	}
+}

@@ -105,6 +105,13 @@ func (r Row) HasKeyword() bool { return r.Flags&FlagKeyword != 0 }
 func (r Row) TruthTracking() bool { return r.Flags&FlagTruthing != 0 }
 
 // Interner maps strings to dense uint32 ids. Id 0 is reserved for "".
+//
+// Concurrency contract: the Interner is single-writer. ID may be called
+// from one goroutine at a time (the collector shards each own a private
+// interner, and the Finalize merge re-interns from the single merging
+// goroutine). Read-only access — Str, Len, Lookup — is safe from any
+// number of goroutines once no writer is active, which is why the
+// parallel analysis scans can resolve ids without locks.
 type Interner struct {
 	ids  map[string]uint32
 	strs []string
@@ -112,7 +119,20 @@ type Interner struct {
 
 // NewInterner returns an interner with "" pre-assigned id 0.
 func NewInterner() *Interner {
-	return &Interner{ids: map[string]uint32{"": 0}, strs: []string{""}}
+	return NewInternerSized(0)
+}
+
+// NewInternerSized returns an interner pre-sized for about n strings,
+// with "" pre-assigned id 0. The Finalize merge sizes the dataset
+// interner from the shard interners' combined length, avoiding the
+// rehash/regrow churn of growing a large map one insert at a time.
+func NewInternerSized(n int) *Interner {
+	if n < 1 {
+		n = 1
+	}
+	in := &Interner{ids: make(map[string]uint32, n), strs: make([]string, 1, n)}
+	in.ids[""] = 0
+	return in
 }
 
 // ID returns (assigning if needed) the id for s.
@@ -143,9 +163,13 @@ func (in *Interner) Str(id uint32) string {
 // Len returns the number of interned strings including "".
 func (in *Interner) Len() int { return len(in.strs) }
 
-// Dataset is the collected, classified request log.
+// Dataset is the collected, classified request log. Rows live in a
+// columnar Store (in-memory by default, spill-to-disk for Scale >> 1
+// runs); consumers scan it chunk-wise via Scan/EachRow or directly
+// through Store for parallel scans.
 type Dataset struct {
-	Rows []Row
+	// Store holds the rows column-wise in fixed-size chunks.
+	Store Store
 	// FQDNs interns every third-party hostname (and referrer hostnames).
 	FQDNs *Interner
 	// Countries indexes Row.Country.
@@ -156,6 +180,59 @@ type Dataset struct {
 	Visits int
 	// Start anchors Row.Day.
 	Start time.Time
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int {
+	if d.Store == nil {
+		return 0
+	}
+	return d.Store.Len()
+}
+
+// Scan walks the store chunk by chunk in row order, reusing one decode
+// buffer across chunks. base is the global index of the chunk's first
+// row.
+func (d *Dataset) Scan(fn func(base int, c *Chunk)) {
+	if d.Store == nil {
+		return
+	}
+	var buf Chunk
+	base := 0
+	for i := 0; i < d.Store.NumChunks(); i++ {
+		c := d.Store.Chunk(i, &buf)
+		fn(base, c)
+		base += c.Len()
+	}
+}
+
+// EachRow calls fn for every row in order, gathering each back into
+// array-of-structs form. i is the global row index. Chunk-wise scans
+// over the columns are cheaper when only a few columns matter.
+func (d *Dataset) EachRow(fn func(i int, r Row)) {
+	d.Scan(func(base int, c *Chunk) {
+		for i := 0; i < c.Len(); i++ {
+			fn(base+i, c.Row(i))
+		}
+	})
+}
+
+// Rows materializes every row as one array-of-structs slice. Intended
+// for tests and small tools: on a spilled Scale >> 1 dataset this undoes
+// the columnar layout's memory bound.
+func (d *Dataset) Rows() []Row {
+	out := make([]Row, 0, d.Len())
+	d.EachRow(func(_ int, r Row) { out = append(out, r) })
+	return out
+}
+
+// Close releases the row store (the spill file, for disk-backed runs).
+// The dataset must not be scanned afterwards.
+func (d *Dataset) Close() error {
+	if d.Store == nil {
+		return nil
+	}
+	return d.Store.Close()
 }
 
 // Country returns the user country of a row.
@@ -223,56 +300,10 @@ func (c *Collector) Finalize() *Dataset {
 	for i := range c.sh.caps {
 		order[i] = capRef{sh: c.sh, idx: i}
 	}
-	return c.sc.merge(order)
-}
-
-// runSemiStages performs referrer propagation (stage 2) and the keyword
-// heuristic (stage 3), iterating the pair to a fixpoint: a keyword-caught
-// cascade head admits the requests it referred on the next round.
-func runSemiStages(ds *Dataset) {
-	// LTF membership at FQDN granularity: an FQDN is "in the LTF" once
-	// any request to it is classified as tracking. (The paper keys on
-	// URLs; FQDN granularity is the conservative compaction.)
-	inLTF := make([]bool, ds.FQDNs.Len())
-	for _, r := range ds.Rows {
-		if r.Class == ClassABP {
-			inLTF[r.FQDN] = true
-		}
+	ds, err := c.sc.mergeInto(order, NewMemStore(), true)
+	if err != nil {
+		// Unreachable: the in-memory sink cannot fail.
+		panic("classify: " + err.Error())
 	}
-
-	for {
-		changed := false
-
-		// Stage 2: a request with arguments whose referrer FQDN is
-		// already tracking becomes tracking.
-		for i := range ds.Rows {
-			r := &ds.Rows[i]
-			if r.Class != ClassClean || !r.HasArgs() || r.RefFQDN == 0 {
-				continue
-			}
-			if inLTF[r.RefFQDN] {
-				r.Class = ClassSemiReferrer
-				if !inLTF[r.FQDN] {
-					inLTF[r.FQDN] = true
-					changed = true
-				}
-			}
-		}
-
-		// Stage 3: keyword + arguments heuristic for the remainder.
-		for i := range ds.Rows {
-			r := &ds.Rows[i]
-			if r.Class == ClassClean && r.HasArgs() && r.HasKeyword() {
-				r.Class = ClassSemiKeyword
-				if !inLTF[r.FQDN] {
-					inLTF[r.FQDN] = true
-					changed = true
-				}
-			}
-		}
-
-		if !changed {
-			break
-		}
-	}
+	return ds
 }

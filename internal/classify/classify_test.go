@@ -115,7 +115,7 @@ func TestContainsKeyword(t *testing.T) {
 func TestStageProgression(t *testing.T) {
 	ds := rig(t, 1, []browser.CountryCount{{Country: "DE", Users: 4}, {Country: "ES", Users: 3}}, 40)
 	var abp, semiRef, semiKw, clean int64
-	for _, r := range ds.Rows {
+	for _, r := range ds.Rows() {
 		switch r.Class {
 		case ClassABP:
 			abp++
@@ -195,8 +195,8 @@ func TestPerSiteCounts(t *testing.T) {
 			trackingDominates++
 		}
 	}
-	if totAll != int64(len(ds.Rows)) {
-		t.Errorf("site counts sum %d != rows %d", totAll, len(ds.Rows))
+	if totAll != int64(ds.Len()) {
+		t.Errorf("site counts sum %d != rows %d", totAll, ds.Len())
 	}
 	// Fig 2 takeaway: on most sites tracking flows outnumber clean ones.
 	if float64(trackingDominates)/float64(len(sites)) < 0.5 {
@@ -245,7 +245,7 @@ func TestComputeStats(t *testing.T) {
 	if st.FirstPartySites == 0 || st.FirstPartySites > st.FirstPartyVisits {
 		t.Errorf("sites = %d vs visits %d", st.FirstPartySites, st.FirstPartyVisits)
 	}
-	if st.ThirdPartyReqs != int64(len(ds.Rows)) {
+	if st.ThirdPartyReqs != int64(ds.Len()) {
 		t.Error("request count mismatch")
 	}
 	if st.ThirdPartyFQDNs == 0 {
@@ -255,7 +255,8 @@ func TestComputeStats(t *testing.T) {
 
 func TestRowAccessors(t *testing.T) {
 	ds := rig(t, 7, []browser.CountryCount{{Country: "GR", Users: 2}}, 10)
-	for _, r := range ds.Rows[:min(100, len(ds.Rows))] {
+	rows := ds.Rows()
+	for _, r := range rows[:min(100, len(rows))] {
 		if ds.Country(r) != "GR" {
 			t.Fatalf("country = %s", ds.Country(r))
 		}
@@ -275,7 +276,7 @@ func TestRowAccessors(t *testing.T) {
 func TestGroundTruthFlag(t *testing.T) {
 	ds := rig(t, 8, []browser.CountryCount{{Country: "DE", Users: 2}}, 15)
 	anyTrue, anyFalse := false, false
-	for _, r := range ds.Rows {
+	for _, r := range ds.Rows() {
 		if r.TruthTracking() {
 			anyTrue = true
 		} else {
@@ -296,7 +297,7 @@ func min(a, b int) int {
 
 // shardRig rebuilds the rig substrate so the sharded-vs-sequential test
 // can run the same simulation through both collector shapes.
-func shardRig(t *testing.T, seed int64) (*webgraph.Graph, *dns.Server, *blocklist.List, *blocklist.List) {
+func shardRig(t testing.TB, seed int64) (*webgraph.Graph, *dns.Server, *blocklist.List, *blocklist.List) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	g := webgraph.Build(rng, webgraph.Config{}.Scale(0.05))
@@ -320,12 +321,13 @@ func shardRig(t *testing.T, seed int64) (*webgraph.Graph, *dns.Server, *blocklis
 
 func datasetsEqual(t *testing.T, a, b *Dataset) {
 	t.Helper()
-	if len(a.Rows) != len(b.Rows) {
-		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	ar, br := a.Rows(), b.Rows()
+	if len(ar) != len(br) {
+		t.Fatalf("row counts differ: %d vs %d", len(ar), len(br))
 	}
-	for i := range a.Rows {
-		if a.Rows[i] != b.Rows[i] {
-			t.Fatalf("row %d differs: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+	for i := range ar {
+		if ar[i] != br[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, ar[i], br[i])
 		}
 	}
 	if a.FQDNs.Len() != b.FQDNs.Len() {

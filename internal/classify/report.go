@@ -40,24 +40,26 @@ func ComputeTable2(ds *Dataset) Table2 {
 		}
 	}
 	abp, semi, tot := newAgg(), newAgg(), newAgg()
-	add := func(a *agg, r Row, tld string) {
-		a.fqdns[r.FQDN] = struct{}{}
+	add := func(a *agg, fqdn uint32, urlHash uint64, tld string) {
+		a.fqdns[fqdn] = struct{}{}
 		a.tlds[tld] = struct{}{}
-		a.urls[r.URLHash] = struct{}{}
+		a.urls[urlHash] = struct{}{}
 		a.total++
 	}
-	for _, r := range ds.Rows {
-		if !r.Class.IsTracking() {
-			continue
+	ds.Scan(func(_ int, c *Chunk) {
+		for i, cls := range c.Class {
+			if !cls.IsTracking() {
+				continue
+			}
+			tld := webgraph.ETLDPlusOne(ds.FQDNs.Str(c.FQDN[i]))
+			add(tot, c.FQDN[i], c.URLHash[i], tld)
+			if cls == ClassABP {
+				add(abp, c.FQDN[i], c.URLHash[i], tld)
+			} else {
+				add(semi, c.FQDN[i], c.URLHash[i], tld)
+			}
 		}
-		tld := webgraph.ETLDPlusOne(ds.FQDN(r))
-		add(tot, r, tld)
-		if r.Class == ClassABP {
-			add(abp, r, tld)
-		} else {
-			add(semi, r, tld)
-		}
-	}
+	})
 	toStats := func(a *agg) MethodStats {
 		return MethodStats{
 			FQDNs:          len(a.fqdns),
@@ -83,13 +85,15 @@ func (s SiteCounts) All() int64 { return s.Clean + s.Tracking }
 func PerSiteCounts(ds *Dataset) []SiteCounts {
 	clean := make([]int64, len(ds.Publishers))
 	tracking := make([]int64, len(ds.Publishers))
-	for _, r := range ds.Rows {
-		if r.Class.IsTracking() {
-			tracking[r.Publisher]++
-		} else {
-			clean[r.Publisher]++
+	ds.Scan(func(_ int, c *Chunk) {
+		for i, cls := range c.Class {
+			if cls.IsTracking() {
+				tracking[c.Publisher[i]]++
+			} else {
+				clean[c.Publisher[i]]++
+			}
 		}
-	}
+	})
 	out := make([]SiteCounts, 0, len(ds.Publishers))
 	for i, p := range ds.Publishers {
 		if clean[i]+tracking[i] == 0 {
@@ -117,17 +121,26 @@ func (t TLDSplit) Total() int64 { return t.ABP + t.Semi }
 func TopTrackingTLDs(ds *Dataset, n int) []TLDSplit {
 	abp := make(map[string]int64)
 	semi := make(map[string]int64)
-	for _, r := range ds.Rows {
-		if !r.Class.IsTracking() {
-			continue
+	// tldOf caches the per-FQDN eTLD+1 so the scan does one suffix parse
+	// per hostname, not per row.
+	tldOf := make(map[uint32]string)
+	ds.Scan(func(_ int, c *Chunk) {
+		for i, cls := range c.Class {
+			if !cls.IsTracking() {
+				continue
+			}
+			tld, ok := tldOf[c.FQDN[i]]
+			if !ok {
+				tld = webgraph.ETLDPlusOne(ds.FQDNs.Str(c.FQDN[i]))
+				tldOf[c.FQDN[i]] = tld
+			}
+			if cls == ClassABP {
+				abp[tld]++
+			} else {
+				semi[tld]++
+			}
 		}
-		tld := webgraph.ETLDPlusOne(ds.FQDN(r))
-		if r.Class == ClassABP {
-			abp[tld]++
-		} else {
-			semi[tld]++
-		}
-	}
+	})
 	seen := make(map[string]struct{}, len(abp)+len(semi))
 	var out []TLDSplit
 	for tld := range abp {
@@ -178,18 +191,21 @@ func (a Accuracy) Recall() float64 {
 // Score compares the final classification with ground truth.
 func Score(ds *Dataset) Accuracy {
 	var a Accuracy
-	for _, r := range ds.Rows {
-		switch {
-		case r.Class.IsTracking() && r.TruthTracking():
-			a.TruePositives++
-		case r.Class.IsTracking() && !r.TruthTracking():
-			a.FalsePositives++
-		case !r.Class.IsTracking() && r.TruthTracking():
-			a.FalseNegatives++
-		default:
-			a.TrueNegatives++
+	ds.Scan(func(_ int, c *Chunk) {
+		for i, cls := range c.Class {
+			truth := c.Flags[i]&FlagTruthing != 0
+			switch {
+			case cls.IsTracking() && truth:
+				a.TruePositives++
+			case cls.IsTracking() && !truth:
+				a.FalsePositives++
+			case !cls.IsTracking() && truth:
+				a.FalseNegatives++
+			default:
+				a.TrueNegatives++
+			}
 		}
-	}
+	})
 	return a
 }
 
@@ -206,15 +222,17 @@ type DatasetStats struct {
 func ComputeStats(ds *Dataset) DatasetStats {
 	users := make(map[int32]struct{})
 	fqdns := make(map[uint32]struct{})
-	for _, r := range ds.Rows {
-		users[r.User] = struct{}{}
-		fqdns[r.FQDN] = struct{}{}
-	}
+	ds.Scan(func(_ int, c *Chunk) {
+		for i := range c.User {
+			users[c.User[i]] = struct{}{}
+			fqdns[c.FQDN[i]] = struct{}{}
+		}
+	})
 	return DatasetStats{
 		Users:            len(users),
 		FirstPartySites:  len(ds.Publishers),
 		FirstPartyVisits: ds.Visits,
 		ThirdPartyFQDNs:  len(fqdns),
-		ThirdPartyReqs:   int64(len(ds.Rows)),
+		ThirdPartyReqs:   int64(ds.Len()),
 	}
 }

@@ -1,0 +1,303 @@
+package classify
+
+import (
+	"math"
+	"sync"
+)
+
+// This file implements classification stages 2 and 3 (§3.2) over the
+// columnar store: referrer propagation and the keyword heuristic,
+// iterated to a fixpoint. Two interchangeable engines exist:
+//
+//   - the sequential reference, a direct port of the original
+//     row-slice loop, and
+//   - a sharded engine that partitions the column chunks over a worker
+//     pool and replays the sequential semantics exactly.
+//
+// The sharded engine must be byte-identical to the reference. The only
+// order-sensitive part of the sequential algorithm is the first stage-2
+// pass: while scanning rows in order, a conversion immediately adds the
+// row's FQDN to the tracking set, so a later row in the same pass can
+// convert off it — and a keyword row that converts here escapes stage 3
+// and gets the SemiReferrer label instead of SemiKeyword. Everything
+// after that pass is label-uniform and reaches the same closure under
+// any evaluation order. The sharded engine therefore emulates the first
+// pass with activation indices: act[F] is the smallest global row index
+// whose conversion admits FQDN F (-1 for FQDNs the filter lists already
+// caught), computed by a Bellman-Ford-style relaxation whose min-merge
+// is commutative, hence worker-count invariant. A row converts in the
+// first pass iff act[ref] < its own index — exactly the sequential
+// "was the referrer tracking when the scan reached me" test.
+// TestShardedSemiStagesMatchSequential pins the equivalence.
+
+// runSemiStages performs referrer propagation (stage 2) and the keyword
+// heuristic (stage 3), iterating the pair to a fixpoint: a keyword-caught
+// cascade head admits the requests it referred on the next round.
+// workers > 1 selects the sharded engine; any value produces the same
+// classification byte for byte.
+func runSemiStages(ds *Dataset, workers int) {
+	if ds.Store == nil || ds.Store.Len() == 0 {
+		return
+	}
+	if workers > ds.Store.NumChunks() {
+		workers = ds.Store.NumChunks()
+	}
+	if workers <= 1 {
+		runSemiStagesSequential(ds)
+		return
+	}
+	runSemiStagesSharded(ds, workers)
+}
+
+// runSemiStagesSequential is the reference engine: one goroutine, rows
+// in order, conversions visible within the pass.
+func runSemiStagesSequential(ds *Dataset) {
+	st := ds.Store
+	// LTF membership at FQDN granularity: an FQDN is "in the LTF" once
+	// any request to it is classified as tracking. (The paper keys on
+	// URLs; FQDN granularity is the conservative compaction.)
+	inLTF := make([]bool, ds.FQDNs.Len())
+	var buf Chunk
+	for ci := 0; ci < st.NumChunks(); ci++ {
+		c := st.Chunk(ci, &buf)
+		for i, cls := range c.Class {
+			if cls == ClassABP {
+				inLTF[c.FQDN[i]] = true
+			}
+		}
+	}
+
+	for {
+		changed := false
+
+		// Stage 2: a request with arguments whose referrer FQDN is
+		// already tracking becomes tracking.
+		for ci := 0; ci < st.NumChunks(); ci++ {
+			c := st.Chunk(ci, &buf)
+			for i := range c.Class {
+				if c.Class[i] != ClassClean || c.Flags[i]&FlagHasArgs == 0 || c.RefFQDN[i] == 0 {
+					continue
+				}
+				if inLTF[c.RefFQDN[i]] {
+					c.Class[i] = ClassSemiReferrer
+					if !inLTF[c.FQDN[i]] {
+						inLTF[c.FQDN[i]] = true
+						changed = true
+					}
+				}
+			}
+		}
+
+		// Stage 3: keyword + arguments heuristic for the remainder.
+		for ci := 0; ci < st.NumChunks(); ci++ {
+			c := st.Chunk(ci, &buf)
+			for i := range c.Class {
+				if c.Class[i] == ClassClean && c.Flags[i]&FlagHasArgs != 0 && c.Flags[i]&FlagKeyword != 0 {
+					c.Class[i] = ClassSemiKeyword
+					if !inLTF[c.FQDN[i]] {
+						inLTF[c.FQDN[i]] = true
+						changed = true
+					}
+				}
+			}
+		}
+
+		if !changed {
+			break
+		}
+	}
+}
+
+// semiShard runs one worker's side of the sharded engine: chunks are
+// striped over workers (worker w owns chunks w, w+workers, ...), each
+// worker reusing one decode buffer across all its passes.
+type semiShard struct {
+	st      Store
+	w, n    int
+	buf     Chunk
+	bases   []int // global first-row index per chunk
+	// scratch for the relaxation and LTF rounds.
+	propose map[uint32]int64
+	newLTF  []uint32
+}
+
+// eachChunk invokes fn for every chunk this worker owns.
+func (sh *semiShard) eachChunk(fn func(base int, c *Chunk)) {
+	for ci := sh.w; ci < sh.st.NumChunks(); ci += sh.n {
+		fn(sh.bases[ci], sh.st.Chunk(ci, &sh.buf))
+	}
+}
+
+const semiNever = int64(math.MaxInt64)
+
+// runSemiStagesSharded is the parallel engine; see the file comment for
+// the equivalence argument.
+func runSemiStagesSharded(ds *Dataset, workers int) {
+	st := ds.Store
+	numF := ds.FQDNs.Len()
+
+	bases := make([]int, st.NumChunks())
+	base := 0
+	for ci := range bases {
+		bases[ci] = base
+		n := st.ChunkRows()
+		if rem := st.Len() - base; n > rem {
+			n = rem
+		}
+		base += n
+	}
+
+	shards := make([]*semiShard, workers)
+	for w := range shards {
+		shards[w] = &semiShard{st: st, w: w, n: workers, bases: bases}
+	}
+	parallel := func(fn func(sh *semiShard)) {
+		var wg sync.WaitGroup
+		for _, sh := range shards {
+			wg.Add(1)
+			go func(sh *semiShard) {
+				defer wg.Done()
+				fn(sh)
+			}(sh)
+		}
+		wg.Wait()
+	}
+
+	// Seed: act[F] = -1 for FQDNs with any stage-1 (ABP) row.
+	act := make([]int64, numF)
+	for i := range act {
+		act[i] = semiNever
+	}
+	seeds := make([][]bool, workers)
+	parallel(func(sh *semiShard) {
+		seen := make([]bool, numF)
+		sh.eachChunk(func(_ int, c *Chunk) {
+			for i, cls := range c.Class {
+				if cls == ClassABP {
+					seen[c.FQDN[i]] = true
+				}
+			}
+		})
+		seeds[sh.w] = seen
+	})
+	for _, seen := range seeds {
+		for f, ok := range seen {
+			if ok {
+				act[f] = -1
+			}
+		}
+	}
+
+	// First stage-2 pass, emulated: relax activation indices to the
+	// least fixpoint. Workers read the act snapshot and propose
+	// per-worker minima; the single-threaded min-merge between rounds
+	// keeps the result independent of worker count and scheduling.
+	for {
+		parallel(func(sh *semiShard) {
+			if sh.propose == nil {
+				sh.propose = make(map[uint32]int64)
+			}
+			sh.eachChunk(func(cbase int, c *Chunk) {
+				for i := range c.Class {
+					if c.Class[i] != ClassClean || c.Flags[i]&FlagHasArgs == 0 || c.RefFQDN[i] == 0 {
+						continue
+					}
+					j := int64(cbase + i)
+					if act[c.RefFQDN[i]] >= j {
+						continue
+					}
+					f := c.FQDN[i]
+					if j >= act[f] {
+						continue
+					}
+					if cur, ok := sh.propose[f]; !ok || j < cur {
+						sh.propose[f] = j
+					}
+				}
+			})
+		})
+		changed := false
+		for _, sh := range shards {
+			for f, j := range sh.propose {
+				if j < act[f] {
+					act[f] = j
+					changed = true
+				}
+				delete(sh.propose, f)
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Mark the first-pass conversions, then the first stage-3 pass: all
+	// remaining clean keyword+args rows convert unconditionally, so
+	// stage 3 never fires again after this.
+	inLTF := make([]bool, numF)
+	for f, a := range act {
+		if a != semiNever {
+			inLTF[f] = true
+		}
+	}
+	kwSets := make([][]uint32, workers)
+	parallel(func(sh *semiShard) {
+		sh.eachChunk(func(cbase int, c *Chunk) {
+			for i := range c.Class {
+				if c.Class[i] != ClassClean || c.Flags[i]&FlagHasArgs == 0 {
+					continue
+				}
+				if c.RefFQDN[i] != 0 && act[c.RefFQDN[i]] < int64(cbase+i) {
+					c.Class[i] = ClassSemiReferrer
+					continue
+				}
+				if c.Flags[i]&FlagKeyword != 0 {
+					c.Class[i] = ClassSemiKeyword
+					sh.newLTF = append(sh.newLTF, c.FQDN[i])
+				}
+			}
+		})
+		kwSets[sh.w] = sh.newLTF
+		sh.newLTF = nil
+	})
+	for _, set := range kwSets {
+		for _, f := range set {
+			inLTF[f] = true
+		}
+	}
+
+	// Remaining rounds: label-uniform referrer propagation against an
+	// LTF snapshot per round, until a round admits no new FQDN.
+	for {
+		sets := make([][]uint32, workers)
+		parallel(func(sh *semiShard) {
+			sh.eachChunk(func(_ int, c *Chunk) {
+				for i := range c.Class {
+					if c.Class[i] != ClassClean || c.Flags[i]&FlagHasArgs == 0 || c.RefFQDN[i] == 0 {
+						continue
+					}
+					if inLTF[c.RefFQDN[i]] {
+						c.Class[i] = ClassSemiReferrer
+						if !inLTF[c.FQDN[i]] {
+							sh.newLTF = append(sh.newLTF, c.FQDN[i])
+						}
+					}
+				}
+			})
+			sets[sh.w] = sh.newLTF
+			sh.newLTF = nil
+		})
+		changed := false
+		for _, set := range sets {
+			for _, f := range set {
+				if !inLTF[f] {
+					inLTF[f] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}

@@ -220,11 +220,24 @@ type capRef struct {
 	idx int
 }
 
-// Finalize merges all shards in the order of users, runs classification
-// stages 2 and 3 over the merged rows, and returns the dataset. The
-// collector must not be used afterwards. Users that never browsed are
-// skipped.
+// Finalize merges all shards in the order of users into the default
+// in-memory columnar store, runs classification stages 2 and 3 over the
+// merged rows, and returns the dataset. The collector must not be used
+// afterwards. Users that never browsed are skipped.
 func (c *ShardedCollector) Finalize(users []*browser.User) *Dataset {
+	ds, err := c.FinalizeInto(users, NewMemStore())
+	if err != nil {
+		// Unreachable: the in-memory sink cannot fail.
+		panic("classify: " + err.Error())
+	}
+	return ds
+}
+
+// FinalizeInto is Finalize with a caller-chosen row sink (e.g. a
+// spill-to-disk store for Scale >> 1 runs). The merged stream entering
+// the sink is identical for every sink choice; only the storage layout
+// differs.
+func (c *ShardedCollector) FinalizeInto(users []*browser.User, sink RowSink) (*Dataset, error) {
 	// A user normally has exactly one capture; if a caller interleaved a
 	// user's stream (which capture() tolerates by reopening them), all
 	// their captures merge, in shard then arrival order.
@@ -239,22 +252,27 @@ func (c *ShardedCollector) Finalize(users []*browser.User) *Dataset {
 	for _, u := range users {
 		order = append(order, byUser[int32(u.ID)]...)
 	}
-	return c.merge(order)
+	return c.mergeInto(order, sink, true)
 }
 
-// merge replays the captures in the given order into one Dataset,
+// mergeInto replays the captures in the given order into the sink,
 // re-interning strings and remapping publisher/country ids exactly as a
 // sequential collector would have assigned them: per user, visits first
 // (publishers register on first visit), then rows in emit order.
-func (c *ShardedCollector) merge(order []capRef) *Dataset {
-	total := 0
-	for _, cr := range order {
-		total += len(cr.sh.caps[cr.idx].rows)
+// runSemi gates stages 2 and 3 (benchmarks disable them to measure the
+// fixpoint in isolation).
+func (c *ShardedCollector) mergeInto(order []capRef, sink RowSink, runSemi bool) (*Dataset, error) {
+	// Pre-size the merged interner from the shard interners: their
+	// combined length bounds the distinct strings the merge can see, so
+	// the map never rehashes mid-merge. (Shards sharing hostnames make
+	// this an overestimate; the slack is transient.)
+	internHint := 0
+	for _, sh := range c.shards {
+		internHint += sh.interner.Len()
 	}
 	ds := &Dataset{
-		FQDNs: NewInterner(),
+		FQDNs: NewInternerSized(internHint),
 		Start: c.start,
-		Rows:  make([]Row, 0, total),
 	}
 	countryIdx := make(map[geodata.Country]uint8)
 	pubIdx := make(map[*webgraph.Publisher]int32)
@@ -281,9 +299,16 @@ func (c *ShardedCollector) merge(order []capRef) *Dataset {
 				ds.Countries = append(ds.Countries, cc)
 			}
 			r.Country = cID
-			ds.Rows = append(ds.Rows, r)
+			sink.Append(r)
 		}
 	}
-	runSemiStages(ds)
-	return ds
+	store, err := sink.Seal()
+	if err != nil {
+		return nil, err
+	}
+	ds.Store = store
+	if runSemi {
+		runSemiStages(ds, len(c.shards))
+	}
+	return ds, nil
 }

@@ -1,0 +1,258 @@
+package classify
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"crossborder/internal/netsim"
+)
+
+// spillRowBytes is the encoded size of the nine spilled columns of one
+// row (the Class column stays resident: the semi-stage fixpoint mutates
+// it after sealing, and at one byte per row it is cheap to keep).
+const spillRowBytes = 8 + 4 + 4 + 4 + 4 + 4 + 2 + 1 + 1
+
+// SpillSink streams rows into fixed-size column chunks and writes each
+// full chunk to a temporary file as a tight little-endian column block,
+// so Scale >> 1 datasets never hold more than one open chunk in memory
+// on the write path. Seal returns the read-side SpillStore, which
+// serves chunks with plain sequential pread calls — no mmap — and keeps
+// only the class column resident.
+type SpillSink struct {
+	chunkRows int
+	f         *os.File
+	removed   bool // file already unlinked (unix: cleaned up on close)
+	w         *bufio.Writer
+	cur       *Chunk
+	classes   [][]Class
+	offsets   []int64
+	lens      []int
+	off       int64
+	n         int
+	err       error
+}
+
+// NewSpillSink creates a spill-to-disk sink backed by a temporary file
+// in dir ("" = the OS temp directory). chunkRows <= 0 selects
+// DefaultChunkRows. The caller owns the sealed store and must Close it
+// to release the file.
+func NewSpillSink(dir string, chunkRows int) (*SpillSink, error) {
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	f, err := os.CreateTemp(dir, "crossborder-rows-*.col")
+	if err != nil {
+		return nil, fmt.Errorf("classify: create spill file: %w", err)
+	}
+	// Unlink eagerly where the OS allows it: the data stays reachable
+	// through the open descriptor and the blocks are reclaimed even if
+	// the process dies before Close. If the unlink fails (non-POSIX
+	// semantics), Close removes the file by name instead.
+	removed := os.Remove(f.Name()) == nil
+	sk := &SpillSink{
+		chunkRows: chunkRows,
+		f:         f,
+		removed:   removed,
+		w:         bufio.NewWriterSize(f, 1<<20),
+		cur:       &Chunk{},
+	}
+	sk.cur.grow(chunkRows)
+	return sk, nil
+}
+
+// Append implements RowSink. I/O errors are sticky and reported by
+// Seal.
+func (sk *SpillSink) Append(r Row) {
+	sk.cur.appendRow(r)
+	sk.n++
+	if sk.cur.Len() == sk.chunkRows {
+		sk.flush()
+	}
+}
+
+// flush encodes the open chunk to the file and retains its class
+// column.
+func (sk *SpillSink) flush() {
+	n := sk.cur.Len()
+	if n == 0 || sk.err != nil {
+		return
+	}
+	buf := encodeChunk(sk.cur)
+	if _, err := sk.w.Write(buf); err != nil && sk.err == nil {
+		sk.err = fmt.Errorf("classify: write spill chunk: %w", err)
+	}
+	cls := make([]Class, n)
+	copy(cls, sk.cur.Class)
+	sk.classes = append(sk.classes, cls)
+	sk.offsets = append(sk.offsets, sk.off)
+	sk.lens = append(sk.lens, n)
+	sk.off += int64(len(buf))
+	sk.cur.reset(0)
+	sk.cur.Class = sk.cur.Class[:0]
+}
+
+// Seal implements RowSink: it flushes the tail chunk and returns the
+// readable store. The sink must not be used afterwards.
+func (sk *SpillSink) Seal() (Store, error) {
+	sk.flush()
+	if sk.err == nil {
+		if err := sk.w.Flush(); err != nil {
+			sk.err = fmt.Errorf("classify: flush spill file: %w", err)
+		}
+	}
+	if sk.err != nil {
+		sk.f.Close()
+		if !sk.removed {
+			os.Remove(sk.f.Name())
+		}
+		return nil, sk.err
+	}
+	return &SpillStore{
+		chunkRows: sk.chunkRows,
+		f:         sk.f,
+		removed:   sk.removed,
+		classes:   sk.classes,
+		offsets:   sk.offsets,
+		lens:      sk.lens,
+		n:         sk.n,
+	}, nil
+}
+
+// SpillStore is the sealed read side of a SpillSink. Chunk reads are
+// positioned (pread) and therefore safe from concurrent goroutines as
+// long as each passes its own decode buffer; the class column is
+// resident and shared across all loaded views.
+type SpillStore struct {
+	chunkRows int
+	f         *os.File
+	removed   bool
+	classes   [][]Class
+	offsets   []int64
+	lens      []int
+	n         int
+}
+
+// Len implements Store.
+func (st *SpillStore) Len() int { return st.n }
+
+// NumChunks implements Store.
+func (st *SpillStore) NumChunks() int { return len(st.lens) }
+
+// ChunkRows implements Store.
+func (st *SpillStore) ChunkRows() int { return st.chunkRows }
+
+// Classes implements Store.
+func (st *SpillStore) Classes(i int) []Class { return st.classes[i] }
+
+// Chunk implements Store: it preads chunk i into buf (allocating one
+// when nil) and points the Class column at the resident slice. A
+// decode error panics: the store wrote the file itself moments earlier,
+// so a short or corrupt read means the environment lost the temp file
+// under us and no caller can do better than fail loudly.
+func (st *SpillStore) Chunk(i int, buf *Chunk) *Chunk {
+	if buf == nil {
+		buf = &Chunk{}
+	}
+	n := st.lens[i]
+	if cap(buf.raw) < n*spillRowBytes {
+		buf.raw = make([]byte, n*spillRowBytes)
+	}
+	raw := buf.raw[:n*spillRowBytes]
+	if _, err := st.f.ReadAt(raw, st.offsets[i]); err != nil {
+		panic(fmt.Sprintf("classify: read spill chunk %d: %v", i, err))
+	}
+	buf.reset(n)
+	decodeChunk(raw, buf)
+	buf.Class = st.classes[i]
+	return buf
+}
+
+// Close implements Store: it closes and removes the spill file.
+func (st *SpillStore) Close() error {
+	name := st.f.Name()
+	err := st.f.Close()
+	if !st.removed {
+		if rmErr := os.Remove(name); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}
+
+// encodeChunk serializes the nine spilled columns column-major in fixed
+// little-endian widths.
+func encodeChunk(c *Chunk) []byte {
+	n := c.Len()
+	buf := make([]byte, n*spillRowBytes)
+	o := 0
+	for _, v := range c.URLHash {
+		binary.LittleEndian.PutUint64(buf[o:], v)
+		o += 8
+	}
+	for _, v := range c.IP {
+		binary.LittleEndian.PutUint32(buf[o:], uint32(v))
+		o += 4
+	}
+	for _, v := range c.FQDN {
+		binary.LittleEndian.PutUint32(buf[o:], v)
+		o += 4
+	}
+	for _, v := range c.RefFQDN {
+		binary.LittleEndian.PutUint32(buf[o:], v)
+		o += 4
+	}
+	for _, v := range c.Publisher {
+		binary.LittleEndian.PutUint32(buf[o:], uint32(v))
+		o += 4
+	}
+	for _, v := range c.User {
+		binary.LittleEndian.PutUint32(buf[o:], uint32(v))
+		o += 4
+	}
+	for _, v := range c.Day {
+		binary.LittleEndian.PutUint16(buf[o:], v)
+		o += 2
+	}
+	o += copy(buf[o:], c.Country)
+	copy(buf[o:], c.Flags)
+	return buf
+}
+
+// decodeChunk is the inverse of encodeChunk; buf's columns are already
+// sized to the row count by reset.
+func decodeChunk(raw []byte, buf *Chunk) {
+	n := len(buf.URLHash)
+	o := 0
+	for i := 0; i < n; i++ {
+		buf.URLHash[i] = binary.LittleEndian.Uint64(raw[o:])
+		o += 8
+	}
+	for i := 0; i < n; i++ {
+		buf.IP[i] = netsim.IP(binary.LittleEndian.Uint32(raw[o:]))
+		o += 4
+	}
+	for i := 0; i < n; i++ {
+		buf.FQDN[i] = binary.LittleEndian.Uint32(raw[o:])
+		o += 4
+	}
+	for i := 0; i < n; i++ {
+		buf.RefFQDN[i] = binary.LittleEndian.Uint32(raw[o:])
+		o += 4
+	}
+	for i := 0; i < n; i++ {
+		buf.Publisher[i] = int32(binary.LittleEndian.Uint32(raw[o:]))
+		o += 4
+	}
+	for i := 0; i < n; i++ {
+		buf.User[i] = int32(binary.LittleEndian.Uint32(raw[o:]))
+		o += 4
+	}
+	for i := 0; i < n; i++ {
+		buf.Day[i] = binary.LittleEndian.Uint16(raw[o:])
+		o += 2
+	}
+	o += copy(buf.Country, raw[o:o+n])
+	copy(buf.Flags, raw[o:o+n])
+}

@@ -1,0 +1,206 @@
+package classify
+
+import "crossborder/internal/netsim"
+
+// DefaultChunkRows is the row capacity of one columnar chunk. At ~33
+// bytes of column data per row a chunk is ~half a megabyte: large
+// enough that per-chunk overhead (one disk read, one decode, one
+// goroutine hand-off) vanishes against the scan, small enough that a
+// spilled dataset needs only a few chunks resident at a time.
+const DefaultChunkRows = 1 << 14
+
+// Chunk is one fixed-capacity columnar (struct-of-arrays) block of
+// rows. All column slices share the same length. The Class column is
+// special: it always aliases the store's resident class storage, so
+// writes to it through any loaded Chunk are writes to the store (the
+// semi-stage fixpoint relies on this to reclassify rows without
+// rewriting spilled chunks).
+type Chunk struct {
+	URLHash   []uint64
+	IP        []netsim.IP
+	FQDN      []uint32
+	RefFQDN   []uint32
+	Publisher []int32
+	User      []int32
+	Day       []uint16
+	Country   []uint8
+	Flags     []uint8
+	Class     []Class
+
+	// raw is the spill store's encoded-bytes scratch, reused across
+	// loads into this buffer so a chunk-wise scan reads the whole file
+	// with two persistent allocations.
+	raw []byte
+}
+
+// Len returns the number of rows in the chunk.
+func (c *Chunk) Len() int { return len(c.Class) }
+
+// Row gathers row i of the chunk back into array-of-structs form.
+func (c *Chunk) Row(i int) Row {
+	return Row{
+		URLHash:   c.URLHash[i],
+		IP:        c.IP[i],
+		FQDN:      c.FQDN[i],
+		RefFQDN:   c.RefFQDN[i],
+		Publisher: c.Publisher[i],
+		User:      c.User[i],
+		Day:       c.Day[i],
+		Country:   c.Country[i],
+		Flags:     c.Flags[i],
+		Class:     c.Class[i],
+	}
+}
+
+// appendRow scatters one row into the chunk's columns.
+func (c *Chunk) appendRow(r Row) {
+	c.URLHash = append(c.URLHash, r.URLHash)
+	c.IP = append(c.IP, r.IP)
+	c.FQDN = append(c.FQDN, r.FQDN)
+	c.RefFQDN = append(c.RefFQDN, r.RefFQDN)
+	c.Publisher = append(c.Publisher, r.Publisher)
+	c.User = append(c.User, r.User)
+	c.Day = append(c.Day, r.Day)
+	c.Country = append(c.Country, r.Country)
+	c.Flags = append(c.Flags, r.Flags)
+	c.Class = append(c.Class, r.Class)
+}
+
+// grow preallocates every column to capacity n.
+func (c *Chunk) grow(n int) {
+	c.URLHash = make([]uint64, 0, n)
+	c.IP = make([]netsim.IP, 0, n)
+	c.FQDN = make([]uint32, 0, n)
+	c.RefFQDN = make([]uint32, 0, n)
+	c.Publisher = make([]int32, 0, n)
+	c.User = make([]int32, 0, n)
+	c.Day = make([]uint16, 0, n)
+	c.Country = make([]uint8, 0, n)
+	c.Flags = make([]uint8, 0, n)
+	c.Class = make([]Class, 0, n)
+}
+
+// reset truncates every column to length n (capacity preserved),
+// leaving the Class alias to be set by the loader.
+func (c *Chunk) reset(n int) {
+	if cap(c.URLHash) < n {
+		c.URLHash = make([]uint64, n)
+		c.IP = make([]netsim.IP, n)
+		c.FQDN = make([]uint32, n)
+		c.RefFQDN = make([]uint32, n)
+		c.Publisher = make([]int32, n)
+		c.User = make([]int32, n)
+		c.Day = make([]uint16, n)
+		c.Country = make([]uint8, n)
+		c.Flags = make([]uint8, n)
+		return
+	}
+	c.URLHash = c.URLHash[:n]
+	c.IP = c.IP[:n]
+	c.FQDN = c.FQDN[:n]
+	c.RefFQDN = c.RefFQDN[:n]
+	c.Publisher = c.Publisher[:n]
+	c.User = c.User[:n]
+	c.Day = c.Day[:n]
+	c.Country = c.Country[:n]
+	c.Flags = c.Flags[:n]
+}
+
+// Store is the read side of a sealed row store: a sequence of columnar
+// chunks. Implementations must support concurrent Chunk calls with
+// distinct bufs (the parallel scans in core.Analyze and the sharded
+// semi-stage fixpoint rely on this). The Class column returned by both
+// Chunk and Classes is resident and shared: a write through one view is
+// seen by every other.
+type Store interface {
+	// Len returns the total number of rows.
+	Len() int
+	// NumChunks returns the number of chunks. Every chunk except the
+	// last holds exactly ChunkRows rows.
+	NumChunks() int
+	// ChunkRows returns the fixed per-chunk row capacity.
+	ChunkRows() int
+	// Chunk returns chunk i. buf, when non-nil, may be reused as the
+	// decode target; in-memory stores ignore it and return the resident
+	// chunk directly. The returned chunk is valid until buf is reused.
+	Chunk(i int, buf *Chunk) *Chunk
+	// Classes returns the resident, mutable class column of chunk i
+	// without loading the spilled columns.
+	Classes(i int) []Class
+	// Close releases any resources backing the store (spill files).
+	// The store must not be used afterwards.
+	Close() error
+}
+
+// RowSink is the write side: the collector merge streams rows into a
+// sink, then seals it into the Store the Dataset keeps. Append must be
+// called from a single goroutine; implementations report deferred I/O
+// errors at Seal.
+type RowSink interface {
+	Append(Row)
+	Seal() (Store, error)
+}
+
+// MemStore is the default in-memory columnar store. It implements both
+// RowSink and Store: Append is usable before Seal, reads any time, so
+// tests can build datasets incrementally.
+type MemStore struct {
+	chunkRows int
+	chunks    []*Chunk
+	n         int
+}
+
+// NewMemStore returns an empty in-memory columnar store with the
+// default chunk size.
+func NewMemStore() *MemStore { return &MemStore{chunkRows: DefaultChunkRows} }
+
+// NewMemStoreChunked returns an empty in-memory store with a custom
+// chunk size (tests use small chunks to exercise multi-chunk paths).
+func NewMemStoreChunked(chunkRows int) *MemStore {
+	if chunkRows < 1 {
+		chunkRows = DefaultChunkRows
+	}
+	return &MemStore{chunkRows: chunkRows}
+}
+
+// StoreOf builds an in-memory store holding the given rows.
+func StoreOf(rows ...Row) *MemStore {
+	st := NewMemStore()
+	for _, r := range rows {
+		st.Append(r)
+	}
+	return st
+}
+
+// Append implements RowSink.
+func (st *MemStore) Append(r Row) {
+	if len(st.chunks) == 0 || st.chunks[len(st.chunks)-1].Len() == st.chunkRows {
+		c := &Chunk{}
+		c.grow(st.chunkRows)
+		st.chunks = append(st.chunks, c)
+	}
+	st.chunks[len(st.chunks)-1].appendRow(r)
+	st.n++
+}
+
+// Seal implements RowSink. A MemStore is its own sealed Store.
+func (st *MemStore) Seal() (Store, error) { return st, nil }
+
+// Len implements Store.
+func (st *MemStore) Len() int { return st.n }
+
+// NumChunks implements Store.
+func (st *MemStore) NumChunks() int { return len(st.chunks) }
+
+// ChunkRows implements Store.
+func (st *MemStore) ChunkRows() int { return st.chunkRows }
+
+// Chunk implements Store; the resident chunk is returned and buf is
+// ignored.
+func (st *MemStore) Chunk(i int, _ *Chunk) *Chunk { return st.chunks[i] }
+
+// Classes implements Store.
+func (st *MemStore) Classes(i int) []Class { return st.chunks[i].Class }
+
+// Close implements Store; in-memory stores hold no external resources.
+func (st *MemStore) Close() error { return nil }

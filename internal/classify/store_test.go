@@ -1,0 +1,177 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"crossborder/internal/browser"
+	"crossborder/internal/netsim"
+)
+
+// randomRows builds a synthetic capture with cascade structure: FQDN
+// ids drawn from a small universe so referrer chains actually connect,
+// a seeded share of ABP verdicts, and random args/keyword flags.
+func randomRows(rng *rand.Rand, n, numFQDN int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		r := Row{
+			URLHash: rng.Uint64(),
+			IP:      netsim.IP(rng.Uint32()),
+			FQDN:    uint32(1 + rng.Intn(numFQDN-1)),
+			User:    int32(rng.Intn(7)),
+			Day:     uint16(rng.Intn(120)),
+			Country: uint8(rng.Intn(4)),
+		}
+		if rng.Float64() < 0.7 {
+			r.RefFQDN = uint32(1 + rng.Intn(numFQDN-1))
+		}
+		if rng.Float64() < 0.6 {
+			r.Flags |= FlagHasArgs
+		}
+		if rng.Float64() < 0.25 {
+			r.Flags |= FlagKeyword
+		}
+		if rng.Float64() < 0.08 {
+			r.Class = ClassABP
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// internerOfSize returns an interner with n synthetic hostnames.
+func internerOfSize(n int) *Interner {
+	in := NewInterner()
+	for i := 1; i < n; i++ {
+		in.ID(string(rune('a'+i%26)) + string(rune('0'+i%10)) + ".x")
+	}
+	return in
+}
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := randomRows(rng, 1000, 50)
+	st := NewMemStoreChunked(64) // force many chunks
+	for _, r := range rows {
+		st.Append(r)
+	}
+	if st.Len() != len(rows) {
+		t.Fatalf("Len = %d, want %d", st.Len(), len(rows))
+	}
+	wantChunks := (len(rows) + 63) / 64
+	if st.NumChunks() != wantChunks {
+		t.Fatalf("NumChunks = %d, want %d", st.NumChunks(), wantChunks)
+	}
+	ds := &Dataset{Store: st}
+	got := ds.Rows()
+	for i := range rows {
+		if got[i] != rows[i] {
+			t.Fatalf("row %d: %+v != %+v", i, got[i], rows[i])
+		}
+	}
+}
+
+func TestSpillStoreMatchesMemStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := randomRows(rng, 2000, 80)
+	sink, err := NewSpillSink(t.TempDir(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		sink.Append(r)
+	}
+	store, err := sink.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Len() != len(rows) {
+		t.Fatalf("Len = %d, want %d", store.Len(), len(rows))
+	}
+	ds := &Dataset{Store: store}
+	got := ds.Rows()
+	for i := range rows {
+		if got[i] != rows[i] {
+			t.Fatalf("row %d: decoded %+v != appended %+v", i, got[i], rows[i])
+		}
+	}
+	// The class column must be resident and shared: a write through one
+	// loaded view is seen by the next load.
+	cls := store.Classes(3)
+	cls[5] = ClassSemiKeyword
+	var buf Chunk
+	if c := store.Chunk(3, &buf); c.Class[5] != ClassSemiKeyword {
+		t.Fatal("class column write not visible through reloaded chunk")
+	}
+}
+
+// TestShardedSemiStagesMatchSequential is the sharded fixpoint's
+// contract: on randomized cascade structures and across worker counts,
+// the sharded engine must label every row exactly as the sequential
+// reference does — including the order-sensitive SemiReferrer-vs-
+// SemiKeyword split of the first pass.
+func TestShardedSemiStagesMatchSequential(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		numFQDN := 10 + rng.Intn(60)
+		rows := randomRows(rng, 500+rng.Intn(3000), numFQDN)
+		in := internerOfSize(numFQDN)
+
+		ref := &Dataset{Store: StoreOf(rows...), FQDNs: in}
+		runSemiStagesSequential(ref)
+		want := ref.Rows()
+
+		for _, workers := range []int{2, 3, 8} {
+			st := NewMemStoreChunked(256)
+			for _, r := range rows {
+				st.Append(r)
+			}
+			ds := &Dataset{Store: st, FQDNs: in}
+			runSemiStagesSharded(ds, workers)
+			got := ds.Rows()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d workers %d row %d: sharded %+v != sequential %+v",
+						trial, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFinalizeIntoSpillMatchesMem runs the same simulated capture
+// through both sinks: the sealed datasets must agree row for row, and
+// the semi stages must behave identically over the spilled store.
+func TestFinalizeIntoSpillMatchesMem(t *testing.T) {
+	g, srv, el, ep := shardRig(t, 21)
+	users := browser.MakeUsers([]browser.CountryCount{{Country: "DE", Users: 3}, {Country: "FR", Users: 2}})
+	sim := browser.NewSimulator(g, srv, browser.Config{VisitsPerUser: 15})
+
+	mk := func() *ShardedCollector {
+		sc := NewShardedCollector(g, el, ep, start, 2)
+		sim.RunWorkers(9, users, 2, func(w int) []browser.Sink {
+			return []browser.Sink{sc.Shard(w)}
+		})
+		return sc
+	}
+
+	memDS := mk().Finalize(users)
+
+	sink, err := NewSpillSink(t.TempDir(), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spillDS, err := mk().FinalizeInto(users, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spillDS.Close()
+
+	datasetsEqual(t, memDS, spillDS)
+
+	sm, ss := ComputeStats(memDS), ComputeStats(spillDS)
+	if sm != ss {
+		t.Fatalf("DatasetStats differ: %+v vs %+v", sm, ss)
+	}
+}

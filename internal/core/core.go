@@ -91,41 +91,50 @@ func (a *Analysis) Merge(b *Analysis) {
 	a.unknown += b.unknown
 }
 
-// analyzeRowsPerShard is the minimum chunk that justifies a worker: below
-// this, goroutine + merge overhead beats the scan.
+// analyzeRowsPerShard is the minimum row count that justifies a worker:
+// below this, goroutine + merge overhead beats the scan.
 const analyzeRowsPerShard = 1 << 16
 
 // Analyze joins the classified dataset's tracking rows with a geolocation
 // service. filter, when non-nil, selects which rows participate (e.g.
 // only EU28 users, only sensitive sites).
 //
-// Large datasets are scanned by a pool of workers over row shards, each
-// accumulating into a private Analysis, merged at the end; the service
-// must be safe for concurrent Locate calls (all geo implementations
-// are), and filter, like the service, may be invoked from multiple
-// goroutines at once and must not mutate shared state. The result is
-// identical to the sequential scan.
+// The scan is chunk-wise over the dataset's columnar store: workers take
+// contiguous chunk ranges, each with a private decode buffer and a
+// private Analysis, merged at the end. The service must be safe for
+// concurrent Locate calls (all geo implementations are), and filter,
+// like the service, may be invoked from multiple goroutines at once and
+// must not mutate shared state. The result is identical to the
+// sequential scan, for any worker count and either store backend.
 func Analyze(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bool) *Analysis {
+	st := ds.Store
+	if st == nil {
+		return NewAnalysis()
+	}
+	chunks := st.NumChunks()
 	workers := runtime.GOMAXPROCS(0)
-	if max := 1 + len(ds.Rows)/analyzeRowsPerShard; workers > max {
+	if max := 1 + st.Len()/analyzeRowsPerShard; workers > max {
 		workers = max
 	}
+	if workers > chunks {
+		workers = chunks
+	}
 	if workers <= 1 {
-		return analyzeRange(ds, svc, filter, 0, len(ds.Rows))
+		return analyzeChunks(ds, svc, filter, 0, chunks)
 	}
 	parts := make([]*Analysis, workers)
 	var wg sync.WaitGroup
-	chunk := (len(ds.Rows) + workers - 1) / workers
+	per := (chunks + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(ds.Rows) {
-			hi = len(ds.Rows)
+		lo := w * per
+		hi := lo + per
+		if hi > chunks {
+			hi = chunks
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			parts[w] = analyzeRange(ds, svc, filter, lo, hi)
+			parts[w] = analyzeChunks(ds, svc, filter, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -136,23 +145,29 @@ func Analyze(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bo
 	return a
 }
 
-// analyzeRange is the sequential scan over ds.Rows[lo:hi].
-func analyzeRange(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bool, lo, hi int) *Analysis {
+// analyzeChunks is the sequential columnar scan over chunks [lo, hi),
+// reusing one decode buffer. The full Row materializes only for rows
+// that pass the tracking test and face a filter.
+func analyzeChunks(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bool, lo, hi int) *Analysis {
 	a := NewAnalysis()
-	for _, r := range ds.Rows[lo:hi] {
-		if !r.Class.IsTracking() {
-			continue
+	var buf classify.Chunk
+	for ci := lo; ci < hi; ci++ {
+		c := ds.Store.Chunk(ci, &buf)
+		for i, cls := range c.Class {
+			if !cls.IsTracking() {
+				continue
+			}
+			if filter != nil && !filter(c.Row(i)) {
+				continue
+			}
+			src := ds.Countries[c.Country[i]]
+			loc, ok := svc.Locate(c.IP[i])
+			if !ok {
+				a.AddUnknown(1)
+				continue
+			}
+			a.Add(src, loc.Country, 1)
 		}
-		if filter != nil && !filter(r) {
-			continue
-		}
-		src := ds.Country(r)
-		loc, ok := svc.Locate(r.IP)
-		if !ok {
-			a.AddUnknown(1)
-			continue
-		}
-		a.Add(src, loc.Country, 1)
 	}
 	return a
 }

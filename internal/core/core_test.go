@@ -223,12 +223,12 @@ func TestAnalyzeJoinsGeolocation(t *testing.T) {
 	ds := &classify.Dataset{FQDNs: classify.NewInterner()}
 	ds.Countries = []geodata.Country{"GR"}
 	id := ds.FQDNs.ID("t.example.com")
-	ds.Rows = []classify.Row{
-		{FQDN: id, IP: 1, Class: classify.ClassABP, Country: 0},
-		{FQDN: id, IP: 1, Class: classify.ClassSemiKeyword, Country: 0},
-		{FQDN: id, IP: 2, Class: classify.ClassClean, Country: 0},
-		{FQDN: id, IP: 9, Class: classify.ClassABP, Country: 0}, // unlocatable
-	}
+	ds.Store = classify.StoreOf(
+		classify.Row{FQDN: id, IP: 1, Class: classify.ClassABP, Country: 0},
+		classify.Row{FQDN: id, IP: 1, Class: classify.ClassSemiKeyword, Country: 0},
+		classify.Row{FQDN: id, IP: 2, Class: classify.ClassClean, Country: 0},
+		classify.Row{FQDN: id, IP: 9, Class: classify.ClassABP, Country: 0}, // unlocatable
+	)
 	svc := geo.Static{ServiceName: "s", Locations: map[netsim.IP]geo.Location{
 		1: {Country: "DE", Continent: geodata.EU28},
 	}}
@@ -248,4 +248,44 @@ func TestAnalyzeJoinsGeolocation(t *testing.T) {
 	if a2.Total() != 0 {
 		t.Error("filter must exclude all rows")
 	}
+}
+
+// analyzeBenchDataset synthesizes a multi-chunk columnar dataset with a
+// realistic tracking share for the Analyze benchmark.
+func analyzeBenchDataset(rows int) (*classify.Dataset, geo.Service) {
+	ds := &classify.Dataset{FQDNs: classify.NewInterner()}
+	ds.Countries = []geodata.Country{"DE", "ES", "GR", "US"}
+	id := ds.FQDNs.ID("t.example.com")
+	st := classify.NewMemStore()
+	for i := 0; i < rows; i++ {
+		r := classify.Row{FQDN: id, IP: netsim.IP(1 + i%16), Country: uint8(i % 4)}
+		if i%3 != 0 {
+			r.Class = classify.ClassABP
+		}
+		st.Append(r)
+	}
+	ds.Store = st
+	locs := make(map[netsim.IP]geo.Location, 16)
+	for i := 0; i < 16; i++ {
+		loc := geo.Location{Country: "DE", Continent: geodata.EU28}
+		if i%5 == 0 {
+			loc = geo.Location{Country: "US", Continent: geodata.NorthAmerica}
+		}
+		locs[netsim.IP(1+i)] = loc
+	}
+	return ds, geo.Static{ServiceName: "bench", Locations: locs}
+}
+
+// BenchmarkAnalyze measures the chunk-parallel columnar join of
+// tracking rows with a geolocation service (the substrate under every
+// §4–§6 experiment). The scan shards over column chunks; on a
+// single-core runner it degenerates to the sequential path.
+func BenchmarkAnalyze(b *testing.B) {
+	ds, svc := analyzeBenchDataset(200_000)
+	b.ResetTimer()
+	var a *Analysis
+	for i := 0; i < b.N; i++ {
+		a = Analyze(ds, svc, nil)
+	}
+	b.ReportMetric(float64(a.Total()), "flows")
 }

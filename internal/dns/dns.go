@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"crossborder/internal/geodata"
@@ -96,6 +97,12 @@ type Resolution struct {
 // state, which is what makes the read path race-free; Register after
 // Freeze panics so the invariant cannot be broken accidentally.
 type Server struct {
+	// mu guards zones during construction: the scenario's world build
+	// registers planned zones from a worker pool. Distinct FQDNs
+	// commute, so the final zone map is independent of registration
+	// order. The read path never takes the lock — Freeze publishes the
+	// map and Register panics afterwards.
+	mu     sync.Mutex
 	zones  map[string]*entry
 	frozen bool
 	// log receives every resolution when non-nil.
@@ -121,22 +128,32 @@ func NewServer(logFn func(Resolution)) *Server {
 }
 
 // Freeze marks zone construction finished. Resolve is safe for
-// concurrent readers afterwards; further Register calls panic.
-func (s *Server) Freeze() { s.frozen = true }
+// concurrent readers afterwards; further Register calls panic. Freeze
+// takes the construction lock, so it orders correctly against parallel
+// registrations that are still completing.
+func (s *Server) Freeze() {
+	s.mu.Lock()
+	s.frozen = true
+	s.mu.Unlock()
+}
 
 // Register adds a zone for fqdn. Later registrations for the same FQDN
-// replace earlier ones. Register panics after Freeze.
+// replace earlier ones. Register panics after Freeze. Concurrent
+// registrations of distinct FQDNs are safe and commute.
 func (s *Server) Register(fqdn, org string, policy Policy, ttl time.Duration, servers []ServerIP) {
-	if s.frozen {
-		panic("dns: Register after Freeze")
-	}
 	if len(servers) == 0 {
 		panic("dns: Register with no servers for " + fqdn)
 	}
 	cp := make([]ServerIP, len(servers))
 	copy(cp, servers)
 	sort.Slice(cp, func(i, j int) bool { return cp[i].IP < cp[j].IP })
-	s.zones[fqdn] = &entry{org: org, policy: policy, ttl: ttl, servers: cp}
+	e := &entry{org: org, policy: policy, ttl: ttl, servers: cp}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		panic("dns: Register after Freeze")
+	}
+	s.zones[fqdn] = e
 }
 
 // Zones returns the registered FQDNs in sorted order.

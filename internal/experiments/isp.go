@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -78,17 +79,34 @@ func (r Table8Result) Report(isp string, date time.Time) (ISPDayReport, bool) {
 // counters with IPmap (the §7.2 methodology: match tracker IPs in
 // NetFlow, then geolocate).
 func (su *Suite) Table8() Table8Result {
+	r, err := su.Table8Context(context.Background())
+	if err != nil {
+		// Unreachable: the background context never cancels and
+		// cancellation is the only error source.
+		panic("experiments: " + err.Error())
+	}
+	return r
+}
+
+// Table8Context is Table8 with cancellation: the sixteen per-ISP-day
+// NetFlow syntheses dominate the registry's wall-clock at full scale,
+// so the loop polls ctx before each day and returns ctx.Err() promptly.
+// This is what lets `reproduce -only table8` honour ctrl-C mid-run.
+func (su *Suite) Table8Context(ctx context.Context) (Table8Result, error) {
 	synth := &netflow.Synthesizer{Resolver: su.S.DNS}
 	fqdns := su.S.FQDNWeights()
 	var out Table8Result
 	for _, isp := range netflow.DefaultISPs() {
 		for di, date := range SnapshotDates() {
+			if err := ctx.Err(); err != nil {
+				return Table8Result{}, err
+			}
 			rng := rand.New(rand.NewSource(su.S.Params.Seed*1000 + int64(di) + int64(len(out.Reports))))
 			day := synth.Synthesize(rng, isp, date, fqdns)
 			out.Reports = append(out.Reports, su.summarizeDay(isp, day))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // summarizeDay geolocates a day's per-IP counters into region shares.

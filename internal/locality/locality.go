@@ -106,20 +106,22 @@ func NewEngine(ds *classify.Dataset, svc geo.Service, orgClouds OrgClouds) *Engi
 			e.allCloudCountries[c] = struct{}{}
 		}
 	}
-	for _, r := range ds.Rows {
-		if !r.Class.IsTracking() {
-			continue
+	ds.Scan(func(_ int, c *classify.Chunk) {
+		for i, cls := range c.Class {
+			if !cls.IsTracking() {
+				continue
+			}
+			src := ds.Countries[c.Country[i]]
+			if !geodata.IsEU28(src) {
+				continue
+			}
+			loc, ok := svc.Locate(c.IP[i])
+			if !ok {
+				continue
+			}
+			e.add(src, c.FQDN[i], loc.Country)
 		}
-		src := ds.Country(r)
-		if !geodata.IsEU28(src) {
-			continue
-		}
-		loc, ok := svc.Locate(r.IP)
-		if !ok {
-			continue
-		}
-		e.add(src, r.FQDN, loc.Country)
-	}
+	})
 	return e
 }
 

@@ -19,7 +19,8 @@ import (
 // Users: ES and CY.
 func buildEngine(t *testing.T) *Engine {
 	t.Helper()
-	ds := &classify.Dataset{FQDNs: classify.NewInterner()}
+	st := classify.NewMemStore()
+	ds := &classify.Dataset{FQDNs: classify.NewInterner(), Store: st}
 	ds.Countries = []geodata.Country{"ES", "CY"}
 	adsID := ds.FQDNs.ID("ads.tracker.com")
 	altID := ds.FQDNs.ID("alt.tracker.com")
@@ -28,7 +29,7 @@ func buildEngine(t *testing.T) *Engine {
 
 	addRows := func(fqdn uint32, ip netsim.IP, country uint8, n int) {
 		for i := 0; i < n; i++ {
-			ds.Rows = append(ds.Rows, classify.Row{
+			st.Append(classify.Row{
 				FQDN: fqdn, IP: ip, Country: country, Class: classify.ClassABP,
 			})
 		}
@@ -43,7 +44,7 @@ func buildEngine(t *testing.T) *Engine {
 	// CY user: 10 flows to ads->US.
 	addRows(adsID, 1, 1, 10)
 	// A clean row and a non-EU row must be ignored.
-	ds.Rows = append(ds.Rows, classify.Row{FQDN: adsID, IP: 1, Country: 0, Class: classify.ClassClean})
+	st.Append(classify.Row{FQDN: adsID, IP: 1, Country: 0, Class: classify.ClassClean})
 
 	svc := geo.Static{ServiceName: "truth", Locations: map[netsim.IP]geo.Location{
 		1: {Country: "US", Continent: geodata.NorthAmerica},
@@ -215,7 +216,7 @@ func TestNonEUUsersExcluded(t *testing.T) {
 	ds := &classify.Dataset{FQDNs: classify.NewInterner()}
 	ds.Countries = []geodata.Country{"US"}
 	id := ds.FQDNs.ID("t.x.com")
-	ds.Rows = []classify.Row{{FQDN: id, IP: 1, Country: 0, Class: classify.ClassABP}}
+	ds.Store = classify.StoreOf(classify.Row{FQDN: id, IP: 1, Country: 0, Class: classify.ClassABP})
 	svc := geo.Static{ServiceName: "s", Locations: map[netsim.IP]geo.Location{
 		1: {Country: "US", Continent: geodata.NorthAmerica},
 	}}

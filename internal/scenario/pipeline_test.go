@@ -143,11 +143,12 @@ func TestBuildContextDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(a.Dataset.Rows) != len(b.Dataset.Rows) {
-		t.Fatalf("row counts differ: %d vs %d", len(a.Dataset.Rows), len(b.Dataset.Rows))
+	ar, br := a.Dataset.Rows(), b.Dataset.Rows()
+	if len(ar) != len(br) {
+		t.Fatalf("row counts differ: %d vs %d", len(ar), len(br))
 	}
-	for i := range a.Dataset.Rows {
-		if a.Dataset.Rows[i] != b.Dataset.Rows[i] {
+	for i := range ar {
+		if ar[i] != br[i] {
 			t.Fatalf("row %d differs with progress enabled", i)
 		}
 	}

@@ -59,6 +59,12 @@ type Params struct {
 	// not be goroutine-safe. Progress never influences the built world:
 	// the same Params produce the same Scenario with or without it.
 	Progress func(PhaseEvent)
+	// RowSink, when non-nil, supplies the row store backend the
+	// classification phase streams the merged dataset into (e.g. a
+	// classify.SpillSink for Scale >> 1 runs). nil selects the default
+	// in-memory columnar store. The merged row stream is identical for
+	// every backend; only the storage layout differs.
+	RowSink func() (classify.RowSink, error)
 }
 
 func (p Params) withDefaults() Params {
@@ -142,6 +148,10 @@ func BuildContext(ctx context.Context, p Params) (*Scenario, error) {
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	prog := newProgress(p.Progress)
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	s := &Scenario{
 		Params:    p,
@@ -179,7 +189,7 @@ func BuildContext(ctx context.Context, p Params) (*Scenario, error) {
 		return hashCoin(fqdn, string(user), epoch) < q
 	}
 
-	b := &worldBuilder{s: s, rng: rng, ctx: ctx, prog: prog}
+	b := &worldBuilder{s: s, rng: rng, ctx: ctx, prog: prog, workers: workers}
 	if err := b.build(); err != nil {
 		return nil, err
 	}
@@ -210,10 +220,6 @@ func BuildContext(ctx context.Context, p Params) (*Scenario, error) {
 	if visits == 0 {
 		visits = 219
 	}
-	workers := p.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	prog.startPhase(PhaseSimulate, len(s.Users))
 	collector := classify.NewShardedCollector(s.Graph, s.EasyList, s.EasyPrivacy, studyStart, workers)
 	sim := browser.NewSimulator(s.Graph, s.DNS, browser.Config{
@@ -231,13 +237,36 @@ func BuildContext(ctx context.Context, p Params) (*Scenario, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s.Dataset = collector.Finalize(s.Users)
+	// The merge streams rows into the configured sink; the default is
+	// the in-memory columnar store, Scale >> 1 runs swap in the
+	// spill-to-disk store via Params.RowSink.
+	var sink classify.RowSink
+	if p.RowSink != nil {
+		var err error
+		if sink, err = p.RowSink(); err != nil {
+			return nil, err
+		}
+	} else {
+		sink = classify.NewMemStore()
+	}
+	s.Dataset, err = collector.FinalizeInto(s.Users, sink)
+	if err != nil {
+		return nil, err
+	}
 	prog.finishPhase()
+
+	// From here on the dataset owns the (possibly disk-backed) row
+	// store; error returns must release it or a cancelled build would
+	// leak the spill file for the process lifetime.
+	fail := func(err error) (*Scenario, error) {
+		s.Dataset.Close()
+		return nil, err
+	}
 
 	// Tracker IP inventory.
 	prog.startPhase(PhaseInventory, 1)
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	s.Inventory = trackerdb.Compile(s.Dataset, s.PDNS)
 	prog.finishPhase()
@@ -245,7 +274,7 @@ func BuildContext(ctx context.Context, p Params) (*Scenario, error) {
 	// Geolocation services: one tick per service.
 	prog.startPhase(PhaseGeolocate, 4)
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	s.Truth = geo.Truth{World: s.World}
 	prog.tick(1)
@@ -259,7 +288,7 @@ func BuildContext(ctx context.Context, p Params) (*Scenario, error) {
 	if !p.SkipSensitive {
 		prog.startPhase(PhaseSensitive, 1)
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		s.Identification = sensitive.Identify(rng, s.Graph, sensitive.ExaminerConfig{})
 		prog.finishPhase()
@@ -321,11 +350,13 @@ func (s *Scenario) OrgClouds(fqdn string) []geodata.CloudProvider {
 // of the same seed.
 func (s *Scenario) FQDNWeights() []netflow.FQDNWeight {
 	counts := make([]int64, s.Dataset.FQDNs.Len())
-	for _, r := range s.Dataset.Rows {
-		if r.Class.IsTracking() {
-			counts[r.FQDN]++
+	s.Dataset.Scan(func(_ int, c *classify.Chunk) {
+		for i, cls := range c.Class {
+			if cls.IsTracking() {
+				counts[c.FQDN[i]]++
+			}
 		}
-	}
+	})
 	var out []netflow.FQDNWeight
 	for id, n := range counts {
 		if n > 0 {
@@ -339,13 +370,21 @@ func (s *Scenario) FQDNWeights() []netflow.FQDNWeight {
 // classified as tracking (Fig 2's takeaway).
 func (s *Scenario) TrackingShareOfRows() float64 {
 	var tracking int64
-	for _, r := range s.Dataset.Rows {
-		if r.Class.IsTracking() {
-			tracking++
-		}
-	}
-	if len(s.Dataset.Rows) == 0 {
+	if s.Dataset == nil || s.Dataset.Store == nil {
 		return 0
 	}
-	return float64(tracking) / float64(len(s.Dataset.Rows))
+	st := s.Dataset.Store
+	// Class-only scan: the resident class column answers this without
+	// touching the (possibly spilled) wide columns.
+	for ci := 0; ci < st.NumChunks(); ci++ {
+		for _, cls := range st.Classes(ci) {
+			if cls.IsTracking() {
+				tracking++
+			}
+		}
+	}
+	if st.Len() == 0 {
+		return 0
+	}
+	return float64(tracking) / float64(st.Len())
 }

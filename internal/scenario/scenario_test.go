@@ -25,7 +25,7 @@ func TestBuildWiring(t *testing.T) {
 	if s.Graph == nil || s.World == nil || s.DNS == nil || s.PDNS == nil {
 		t.Fatal("missing substrate")
 	}
-	if len(s.Users) == 0 || s.Dataset == nil || len(s.Dataset.Rows) == 0 {
+	if len(s.Users) == 0 || s.Dataset == nil || s.Dataset.Len() == 0 {
 		t.Fatal("no dataset")
 	}
 	if s.Inventory == nil || s.Inventory.NumIPs() == 0 {
@@ -100,11 +100,12 @@ func TestSharedInfraExists(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	a := Build(Params{Seed: 3, Scale: 0.02, VisitsPerUser: 10})
 	b := Build(Params{Seed: 3, Scale: 0.02, VisitsPerUser: 10})
-	if len(a.Dataset.Rows) != len(b.Dataset.Rows) {
-		t.Fatalf("row counts differ: %d vs %d", len(a.Dataset.Rows), len(b.Dataset.Rows))
+	ar, br := a.Dataset.Rows(), b.Dataset.Rows()
+	if len(ar) != len(br) {
+		t.Fatalf("row counts differ: %d vs %d", len(ar), len(br))
 	}
-	for i := range a.Dataset.Rows {
-		if a.Dataset.Rows[i] != b.Dataset.Rows[i] {
+	for i := range ar {
+		if ar[i] != br[i] {
 			t.Fatalf("row %d differs", i)
 		}
 	}
@@ -190,7 +191,7 @@ func TestStudyWindows(t *testing.T) {
 func TestMajorsCarrySubstantialTraffic(t *testing.T) {
 	s := small(t)
 	var major, total int64
-	for _, r := range s.Dataset.Rows {
+	for _, r := range s.Dataset.Rows() {
 		if !r.Class.IsTracking() {
 			continue
 		}
@@ -208,7 +209,7 @@ func TestMajorsCarrySubstantialTraffic(t *testing.T) {
 func TestSensitiveFlowShare(t *testing.T) {
 	s := small(t)
 	var sens, total int64
-	for _, r := range s.Dataset.Rows {
+	for _, r := range s.Dataset.Rows() {
 		if !r.Class.IsTracking() {
 			continue
 		}
@@ -276,7 +277,7 @@ func datasetHash(s *Scenario) uint64 {
 		mix(uint64(len(str)))
 	}
 	ds := s.Dataset
-	for _, r := range ds.Rows {
+	for _, r := range ds.Rows() {
 		mix(r.URLHash)
 		mix(uint64(r.IP))
 		mix(uint64(r.FQDN))

@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"crossborder/internal/classify"
+	"crossborder/internal/core"
+)
+
+// TestRowStoreEquivalence is the sink-equivalence property at the
+// pipeline level: the same world built into the in-memory store and the
+// spill-to-disk store (with a small chunk size, forcing many spilled
+// chunks) must produce identical dataset statistics and identical
+// core.Analyze flow maps under every geolocation service — the
+// storage backend must be invisible to every analysis.
+func TestRowStoreEquivalence(t *testing.T) {
+	p := Params{Seed: 1, Scale: 0.02, VisitsPerUser: 10}
+	mem := Build(p)
+
+	dir := t.TempDir()
+	p.RowSink = func() (classify.RowSink, error) { return classify.NewSpillSink(dir, 300) }
+	spill := Build(p)
+	defer spill.Dataset.Close()
+
+	if spill.Dataset.Store.NumChunks() < 2 {
+		t.Fatalf("spill store has %d chunks; the test needs several to mean anything",
+			spill.Dataset.Store.NumChunks())
+	}
+
+	if hm, hs := datasetHash(mem), datasetHash(spill); hm != hs {
+		t.Fatalf("dataset hash differs across row stores: mem %x vs spill %x", hm, hs)
+	}
+	if sm, ss := classify.ComputeStats(mem.Dataset), classify.ComputeStats(spill.Dataset); sm != ss {
+		t.Fatalf("DatasetStats differ: mem %+v vs spill %+v", sm, ss)
+	}
+
+	for _, svc := range []struct {
+		name string
+		a, b *core.Analysis
+	}{
+		{"truth", core.Analyze(mem.Dataset, mem.Truth, nil), core.Analyze(spill.Dataset, spill.Truth, nil)},
+		{"ipmap", core.Analyze(mem.Dataset, mem.IPMap, nil), core.Analyze(spill.Dataset, spill.IPMap, nil)},
+		{"maxmind", core.Analyze(mem.Dataset, mem.MaxMind, nil), core.Analyze(spill.Dataset, spill.MaxMind, nil)},
+	} {
+		if svc.a.Total() != svc.b.Total() || svc.a.Unknown() != svc.b.Unknown() {
+			t.Errorf("%s totals differ: (%d,%d) vs (%d,%d)", svc.name,
+				svc.a.Total(), svc.a.Unknown(), svc.b.Total(), svc.b.Unknown())
+		}
+		if ea, eb := svc.a.CountryEdges(nil), svc.b.CountryEdges(nil); !reflect.DeepEqual(ea, eb) {
+			t.Errorf("%s country flow map differs across row stores", svc.name)
+		}
+		if ea, eb := svc.a.ContinentEdges(), svc.b.ContinentEdges(); !reflect.DeepEqual(ea, eb) {
+			t.Errorf("%s continent flow map differs across row stores", svc.name)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"time"
 
 	"crossborder/internal/dns"
@@ -109,6 +110,8 @@ type worldBuilder struct {
 	rng  *rand.Rand
 	ctx  context.Context
 	prog *progress
+	// workers sizes the zone-materialization pool (see buildZones).
+	workers int
 
 	// rotationMid splits the study period for rotating bindings.
 	rotationMid time.Time
@@ -391,10 +394,32 @@ func (b *worldBuilder) policyFor(svc *webgraph.Service) dns.Policy {
 	}
 }
 
+// zonePlan is the fully drawn configuration of one DNS zone, ready to
+// be materialized into the DNS server and the pDNS feed.
+type zonePlan struct {
+	fqdn    string
+	org     string
+	policy  dns.Policy
+	ttl     time.Duration
+	servers []dns.ServerIP
+}
+
 // buildZones registers one DNS zone per FQDN, picks its server IPs from
 // the org's pools, assigns rotation windows, and feeds every binding to
 // the pDNS replication store.
+//
+// The work is split into two passes. The plan pass walks the services
+// sequentially and consumes the shared build rng in exactly the
+// original draw order — preserving byte-for-byte world reproducibility
+// against earlier releases — while recording each zone's drawn
+// configuration. The execute pass then materializes the plans
+// (zone registration, binding sort, pDNS window ingestion) on a worker
+// pool sized by Params.Workers. Registration targets are keyed by FQDN
+// and every pDNS merge is commutative, so the final world state is
+// identical for any worker count, including the sequential baseline;
+// TestWorkerCountInvariance holds the whole pipeline to that.
 func (b *worldBuilder) buildZones() error {
+	var plans []zonePlan
 	for i, svc := range b.s.Graph.Services {
 		if err := b.checkpoint(i); err != nil {
 			return err
@@ -452,16 +477,52 @@ func (b *worldBuilder) buildZones() error {
 			if len(servers) == 0 {
 				continue
 			}
-			b.s.DNS.Register(fqdn, svc.Org, policy, ttl, servers)
-			for _, sv := range servers {
-				b.s.PDNS.ObserveWindow(fqdn, sv.IP, sv.From, sv.To)
-			}
+			plans = append(plans, zonePlan{fqdn: fqdn, org: svc.Org, policy: policy, ttl: ttl, servers: servers})
 			if svc.Role.IsTracking() {
 				b.trackerIPCount += len(servers)
 			}
 		}
 	}
-	return nil
+	return b.executeZonePlans(plans)
+}
+
+// executeZonePlans materializes the drawn zones in parallel: workers
+// take contiguous plan ranges and perform the rng-free work — the DNS
+// registration (which sorts each zone's bindings) and the pDNS window
+// ingestion.
+func (b *worldBuilder) executeZonePlans(plans []zonePlan) error {
+	apply := func(lo, hi int) {
+		for _, zp := range plans[lo:hi] {
+			b.s.DNS.Register(zp.fqdn, zp.org, zp.policy, zp.ttl, zp.servers)
+			for _, sv := range zp.servers {
+				b.s.PDNS.ObserveWindow(zp.fqdn, sv.IP, sv.From, sv.To)
+			}
+		}
+	}
+	workers := b.workers
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	if workers <= 1 {
+		apply(0, len(plans))
+		return b.ctx.Err()
+	}
+	var wg sync.WaitGroup
+	per := (len(plans) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(plans) {
+			hi = len(plans)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			apply(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return b.ctx.Err()
 }
 
 // zoneServers draws perDC addresses per datacenter pool and applies

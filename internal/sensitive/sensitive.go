@@ -158,18 +158,20 @@ func (r *Report) PctOfAll() float64 {
 func BuildReport(ds *classify.Dataset, id *Identification) *Report {
 	rep := &Report{}
 	counts := make(map[webgraph.Topic]int64)
-	for _, r := range ds.Rows {
-		if !r.Class.IsTracking() {
-			continue
+	ds.Scan(func(_ int, c *classify.Chunk) {
+		for i, cls := range c.Class {
+			if !cls.IsTracking() {
+				continue
+			}
+			rep.AllTrackingFlows++
+			cat, ok := id.ByPublisher[ds.Publishers[c.Publisher[i]]]
+			if !ok {
+				continue
+			}
+			counts[cat]++
+			rep.SensitiveFlows++
 		}
-		rep.AllTrackingFlows++
-		cat, ok := id.ByPublisher[ds.Publisher(r)]
-		if !ok {
-			continue
-		}
-		counts[cat]++
-		rep.SensitiveFlows++
-	}
+	})
 	for cat, n := range counts {
 		pct := 0.0
 		if rep.SensitiveFlows > 0 {
@@ -203,21 +205,23 @@ func DestByCategory(ds *classify.Dataset, id *Identification, svc geo.Service) [
 	}
 	counts := make(map[key]int64)
 	totals := make(map[webgraph.Topic]int64)
-	for _, r := range ds.Rows {
-		if !r.Class.IsTracking() || !geodata.IsEU28(ds.Country(r)) {
-			continue
+	ds.Scan(func(_ int, c *classify.Chunk) {
+		for i, cls := range c.Class {
+			if !cls.IsTracking() || !geodata.IsEU28(ds.Countries[c.Country[i]]) {
+				continue
+			}
+			cat, ok := id.ByPublisher[ds.Publishers[c.Publisher[i]]]
+			if !ok {
+				continue
+			}
+			loc, ok := svc.Locate(c.IP[i])
+			if !ok {
+				continue
+			}
+			counts[key{cat, loc.Continent.String()}]++
+			totals[cat]++
 		}
-		cat, ok := id.ByPublisher[ds.Publisher(r)]
-		if !ok {
-			continue
-		}
-		loc, ok := svc.Locate(r.IP)
-		if !ok {
-			continue
-		}
-		counts[key{cat, loc.Continent.String()}]++
-		totals[cat]++
-	}
+	})
 	out := make([]DestEdge, 0, len(counts))
 	for k, n := range counts {
 		out = append(out, DestEdge{
@@ -259,31 +263,33 @@ func (c CountryLeak) OutsidePct() float64 {
 func CountryLeakage(ds *classify.Dataset, id *Identification, svc geo.Service) []CountryLeak {
 	type acc struct{ total, outside int64 }
 	accs := make(map[geodata.Country]*acc)
-	for _, r := range ds.Rows {
-		if !r.Class.IsTracking() {
-			continue
+	ds.Scan(func(_ int, c *classify.Chunk) {
+		for i, cls := range c.Class {
+			if !cls.IsTracking() {
+				continue
+			}
+			src := ds.Countries[c.Country[i]]
+			if !geodata.IsEU28(src) {
+				continue
+			}
+			if _, ok := id.ByPublisher[ds.Publishers[c.Publisher[i]]]; !ok {
+				continue
+			}
+			loc, ok := svc.Locate(c.IP[i])
+			if !ok {
+				continue
+			}
+			x := accs[src]
+			if x == nil {
+				x = &acc{}
+				accs[src] = x
+			}
+			x.total++
+			if loc.Country != src {
+				x.outside++
+			}
 		}
-		src := ds.Country(r)
-		if !geodata.IsEU28(src) {
-			continue
-		}
-		if _, ok := id.ByPublisher[ds.Publisher(r)]; !ok {
-			continue
-		}
-		loc, ok := svc.Locate(r.IP)
-		if !ok {
-			continue
-		}
-		x := accs[src]
-		if x == nil {
-			x = &acc{}
-			accs[src] = x
-		}
-		x.total++
-		if loc.Country != src {
-			x.outside++
-		}
-	}
+	})
 	out := make([]CountryLeak, 0, len(accs))
 	for c, x := range accs {
 		out = append(out, CountryLeak{Country: c, Total: x.total, Outside: x.outside})

@@ -106,7 +106,8 @@ func TestExaminerAgreementRule(t *testing.T) {
 // buildDS builds a tiny classified dataset over the graph's publishers:
 // every publisher gets `per` tracking rows from a DE user to IP 1 (US).
 func buildDS(g *webgraph.Graph, per int) *classify.Dataset {
-	ds := &classify.Dataset{FQDNs: classify.NewInterner()}
+	st := classify.NewMemStore()
+	ds := &classify.Dataset{FQDNs: classify.NewInterner(), Store: st}
 	ds.Countries = []geodata.Country{"DE"}
 	id := ds.FQDNs.ID("t.x.com")
 	for pi, p := range g.Publishers {
@@ -116,7 +117,7 @@ func buildDS(g *webgraph.Graph, per int) *classify.Dataset {
 			if i%2 == 0 {
 				ip = 2 // alternate destination: DE
 			}
-			ds.Rows = append(ds.Rows, classify.Row{
+			st.Append(classify.Row{
 				FQDN: id, IP: ip, Country: 0, Publisher: int32(pi),
 				Class: classify.ClassABP,
 			})

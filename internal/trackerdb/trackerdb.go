@@ -72,21 +72,24 @@ func Compile(ds *classify.Dataset, db *pdns.DB) *Inventory {
 	}
 
 	// Pass 1: tracking FQDNs and directly observed IPs with request
-	// counts.
-	for _, r := range ds.Rows {
-		if !r.Class.IsTracking() {
-			continue
+	// counts — a chunk-wise columnar scan needing only the class, FQDN
+	// and IP columns.
+	ds.Scan(func(_ int, c *classify.Chunk) {
+		for i, cls := range c.Class {
+			if !cls.IsTracking() {
+				continue
+			}
+			fqdn := ds.FQDNs.Str(c.FQDN[i])
+			inv.trackingFQDNs[fqdn] = struct{}{}
+			info := inv.ips[c.IP[i]]
+			if info == nil {
+				info = &IPInfo{IP: c.IP[i]}
+				inv.ips[c.IP[i]] = info
+			}
+			info.Requests++
+			info.Observed = true
 		}
-		fqdn := ds.FQDN(r)
-		inv.trackingFQDNs[fqdn] = struct{}{}
-		info := inv.ips[r.IP]
-		if info == nil {
-			info = &IPInfo{IP: r.IP}
-			inv.ips[r.IP] = info
-		}
-		info.Requests++
-		info.Observed = true
-	}
+	})
 
 	// Pass 2: passive DNS completion. Every forward record of a tracking
 	// FQDN contributes its IP (possibly new) and its validity window.

@@ -22,12 +22,13 @@ var (
 //	sync.dmp.com       -> IP 102 (3 tracking requests)
 //	clean.cdn.com      -> IP 201 (2 clean requests)
 func makeDS() *classify.Dataset {
-	ds := &classify.Dataset{FQDNs: classify.NewInterner(), Start: t0}
+	st := classify.NewMemStore()
+	ds := &classify.Dataset{FQDNs: classify.NewInterner(), Start: t0, Store: st}
 	ds.Countries = append(ds.Countries, "DE")
 	addRow := func(fqdn string, ip netsim.IP, class classify.Class, n int) {
 		id := ds.FQDNs.ID(fqdn)
 		for i := 0; i < n; i++ {
-			ds.Rows = append(ds.Rows, classify.Row{
+			st.Append(classify.Row{
 				FQDN: id, IP: ip, Class: class, Country: 0,
 			})
 		}

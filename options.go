@@ -63,3 +63,36 @@ func WithWorkers(n int) Option {
 func WithProgress(fn func(PhaseEvent)) Option {
 	return func(o *Options) { o.Progress = fn }
 }
+
+// RowStore selects the storage backend of the classified dataset's row
+// store. The zero value is the in-memory columnar store. The backend
+// never changes the study: the classification phase streams the same
+// merged row sequence into whichever sink is configured, and every
+// experiment reads through the same chunk-wise Store interface.
+type RowStore struct {
+	disk      bool
+	dir       string
+	chunkRows int
+}
+
+// MemoryRowStore keeps the dataset's columns in memory (the default).
+func MemoryRowStore() RowStore { return RowStore{} }
+
+// DiskRowStore spills the dataset's column chunks to a temporary file
+// under dir ("" = the OS temp directory), keeping only the class column
+// resident — the backend for Scale >> 1 studies that outgrow memory.
+// Call Study.Close when done to release the spill file.
+func DiskRowStore(dir string) RowStore { return RowStore{disk: true, dir: dir} }
+
+// WithChunkRows overrides the store's rows-per-chunk (0 = the default;
+// exposed mainly for tests exercising multi-chunk behaviour at small
+// scales).
+func (rs RowStore) WithChunkRows(n int) RowStore {
+	rs.chunkRows = n
+	return rs
+}
+
+// WithRowStore selects the dataset row storage backend.
+func WithRowStore(rs RowStore) Option {
+	return func(o *Options) { o.RowStore = rs }
+}

@@ -3,6 +3,7 @@ package crossborder
 import (
 	"context"
 
+	"crossborder/internal/classify"
 	"crossborder/internal/experiments"
 	"crossborder/internal/scenario"
 )
@@ -26,6 +27,9 @@ type Options struct {
 	Workers int
 	// Progress, when non-nil, receives per-phase pipeline events.
 	Progress func(PhaseEvent)
+	// RowStore selects the dataset row storage backend (the zero value
+	// is the in-memory columnar store; see DiskRowStore).
+	RowStore RowStore
 }
 
 // Experiment is one registered artifact of the paper's evaluation: id,
@@ -75,13 +79,25 @@ func New(ctx context.Context, opts ...Option) (*Study, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	s, err := scenario.BuildContext(ctx, scenario.Params{
+	params := scenario.Params{
 		Seed:          o.Seed,
 		Scale:         o.Scale,
 		VisitsPerUser: o.VisitsPerUser,
 		Workers:       o.Workers,
 		Progress:      o.Progress,
-	})
+	}
+	if o.RowStore.disk {
+		rs := o.RowStore
+		params.RowSink = func() (classify.RowSink, error) {
+			return classify.NewSpillSink(rs.dir, rs.chunkRows)
+		}
+	} else if o.RowStore.chunkRows > 0 {
+		rs := o.RowStore
+		params.RowSink = func() (classify.RowSink, error) {
+			return classify.NewMemStoreChunked(rs.chunkRows), nil
+		}
+	}
+	s, err := scenario.BuildContext(ctx, params)
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +125,11 @@ func NewStudy(o Options) *Study {
 // and examples use it to reach the DNS substrate, inventory, and
 // geolocation services directly).
 func (st *Study) Scenario() *scenario.Scenario { return st.S }
+
+// Close releases the dataset's row store. It matters for studies built
+// with DiskRowStore — the spill file is freed — and is a no-op for the
+// in-memory backend. The study must not be used afterwards.
+func (st *Study) Close() error { return st.S.Dataset.Close() }
 
 // RenderTable9 returns the paper's related-work comparison (Table 9),
 // which is transcription rather than experiment.
