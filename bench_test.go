@@ -7,6 +7,7 @@ package crossborder
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"crossborder/internal/core"
 	"crossborder/internal/experiments"
 	"crossborder/internal/geodata"
+	"crossborder/internal/ingest"
 	"crossborder/internal/netflow"
 	"crossborder/internal/netsim"
 	"crossborder/internal/scenario"
@@ -405,6 +407,55 @@ func BenchmarkIPMapLocate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		su.S.IPMap.Locate(ips[i%len(ips)])
 	}
+}
+
+// BenchmarkIngestThroughput drives the live collection pipeline end to
+// end in-process: binary batch decode -> sequence dedup -> sharded
+// stage-1 classification -> user-ordered merge into the columnar store
+// -> incremental fixpoint + aggregate deltas -> snapshot publish. One
+// op replays the whole captured event stream; events/sec is the
+// headline serving metric.
+func BenchmarkIngestThroughput(b *testing.B) {
+	world := scenario.BuildWorld(scenario.Params{Seed: 1, Scale: 0.02, VisitsPerUser: 10})
+	events := ingest.RecordSimulation(world, 10, 0)
+	users := make([]int32, 0, len(events))
+	total := 0
+	for uid, evs := range events {
+		users = append(users, uid)
+		total += len(evs)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	var batches [][]byte
+	for _, uid := range users {
+		stream := events[uid]
+		for off := 0; off < len(stream); off += 512 {
+			hi := off + 512
+			if hi > len(stream) {
+				hi = len(stream)
+			}
+			batches = append(batches, ingest.EncodeBinary(ingest.Batch{
+				User: uid, Seq: uint64(off), Events: stream[off:hi],
+			}))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := ingest.NewCollector(world, ingest.Config{EpochEvents: 1 << 14})
+		for _, raw := range batches {
+			bt, err := ingest.DecodeBinary(raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Ingest(bt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c.Flush()
+		c.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(total), "events/op")
 }
 
 func BenchmarkCoreAnalyze(b *testing.B) {

@@ -1,0 +1,94 @@
+// Command collectd is the live collection daemon: the crowdsourced
+// measurement backend the paper's browser extensions uploaded to,
+// serving the reproduction's artifacts from a continuously growing
+// dataset instead of a one-shot batch build.
+//
+// On startup it builds the synthetic world (graph, DNS zones, filter
+// lists, geolocation services — everything except the browsing study)
+// for the given -seed/-scale, then accepts event uploads and answers
+// queries:
+//
+//	POST /v1/upload           batched events (NDJSON or binary framing)
+//	POST /v1/flush            force an epoch commit
+//	GET  /v1/experiments      registry ids
+//	GET  /v1/experiments/{id} artifact over the latest epoch snapshot
+//	GET  /v1/stats            incrementally maintained aggregates
+//	GET  /healthz, /metrics   liveness and Prometheus counters
+//
+// Uploads carry per-user sequence numbers; re-sent batches deduplicate,
+// so clients retry freely (at-least-once). Accepted events commit as an
+// epoch every -epoch events: the batch is classified through -workers
+// shards, merged into the columnar store, the semi-stage fixpoint
+// extends incrementally, and the flow-map/stats aggregates advance by
+// the epoch's delta. Queries read immutable epoch snapshots and never
+// block ingestion.
+//
+// Replay a simulated study against it with:
+//
+//	collectd -scale 0.1 -addr :8477
+//	crawlsim -scale 0.1 -replay -target http://localhost:8477
+//
+// The replayed artifacts are byte-identical to `reproduce -scale 0.1`.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"crossborder/internal/ingest"
+	"crossborder/internal/scenario"
+)
+
+func main() {
+	addr := flag.String("addr", ":8477", "HTTP listen address")
+	seed := flag.Int64("seed", 1, "world seed; must match the uploading clients")
+	scale := flag.Float64("scale", 0.25, "population scale; must match the uploading clients")
+	epoch := flag.Int("epoch", 1<<15, "events per epoch commit")
+	workers := flag.Int("workers", 0, "classification/fixpoint workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "collectd: building world (seed=%d scale=%.2f)...\n", *seed, *scale)
+	start := time.Now()
+	world, err := scenario.BuildWorldContext(context.Background(), scenario.Params{
+		Seed: *seed, Scale: *scale, Workers: *workers,
+		Progress: func(ev scenario.PhaseEvent) {
+			if ev.Done == ev.Total {
+				fmt.Fprintf(os.Stderr, "collectd:   %-10s done (%v)\n", ev.Phase, ev.Elapsed.Round(time.Millisecond))
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collectd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "collectd: world ready in %v (%d users, %d publishers)\n",
+		time.Since(start).Round(time.Millisecond), len(world.Users), len(world.Graph.Publishers))
+
+	c := ingest.NewCollector(world, ingest.Config{EpochEvents: *epoch, Workers: *workers})
+	defer c.Close()
+	srv := &http.Server{Addr: *addr, Handler: ingest.NewServer(c)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "collectd: shutting down")
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "collectd: serving on %s (epoch=%d events, workers=%d)\n", *addr, *epoch, *workers)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "collectd:", err)
+		os.Exit(1)
+	}
+	snap := c.Flush()
+	fmt.Fprintf(os.Stderr, "collectd: stopped at epoch %d, %d rows\n", snap.Epoch(), snap.Rows())
+}

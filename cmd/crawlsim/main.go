@@ -5,6 +5,20 @@
 // also streams a sample of the captured request log as CSV, the schema
 // the paper's extension uploaded: user country, first-party domain,
 // third-party URL host, serving IP, classification.
+//
+// With -replay the tool becomes the load generator for the live
+// collection daemon: instead of classifying locally, it simulates the
+// browsing study, captures the raw event stream, and uploads it to a
+// collectd instance (-target) as sequence-numbered batches — the
+// paper's crowdsourced upload traffic, benchmarkable end to end:
+//
+//	crawlsim -scale 0.1 -replay -target http://localhost:8477
+//
+// -uploaders > 1 fans whole users over concurrent connections for
+// throughput testing; with the default single uploader the server
+// rebuilds the batch dataset byte for byte. -binary switches NDJSON for
+// the compact binary framing. The final partial epoch is flushed unless
+// -noflush is set.
 package main
 
 import (
@@ -13,22 +27,38 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"crossborder"
 	"crossborder/internal/classify"
+	"crossborder/internal/ingest"
+	"crossborder/internal/scenario"
 )
 
 func main() {
 	scale := flag.Float64("scale", 0.1, "population scale (1.0 = the paper's study)")
 	seed := flag.Int64("seed", 1, "world seed")
 	visits := flag.Int("visits", 0, "mean visits per user (0 = the paper's 219)")
+	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 	dump := flag.Int("dump", 0, "emit every Nth captured request as CSV (0 = none)")
+	replay := flag.Bool("replay", false, "upload the simulated event stream to a collectd instance instead of classifying locally")
+	target := flag.String("target", "", "collectd base URL for -replay (e.g. http://localhost:8477)")
+	batch := flag.Int("batch", 512, "events per upload batch in -replay")
+	uploaders := flag.Int("uploaders", 1, "concurrent upload connections in -replay (1 preserves byte parity)")
+	binary := flag.Bool("binary", false, "use the binary upload framing instead of NDJSON in -replay")
+	noflush := flag.Bool("noflush", false, "leave the final partial epoch pending after -replay")
 	flag.Parse()
+
+	if *replay {
+		runReplay(*seed, *scale, *visits, *workers, *target, *batch, *uploaders, *binary, !*noflush)
+		return
+	}
 
 	study, err := crossborder.New(context.Background(),
 		crossborder.WithSeed(*seed),
 		crossborder.WithScale(*scale),
-		crossborder.WithVisitsPerUser(*visits))
+		crossborder.WithVisitsPerUser(*visits),
+		crossborder.WithWorkers(*workers))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -57,4 +87,40 @@ func main() {
 				row.Day)
 		})
 	}
+}
+
+// runReplay simulates the browsing study and uploads the captured event
+// stream to a collectd instance, reporting throughput.
+func runReplay(seed int64, scale float64, visits, workers int, target string, batch, uploaders int, binary, flush bool) {
+	if target == "" {
+		fmt.Fprintln(os.Stderr, "crawlsim: -replay requires -target (collectd base URL)")
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "crawlsim: building world and simulating (seed=%d scale=%.2f)...\n", seed, scale)
+	world := scenario.BuildWorld(scenario.Params{Seed: seed, Scale: scale, VisitsPerUser: visits, Workers: workers})
+	events := ingest.RecordSimulation(world, visits, workers)
+	total := 0
+	for _, evs := range events {
+		total += len(evs)
+	}
+	fmt.Fprintf(os.Stderr, "crawlsim: captured %d events from %d users; uploading to %s\n",
+		total, len(events), target)
+
+	cl := &ingest.Client{Base: target, Binary: binary}
+	stats, err := cl.Replay(events, batch, uploaders)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawlsim:", err)
+		os.Exit(1)
+	}
+	if flush {
+		epoch, rows, err := cl.Flush()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crawlsim: flush:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "crawlsim: server at epoch %d, %d rows\n", epoch, rows)
+	}
+	fmt.Printf("replayed %d events (%d users, %d batches, %d uploaders) in %v: %.0f events/sec\n",
+		stats.Events, stats.Users, stats.Batches, uploaders,
+		stats.Duration.Round(time.Millisecond), stats.EventsPerSec())
 }

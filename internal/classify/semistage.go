@@ -1,9 +1,6 @@
 package classify
 
-import (
-	"math"
-	"sync"
-)
+import "math"
 
 // This file implements classification stages 2 and 3 (§3.2) over the
 // columnar store: referrer propagation and the keyword heuristic,
@@ -151,16 +148,13 @@ func runSemiStagesSharded(ds *Dataset, workers int) {
 	for w := range shards {
 		shards[w] = &semiShard{st: st, w: w, n: workers, bases: bases}
 	}
+	// One persistent pool serves every pass of the fixpoint (seed scan,
+	// relaxation rounds, mark pass, propagation rounds) instead of
+	// spawning fresh goroutines per pass.
+	pool := newWorkerPool(workers)
+	defer pool.Close()
 	parallel := func(fn func(sh *semiShard)) {
-		var wg sync.WaitGroup
-		for _, sh := range shards {
-			wg.Add(1)
-			go func(sh *semiShard) {
-				defer wg.Done()
-				fn(sh)
-			}(sh)
-		}
-		wg.Wait()
+		pool.run(func(w int) { fn(shards[w]) })
 	}
 
 	// Seed: act[F] = -1 for FQDNs with any stage-1 (ABP) row.

@@ -133,12 +133,24 @@ func (sh *Shard) OnVisit(u *browser.User, p *webgraph.Publisher, at time.Time) {
 func (sh *Shard) OnRequest(ev browser.Event) {
 	cap := sh.capture(int32(ev.User.ID))
 	m := sh.fqdnMetaFor(ev.Call.FQDN)
+	// A request normally follows its page's OnVisit in the same shard,
+	// so the publisher is already registered. The live ingestion path
+	// can resume a user's stream mid-visit in a different shard after an
+	// epoch cut; register the publisher shard-locally then (without a
+	// visit) so the row still references it — the merge resolves it to
+	// the global id the original visit registered.
+	pid, ok := sh.pubIdx[ev.Publisher]
+	if !ok {
+		pid = int32(len(sh.pubs))
+		sh.pubIdx[ev.Publisher] = pid
+		sh.pubs = append(sh.pubs, ev.Publisher)
+	}
 	row := Row{
 		URLHash:   fnvAdd(fnvAdd(fnvAdd(fnvOffset, "https://"), ev.Call.FQDN), ev.Call.Path),
 		IP:        ev.IP,
 		FQDN:      m.id,
 		RefFQDN:   sh.interner.ID(ev.Call.RefFQDN),
-		Publisher: sh.pubIdx[ev.Publisher],
+		Publisher: pid,
 		User:      int32(ev.User.ID),
 		Day:       uint16(ev.At.Sub(sh.c.start) / (24 * time.Hour)),
 	}
@@ -270,42 +282,15 @@ func (c *ShardedCollector) mergeInto(order []capRef, sink RowSink, runSemi bool)
 	for _, sh := range c.shards {
 		internHint += sh.interner.Len()
 	}
-	ds := &Dataset{
-		FQDNs: NewInternerSized(internHint),
-		Start: c.start,
-	}
-	countryIdx := make(map[geodata.Country]uint8)
-	pubIdx := make(map[*webgraph.Publisher]int32)
+	m := NewMerger(c.start, sink, internHint)
 	for _, cr := range order {
-		sh := cr.sh
-		cap := &sh.caps[cr.idx]
-		for _, pid := range cap.visits {
-			p := sh.pubs[pid]
-			if _, ok := pubIdx[p]; !ok {
-				pubIdx[p] = int32(len(ds.Publishers))
-				ds.Publishers = append(ds.Publishers, p)
-			}
-		}
-		ds.Visits += len(cap.visits)
-		for _, r := range cap.rows {
-			r.FQDN = ds.FQDNs.ID(sh.interner.Str(r.FQDN))
-			r.RefFQDN = ds.FQDNs.ID(sh.interner.Str(r.RefFQDN))
-			r.Publisher = pubIdx[sh.pubs[r.Publisher]]
-			cc := sh.countries[r.Country]
-			cID, ok := countryIdx[cc]
-			if !ok {
-				cID = uint8(len(ds.Countries))
-				countryIdx[cc] = cID
-				ds.Countries = append(ds.Countries, cc)
-			}
-			r.Country = cID
-			sink.Append(r)
-		}
+		m.AppendCapture(cr.sh, cr.idx)
 	}
 	store, err := sink.Seal()
 	if err != nil {
 		return nil, err
 	}
+	ds := m.Dataset()
 	ds.Store = store
 	if runSemi {
 		runSemiStages(ds, len(c.shards))

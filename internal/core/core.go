@@ -82,13 +82,59 @@ func (a *Analysis) Unknown() int64 { return a.unknown }
 // Merge folds another accumulator into a. Counter addition commutes, so
 // merging per-shard analyses in any order yields the same totals as one
 // sequential pass — which is what keeps the parallel Analyze
-// deterministic.
+// deterministic. The same property makes per-epoch deltas exact: a full
+// rescan equals the merge of the rescans of any partition of the rows,
+// which is how the live collector keeps its flow maps current without
+// re-reading settled epochs.
 func (a *Analysis) Merge(b *Analysis) {
 	for f, n := range b.byFlow {
 		a.byFlow[f] += n
 	}
 	a.total += b.total
 	a.unknown += b.unknown
+}
+
+// Clone returns an independent copy of the accumulator. The live
+// collector publishes a clone with every epoch snapshot so queries read
+// a frozen flow map while ingestion keeps merging deltas into the
+// original.
+func (a *Analysis) Clone() *Analysis {
+	c := &Analysis{
+		byFlow:  make(map[Flow]int64, len(a.byFlow)),
+		total:   a.total,
+		unknown: a.unknown,
+	}
+	for f, n := range a.byFlow {
+		c.byFlow[f] = n
+	}
+	return c
+}
+
+// Equal reports whether two accumulators hold identical counts (zero
+// entries excluded). It backs the property tests pinning incremental
+// delta merging to the full rescan.
+func (a *Analysis) Equal(b *Analysis) bool {
+	if a.total != b.total || a.unknown != b.unknown {
+		return false
+	}
+	count := func(m map[Flow]int64) int {
+		n := 0
+		for _, v := range m {
+			if v != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if count(a.byFlow) != count(b.byFlow) {
+		return false
+	}
+	for f, n := range a.byFlow {
+		if n != 0 && b.byFlow[f] != n {
+			return false
+		}
+	}
+	return true
 }
 
 // analyzeRowsPerShard is the minimum row count that justifies a worker:

@@ -9,6 +9,7 @@ import (
 	"crossborder/internal/core"
 	"crossborder/internal/geodata"
 	"crossborder/internal/netflow"
+	"crossborder/internal/scenario"
 	"crossborder/internal/tablefmt"
 )
 
@@ -88,15 +89,30 @@ func (su *Suite) Table8() Table8Result {
 	return r
 }
 
-// Table8Context is Table8 with cancellation: the sixteen per-ISP-day
-// NetFlow syntheses dominate the registry's wall-clock at full scale,
-// so the loop polls ctx before each day and returns ctx.Err() promptly.
-// This is what lets `reproduce -only table8` honour ctrl-C mid-run.
+// Table8Context is Table8 with cancellation and progress: the sixteen
+// per-ISP-day NetFlow syntheses dominate the registry's wall-clock at
+// full scale, so the loop polls ctx before each day and returns
+// ctx.Err() promptly, and reports each finished ISP-day through
+// Suite.Progress under the phase name "table8". This is what lets
+// `reproduce -only table8` honour ctrl-C mid-run and `-progress` show
+// the heaviest runner advancing.
 func (su *Suite) Table8Context(ctx context.Context) (Table8Result, error) {
 	synth := &netflow.Synthesizer{Resolver: su.S.DNS}
 	fqdns := su.S.FQDNWeights()
+	isps := netflow.DefaultISPs()
+	total := len(isps) * len(SnapshotDates())
+	started := time.Now()
+	emit := func(done int) {
+		if su.Progress != nil {
+			su.Progress(scenario.PhaseEvent{
+				Phase: "table8", Done: done, Total: total,
+				Elapsed: time.Since(started),
+			})
+		}
+	}
+	emit(0)
 	var out Table8Result
-	for _, isp := range netflow.DefaultISPs() {
+	for _, isp := range isps {
 		for di, date := range SnapshotDates() {
 			if err := ctx.Err(); err != nil {
 				return Table8Result{}, err
@@ -104,6 +120,7 @@ func (su *Suite) Table8Context(ctx context.Context) (Table8Result, error) {
 			rng := rand.New(rand.NewSource(su.S.Params.Seed*1000 + int64(di) + int64(len(out.Reports))))
 			day := synth.Synthesize(rng, isp, date, fqdns)
 			out.Reports = append(out.Reports, su.summarizeDay(isp, day))
+			emit(len(out.Reports))
 		}
 	}
 	return out, nil

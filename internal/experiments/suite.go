@@ -18,6 +18,14 @@ import (
 type Suite struct {
 	S *scenario.Scenario
 
+	// Progress, when non-nil, receives PhaseEvent-style progress from
+	// long experiment runners — currently Table 8's sixteen ISP-day
+	// NetFlow syntheses, reported under the phase name "table8" with
+	// Done counting finished ISP-days. Set it before running experiments;
+	// delivery is serialized (one runner emits at a time) and progress
+	// never changes any artifact.
+	Progress func(scenario.PhaseEvent)
+
 	once struct {
 		truth, ipmap, maxmind sync.Once
 	}
@@ -30,6 +38,29 @@ type Suite struct {
 // NewSuite wraps a built scenario.
 func NewSuite(s *scenario.Scenario) *Suite {
 	return &Suite{S: s}
+}
+
+// NewSuiteSeeded wraps a scenario with the three geolocation joins
+// pre-filled from analyses computed elsewhere — the live collector's
+// incrementally merged per-epoch deltas. The seeded analyses must equal
+// what core.Analyze would return over s.Dataset (the delta-merge
+// property test and the replay golden test pin this); a nil seed leaves
+// that join lazy.
+func NewSuiteSeeded(s *scenario.Scenario, truth, ipmap, maxmind *core.Analysis) *Suite {
+	su := NewSuite(s)
+	if truth != nil {
+		su.truthA = truth
+		su.once.truth.Do(func() {})
+	}
+	if ipmap != nil {
+		su.ipmapA = ipmap
+		su.once.ipmap.Do(func() {})
+	}
+	if maxmind != nil {
+		su.maxmindA = maxmind
+		su.once.maxmind.Do(func() {})
+	}
+	return su
 }
 
 // Precompute runs the three geolocation joins (truth, IPmap, MaxMind)

@@ -1,0 +1,286 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"crossborder/internal/browser"
+	"crossborder/internal/scenario"
+	"crossborder/internal/webgraph"
+)
+
+// Recorder is a browser.Sink that captures the simulation's event
+// stream in upload wire form, per user and in emission order — the
+// export side of the replay loop: what a Recorder captures, a Client
+// can upload, and the collector rebuilds the batch dataset from it.
+// Like every Sink, one Recorder is driven from a single goroutine; the
+// parallel simulation gives each worker its own.
+type Recorder struct {
+	events map[int32][]Event
+}
+
+// NewRecorder returns an empty capture sink.
+func NewRecorder() *Recorder { return &Recorder{events: make(map[int32][]Event)} }
+
+// OnVisit implements browser.Sink.
+func (r *Recorder) OnVisit(u *browser.User, p *webgraph.Publisher, at time.Time) {
+	uid := int32(u.ID)
+	r.events[uid] = append(r.events[uid], Event{
+		Kind: KindVisit, At: at.Unix(), Publisher: p.Domain,
+	})
+}
+
+// OnRequest implements browser.Sink.
+func (r *Recorder) OnRequest(ev browser.Event) {
+	uid := int32(ev.User.ID)
+	r.events[uid] = append(r.events[uid], Event{
+		Kind:      KindRequest,
+		At:        ev.At.Unix(),
+		Publisher: ev.Publisher.Domain,
+		FQDN:      ev.Call.FQDN,
+		Path:      ev.Call.Path,
+		RefFQDN:   ev.Call.RefFQDN,
+		IP:        uint32(ev.IP),
+		HTTPS:     ev.HTTPS,
+		HasArgs:   ev.Call.HasArgs,
+	})
+}
+
+// Events returns the captured stream of one user.
+func (r *Recorder) Events(user int32) []Event { return r.events[user] }
+
+// RecordSimulation replays the world's browsing study — the same
+// per-user RNG streams the batch pipeline simulates — and returns each
+// user's upload event stream. The world comes from scenario.BuildWorld;
+// visitsPerUser and workers mirror the batch Params (0 = defaults).
+// Because users browse on private streams, the capture is identical at
+// any worker count.
+func RecordSimulation(world *scenario.Scenario, visitsPerUser, workers int) map[int32][]Event {
+	visits := visitsPerUser
+	if visits == 0 {
+		visits = 219
+	}
+	sim := browser.NewSimulator(world.Graph, world.DNS, browser.Config{
+		Start: world.Start, End: world.End, VisitsPerUser: visits,
+	})
+	var recs []*Recorder
+	sim.RunWorkers(world.Params.Seed, world.Users, workers, func(int) []browser.Sink {
+		r := NewRecorder()
+		recs = append(recs, r)
+		return []browser.Sink{r}
+	})
+	merged := make(map[int32][]Event)
+	for _, r := range recs {
+		for uid, evs := range r.events {
+			// Every user's full stream lands in exactly one worker's sink.
+			merged[uid] = evs
+		}
+	}
+	return merged
+}
+
+// Client uploads batches to a collectd instance and queries its API.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8477".
+	Base string
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+	// Binary selects the compact binary framing instead of NDJSON.
+	Binary bool
+}
+
+func (cl *Client) http() *http.Client {
+	if cl.HTTP != nil {
+		return cl.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (cl *Client) post(path, contentType string, body io.Reader, out any) error {
+	resp, err := cl.http().Post(cl.Base+path, contentType, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ingest: %s: %s: %s", path, resp.Status, bytes.TrimSpace(raw))
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// Upload sends one batch and returns the server's accounting.
+func (cl *Client) Upload(b Batch) (UploadResult, error) {
+	var (
+		body bytes.Buffer
+		ct   string
+	)
+	if cl.Binary {
+		ct = ContentTypeBinary
+		body.Write(EncodeBinary(b))
+	} else {
+		ct = ContentTypeNDJSON
+		if err := EncodeNDJSON(&body, b); err != nil {
+			return UploadResult{}, err
+		}
+	}
+	var res UploadResult
+	err := cl.post("/v1/upload", ct, &body, &res)
+	return res, err
+}
+
+// Flush forces an epoch commit and returns the committed epoch/rows.
+func (cl *Client) Flush() (epoch, rows int, err error) {
+	var out struct {
+		Epoch int `json:"epoch"`
+		Rows  int `json:"rows"`
+	}
+	err = cl.post("/v1/flush", "", nil, &out)
+	return out.Epoch, out.Rows, err
+}
+
+// Stats fetches /v1/stats.
+func (cl *Client) Stats() (StatsResponse, error) {
+	resp, err := cl.http().Get(cl.Base + "/v1/stats")
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return out, fmt.Errorf("ingest: /v1/stats: %s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// Artifact fetches one experiment's rendered text from the latest
+// snapshot, returning the text and the epoch it was computed at.
+func (cl *Client) Artifact(id string) (text string, epoch int, err error) {
+	resp, err := cl.http().Get(cl.Base + "/v1/experiments/" + id)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", 0, fmt.Errorf("ingest: experiment %s: %s: %s", id, resp.Status, bytes.TrimSpace(raw))
+	}
+	fmt.Sscanf(resp.Header.Get("X-Epoch"), "%d", &epoch)
+	return string(raw), epoch, nil
+}
+
+// ReplayStats summarizes one Replay run.
+type ReplayStats struct {
+	Users    int
+	Events   int
+	Batches  int
+	Duration time.Duration
+}
+
+// EventsPerSec returns the upload throughput.
+func (rs ReplayStats) EventsPerSec() float64 {
+	if rs.Duration <= 0 {
+		return 0
+	}
+	return float64(rs.Events) / rs.Duration.Seconds()
+}
+
+// Replay uploads recorded per-user event streams in ascending user id,
+// split into batches of batchSize events with per-user sequence
+// numbers. uploaders > 1 distributes whole users over concurrent
+// connections (each user's stream stays in order on one connection);
+// with one uploader the server receives the exact global stream order,
+// which is what makes a replayed dataset byte-identical to the batch
+// study. The final partial epoch is left pending; call Flush to commit
+// it.
+func (cl *Client) Replay(events map[int32][]Event, batchSize, uploaders int) (ReplayStats, error) {
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	if uploaders <= 0 {
+		uploaders = 1
+	}
+	userIDs := make([]int32, 0, len(events))
+	for uid := range events {
+		userIDs = append(userIDs, uid)
+	}
+	sort.Slice(userIDs, func(i, j int) bool { return userIDs[i] < userIDs[j] })
+
+	stats := ReplayStats{Users: len(userIDs)}
+	start := time.Now()
+	uploadUser := func(uid int32) (int, int, error) {
+		evs := events[uid]
+		batches := 0
+		for off := 0; off < len(evs); off += batchSize {
+			hi := off + batchSize
+			if hi > len(evs) {
+				hi = len(evs)
+			}
+			if _, err := cl.Upload(Batch{User: uid, Seq: uint64(off), Events: evs[off:hi]}); err != nil {
+				return 0, 0, fmt.Errorf("user %d seq %d: %w", uid, off, err)
+			}
+			batches++
+		}
+		return len(evs), batches, nil
+	}
+
+	if uploaders == 1 {
+		for _, uid := range userIDs {
+			n, b, err := uploadUser(uid)
+			if err != nil {
+				return stats, err
+			}
+			stats.Events += n
+			stats.Batches += b
+		}
+		stats.Duration = time.Since(start)
+		return stats, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	work := make(chan int32)
+	for i := 0; i < uploaders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for uid := range work {
+				n, b, err := uploadUser(uid)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				stats.Events += n
+				stats.Batches += b
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, uid := range userIDs {
+		work <- uid
+	}
+	close(work)
+	wg.Wait()
+	stats.Duration = time.Since(start)
+	return stats, firstErr
+}

@@ -1,0 +1,257 @@
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"crossborder/internal/core"
+	"crossborder/internal/experiments"
+)
+
+// Content types accepted by the upload endpoint.
+const (
+	ContentTypeNDJSON = "application/x-ndjson"
+	ContentTypeBinary = "application/x-crossborder-batch"
+)
+
+// maxUploadBytes bounds one upload request body (64 MiB comfortably
+// holds a MaxBatchEvents binary batch).
+const maxUploadBytes = 64 << 20
+
+// StatsResponse is the /v1/stats payload: the incremental aggregates of
+// the latest epoch snapshot.
+type StatsResponse struct {
+	Epoch   int                   `json:"epoch"`
+	Rows    int                   `json:"rows"`
+	Stats   statsBlock            `json:"dataset"`
+	Flows   map[string]flowsBlock `json:"flows"` // per geolocation service
+	Epochs  []EpochStat           `json:"epochs"`
+	Pending int                   `json:"pending_events"`
+}
+
+type statsBlock struct {
+	Users            int   `json:"users"`
+	FirstPartySites  int   `json:"first_party_sites"`
+	FirstPartyVisits int   `json:"first_party_visits"`
+	ThirdPartyFQDNs  int   `json:"third_party_fqdns"`
+	ThirdPartyReqs   int64 `json:"third_party_requests"`
+}
+
+type flowsBlock struct {
+	Flows     int64   `json:"flows"`
+	Unknown   int64   `json:"unknown"`
+	EU28InC   float64 `json:"eu28_in_country_pct"`
+	EU28InEU  float64 `json:"eu28_in_eu28_pct"`
+	EU28InEur float64 `json:"eu28_in_europe_pct"`
+}
+
+// Server exposes a Collector over HTTP:
+//
+//	POST /v1/upload          one Batch (NDJSON or binary by Content-Type)
+//	POST /v1/flush           force an epoch commit
+//	GET  /v1/experiments     registry ids (JSON array)
+//	GET  /v1/experiments/{id} artifact of the latest snapshot
+//	                          (?format=text|json; X-Epoch names the epoch)
+//	GET  /v1/stats           incremental aggregates of the latest snapshot
+//	GET  /healthz            liveness + epoch/rows
+//	GET  /metrics            Prometheus-style counters
+//
+// Every query endpoint reads one atomic snapshot, so responses are
+// consistent epoch views even while uploads commit concurrently.
+type Server struct {
+	c   *Collector
+	mux *http.ServeMux
+}
+
+// NewServer wraps a collector.
+func NewServer(c *Collector) *Server {
+	s := &Server{c: c, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/upload", s.handleUpload)
+	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	var (
+		b   Batch
+		err error
+	)
+	switch strings.TrimSpace(ct) {
+	case ContentTypeBinary:
+		var raw []byte
+		if raw, err = io.ReadAll(body); err == nil {
+			b, err = DecodeBinary(raw)
+		}
+	case ContentTypeNDJSON, "application/json", "":
+		b, err = DecodeNDJSON(body)
+	default:
+		writeError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("ingest: unsupported Content-Type %q", ct))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.c.Ingest(b)
+	switch {
+	case errors.Is(err, ErrSequenceGap):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	snap := s.c.Flush()
+	writeJSON(w, http.StatusOK, map[string]int{"epoch": snap.Epoch(), "rows": snap.Rows()})
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, experiments.IDs())
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := experiments.Get(id); !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("ingest: unknown experiment %q (see /v1/experiments)", id))
+		return
+	}
+	snap := s.c.Snapshot()
+	if snap.Rows() == 0 {
+		writeError(w, http.StatusConflict,
+			errors.New("ingest: no epochs committed yet; upload events first"))
+		return
+	}
+	a, err := snap.Suite().Artifact(r.Context(), id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("X-Epoch", strconv.Itoa(snap.Epoch()))
+	w.Header().Set("X-Rows", strconv.Itoa(snap.Rows()))
+	switch r.URL.Query().Get("format") {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, a.Render())
+	case "json":
+		raw, err := a.JSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("ingest: unknown format %q (text or json)", r.URL.Query().Get("format")))
+	}
+}
+
+func flowsOf(a *core.Analysis) flowsBlock {
+	inC, inEU, inEur, _ := a.RegionConfinement(core.EU28Origin)
+	return flowsBlock{
+		Flows:     a.Total(),
+		Unknown:   a.Unknown(),
+		EU28InC:   inC,
+		EU28InEU:  inEU,
+		EU28InEur: inEur,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.c.Snapshot()
+	st := snap.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Epoch: snap.Epoch(),
+		Rows:  snap.Rows(),
+		Stats: statsBlock{
+			Users:            st.Users,
+			FirstPartySites:  st.FirstPartySites,
+			FirstPartyVisits: st.FirstPartyVisits,
+			ThirdPartyFQDNs:  st.ThirdPartyFQDNs,
+			ThirdPartyReqs:   st.ThirdPartyReqs,
+		},
+		Flows: map[string]flowsBlock{
+			"truth":   flowsOf(snap.TruthAnalysis()),
+			"ipmap":   flowsOf(snap.IPMapAnalysis()),
+			"maxmind": flowsOf(snap.MaxMindAnalysis()),
+		},
+		// The history rides on the snapshot (immutable prefix share) and
+		// the pending gauge is atomic, so /v1/stats — like every query
+		// endpoint — never waits behind an in-flight epoch commit.
+		Epochs:  snap.History(),
+		Pending: s.c.PendingEvents(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.c.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"epoch":  snap.Epoch(),
+		"rows":   snap.Rows(),
+		"uptime": time.Since(s.c.started).Round(time.Second).String(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.c.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		fmt.Fprintf(w, "%s %g\n", name, v)
+	}
+	counter("collectd_batches_total", "Upload batches received (including rejected).", s.c.mBatches.Load())
+	counter("collectd_events_total", "Events newly accepted.", s.c.mEvents.Load())
+	counter("collectd_duplicate_events_total", "Events skipped as already-seen retransmits.", s.c.mDupEvents.Load())
+	counter("collectd_sequence_gaps_total", "Batches rejected for a sequence gap.", s.c.mSeqGaps.Load())
+	counter("collectd_rejected_batches_total", "Batches rejected by validation.", s.c.mRejected.Load())
+	gauge("collectd_epoch", "Latest committed epoch.", float64(snap.Epoch()))
+	gauge("collectd_rows", "Dataset rows at the latest epoch.", float64(snap.Rows()))
+	gauge("collectd_users", "Distinct users observed in rows.", float64(snap.Stats().Users))
+	gauge("collectd_uptime_seconds", "Seconds since the collector started.", time.Since(s.c.started).Seconds())
+}
+
+// PendingEvents returns the number of accepted events awaiting the next
+// epoch commit. Lock-free: the query path must not stall behind an
+// in-flight epoch commit.
+func (c *Collector) PendingEvents() int {
+	return int(c.pendingN.Load())
+}

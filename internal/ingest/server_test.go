@@ -1,0 +1,262 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Collector, *httptest.Server) {
+	t.Helper()
+	world, _, _ := rig(t)
+	c := NewCollector(world, cfg)
+	srv := httptest.NewServer(NewServer(c))
+	t.Cleanup(func() {
+		srv.Close()
+		c.Close()
+	})
+	return c, srv
+}
+
+// TestServerEndpoints covers the HTTP surface end to end with both wire
+// formats: upload, flush, stats, experiment query, health, metrics.
+func TestServerEndpoints(t *testing.T) {
+	_, evs, _ := rig(t)
+	c, srv := newTestServer(t, Config{EpochEvents: 1 << 20, Workers: 2})
+
+	for _, binary := range []bool{false, true} {
+		cl := &Client{Base: srv.URL, Binary: binary}
+		uid, stream := int32(-1), []Event(nil)
+		for u, s := range evs {
+			if uid < 0 || u < uid {
+				uid, stream = u, s
+			}
+		}
+		seq := c.nextSeqOf(uid)
+		res, err := cl.Upload(Batch{User: uid, Seq: seq, Events: stream[seq : seq+5]})
+		if err != nil {
+			t.Fatalf("binary=%v upload: %v", binary, err)
+		}
+		if res.Accepted != 5 {
+			t.Fatalf("binary=%v accepted = %d, want 5", binary, res.Accepted)
+		}
+	}
+
+	// Sequence gap surfaces as 409.
+	cl := &Client{Base: srv.URL}
+	var uid int32 = -1
+	for u := range evs {
+		if uid < 0 || u < uid {
+			uid = u
+		}
+	}
+	if _, err := cl.Upload(Batch{User: uid, Seq: 10000, Events: evs[uid][:1]}); err == nil ||
+		!strings.Contains(err.Error(), "409") {
+		t.Fatalf("gap upload error = %v, want 409", err)
+	}
+
+	// Experiments before any epoch: 409.
+	if _, _, err := cl.Artifact("table1"); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("experiment on epoch 0 = %v, want 409", err)
+	}
+
+	epoch, rows, err := cl.Flush()
+	if err != nil || epoch != 1 || rows == 0 {
+		t.Fatalf("flush: epoch=%d rows=%d err=%v", epoch, rows, err)
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 1 || st.Rows != rows || st.Stats.Users != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	text, gotEpoch, err := cl.Artifact("table1")
+	if err != nil || gotEpoch != 1 || !strings.Contains(text, "Table 1") {
+		t.Fatalf("artifact: epoch=%d err=%v text=%q", gotEpoch, err, text)
+	}
+	if _, _, err := cl.Artifact("nope"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown experiment = %v, want 404", err)
+	}
+
+	for _, path := range []string{"/healthz", "/metrics", "/v1/experiments"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %s", path, resp.Status)
+		}
+		switch path {
+		case "/metrics":
+			if !strings.Contains(string(body), "collectd_events_total") {
+				t.Errorf("metrics missing counters: %s", body)
+			}
+		case "/healthz":
+			if !strings.Contains(string(body), `"ok"`) {
+				t.Errorf("healthz: %s", body)
+			}
+		case "/v1/experiments":
+			var ids []string
+			if json.Unmarshal(body, &ids) != nil || len(ids) != 20 {
+				t.Errorf("experiment list: %s", body)
+			}
+		}
+	}
+}
+
+// nextSeqOf reads a user's next expected sequence number (test helper).
+func (c *Collector) nextSeqOf(uid int32) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nextSeq[uid]
+}
+
+// TestConcurrentUploadAndQuery is the live-serving consistency test: N
+// uploaders stream distinct users' events (forcing many epoch commits)
+// while M queriers hammer the stats and experiment endpoints. Every
+// query must observe a consistent epoch snapshot — the reported row
+// count must exactly match the committed row count of the epoch the
+// response names, never a torn intermediate. Run under -race in CI.
+func TestConcurrentUploadAndQuery(t *testing.T) {
+	_, evs, _ := rig(t)
+	c, srv := newTestServer(t, Config{EpochEvents: 400, Workers: 2, ChunkRows: 128})
+
+	userIDs := make([]int32, 0, len(evs))
+	for uid := range evs {
+		userIDs = append(userIDs, uid)
+	}
+
+	const uploaders = 4
+	const queriers = 3
+	var wg sync.WaitGroup
+	type obs struct {
+		epoch int
+		rows  int
+	}
+	observed := make(chan obs, 4096)
+	done := make(chan struct{})
+
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			cl := &Client{Base: srv.URL}
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if q%2 == 0 {
+					st, err := cl.Stats()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					observed <- obs{st.Epoch, st.Rows}
+				} else {
+					resp, err := http.Get(srv.URL + "/v1/experiments/table1")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusConflict {
+						continue // epoch 0: nothing committed yet
+					}
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("table1: %s", resp.Status)
+						return
+					}
+					epoch, _ := strconv.Atoi(resp.Header.Get("X-Epoch"))
+					rows, _ := strconv.Atoi(resp.Header.Get("X-Rows"))
+					// The artifact itself must agree with the snapshot
+					// header: Table 1's request count is the row count.
+					if !strings.Contains(string(body), fmt.Sprintf("%d", rows)) {
+						t.Errorf("table1 at epoch %d does not mention its own row count %d:\n%s", epoch, rows, body)
+						return
+					}
+					observed <- obs{epoch, rows}
+				}
+			}
+		}(q)
+	}
+
+	var upWG sync.WaitGroup
+	for u := 0; u < uploaders; u++ {
+		upWG.Add(1)
+		go func(u int) {
+			defer upWG.Done()
+			cl := &Client{Base: srv.URL, Binary: u%2 == 0}
+			for j := u; j < len(userIDs); j += uploaders {
+				stream := evs[userIDs[j]]
+				for off := 0; off < len(stream); off += 200 {
+					hi := off + 200
+					if hi > len(stream) {
+						hi = len(stream)
+					}
+					if _, err := cl.Upload(Batch{User: userIDs[j], Seq: uint64(off), Events: stream[off:hi]}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(u)
+	}
+	upWG.Wait()
+	(&Client{Base: srv.URL}).Flush()
+	close(done)
+	wg.Wait()
+	close(observed)
+
+	// Every observed (epoch, rows) pair must match the commit history.
+	rowsAt := map[int]int{0: 0}
+	for _, e := range c.Epochs() {
+		rowsAt[e.Epoch] = e.Rows
+	}
+	n := 0
+	for o := range observed {
+		want, ok := rowsAt[o.epoch]
+		if !ok {
+			t.Fatalf("query saw unknown epoch %d", o.epoch)
+		}
+		if o.rows != want {
+			t.Fatalf("query at epoch %d saw %d rows, committed history says %d", o.epoch, o.rows, want)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no queries observed")
+	}
+	if len(c.Epochs()) < 2 {
+		t.Fatalf("test exercised only %d epochs; lower EpochEvents", len(c.Epochs()))
+	}
+
+	// After the dust settles the dataset equals the single-stream replay
+	// (upload interleaving may only reorder users across epochs, which
+	// changes ids but not counts: compare the stats).
+	snap := c.Snapshot()
+	total := 0
+	for _, stream := range evs {
+		for _, ev := range stream {
+			if ev.Kind == KindRequest {
+				total++
+			}
+		}
+	}
+	if int(snap.Stats().ThirdPartyReqs) != total {
+		t.Fatalf("final rows = %d, want %d", snap.Stats().ThirdPartyReqs, total)
+	}
+}

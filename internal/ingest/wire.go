@@ -1,0 +1,158 @@
+// Package ingest implements the live collection backend of the
+// reproduction: the crowdsourced measurement service the paper's
+// browser extensions uploaded their request logs to (§3.1). A Collector
+// accepts batched tracking-event uploads — NDJSON or a compact
+// length-prefixed binary framing — deduplicates them with per-user
+// sequence numbers (at-least-once upload semantics), streams them
+// through the sharded classification pipeline into the columnar row
+// store, and maintains the paper's aggregates incrementally per epoch.
+// Queries run against immutable epoch snapshots, so serving never
+// blocks ingestion. cmd/collectd wraps the package as an HTTP daemon;
+// cmd/crawlsim -replay is the matching load generator.
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Event kinds. A visit marks one first-party page load; a request is
+// one captured third-party request, exactly the tuple the extension
+// logged (first-party domain, third-party URL, serving IP).
+const (
+	KindVisit   = byte('v')
+	KindRequest = byte('r')
+)
+
+// Event is one uploaded extension record. Request fields beyond At and
+// Publisher are meaningful only when Kind == KindRequest.
+type Event struct {
+	Kind      byte   // KindVisit or KindRequest
+	At        int64  // unix seconds
+	Publisher string // first-party page domain
+	FQDN      string // contacted third-party hostname
+	Path      string // URL path (with query)
+	RefFQDN   string // referrer hostname; "" = the first-party page
+	IP        uint32 // serving IP as read from the response
+	HTTPS     bool
+	HasArgs   bool // URL carries query arguments
+}
+
+// Batch is one upload: a contiguous run of one user's events, starting
+// at per-user sequence number Seq. Sequence numbers count every event
+// the user ever emitted (visits and requests alike), so a client that
+// re-sends a batch after a lost response is deduplicated exactly.
+type Batch struct {
+	User   int32
+	Seq    uint64
+	Events []Event
+}
+
+// MaxBatchEvents bounds a single upload. Both decoders enforce it
+// before allocating, so a forged header cannot make the server reserve
+// unbounded memory.
+const MaxBatchEvents = 1 << 18
+
+// errTooManyEvents is returned for batches beyond MaxBatchEvents.
+var errTooManyEvents = fmt.Errorf("ingest: batch exceeds %d events", MaxBatchEvents)
+
+// jsonHeader is the first NDJSON line of a batch.
+type jsonHeader struct {
+	User int32  `json:"user"`
+	Seq  uint64 `json:"seq"`
+	N    int    `json:"n"`
+}
+
+// jsonEvent is one NDJSON event line.
+type jsonEvent struct {
+	K     string `json:"k"`
+	At    int64  `json:"at"`
+	Pub   string `json:"pub"`
+	FQDN  string `json:"fqdn,omitempty"`
+	Path  string `json:"path,omitempty"`
+	Ref   string `json:"ref,omitempty"`
+	IP    uint32 `json:"ip,omitempty"`
+	HTTPS bool   `json:"https,omitempty"`
+	Args  bool   `json:"args,omitempty"`
+}
+
+// EncodeNDJSON writes the batch as newline-delimited JSON: one header
+// object ({"user","seq","n"}) followed by n event objects.
+func EncodeNDJSON(w io.Writer, b Batch) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonHeader{User: b.User, Seq: b.Seq, N: len(b.Events)}); err != nil {
+		return err
+	}
+	for _, ev := range b.Events {
+		je := jsonEvent{At: ev.At, Pub: ev.Publisher}
+		switch ev.Kind {
+		case KindVisit:
+			je.K = "v"
+		case KindRequest:
+			je.K = "r"
+			je.FQDN, je.Path, je.Ref = ev.FQDN, ev.Path, ev.RefFQDN
+			je.IP, je.HTTPS, je.Args = ev.IP, ev.HTTPS, ev.HasArgs
+		default:
+			return fmt.Errorf("ingest: unknown event kind %q", ev.Kind)
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeNDJSON parses one NDJSON batch from r. Malformed input returns
+// an error; the declared event count is validated against MaxBatchEvents
+// before any allocation.
+func DecodeNDJSON(r io.Reader) (Batch, error) {
+	dec := json.NewDecoder(r)
+	var h jsonHeader
+	if err := dec.Decode(&h); err != nil {
+		return Batch{}, fmt.Errorf("ingest: batch header: %w", err)
+	}
+	if h.N < 0 || h.N > MaxBatchEvents {
+		return Batch{}, errTooManyEvents
+	}
+	// Pre-size from the declared count, but cap the speculative
+	// allocation: unlike the binary decoder there is no byte count to
+	// validate n against before reading the events, so a forged header
+	// must not reserve megabytes the body never backs.
+	hint := h.N
+	if hint > 4096 {
+		hint = 4096
+	}
+	b := Batch{User: h.User, Seq: h.Seq, Events: make([]Event, 0, hint)}
+	for i := 0; i < h.N; i++ {
+		var je jsonEvent
+		if err := dec.Decode(&je); err != nil {
+			if errors.Is(err, io.EOF) {
+				return Batch{}, fmt.Errorf("ingest: batch truncated: %d of %d events", i, h.N)
+			}
+			return Batch{}, fmt.Errorf("ingest: event %d: %w", i, err)
+		}
+		ev := Event{At: je.At, Publisher: je.Pub}
+		switch je.K {
+		case "v":
+			ev.Kind = KindVisit
+		case "r":
+			ev.Kind = KindRequest
+			ev.FQDN, ev.Path, ev.RefFQDN = je.FQDN, je.Path, je.Ref
+			ev.IP, ev.HTTPS, ev.HasArgs = je.IP, je.HTTPS, je.Args
+		default:
+			return Batch{}, fmt.Errorf("ingest: event %d: unknown kind %q", i, je.K)
+		}
+		b.Events = append(b.Events, ev)
+	}
+	// Mirror the binary decoder's strictness: data beyond the declared
+	// count is a client bug (miscounted header, concatenated batches)
+	// and silently dropping it would be unreported data loss.
+	if dec.More() {
+		return Batch{}, fmt.Errorf("ingest: trailing data after the %d declared events", h.N)
+	}
+	return b, nil
+}

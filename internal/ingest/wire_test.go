@@ -1,0 +1,100 @@
+package ingest
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleBatch() Batch {
+	return Batch{
+		User: 42,
+		Seq:  1337,
+		Events: []Event{
+			{Kind: KindVisit, At: 1506816000, Publisher: "site1.com"},
+			{
+				Kind: KindRequest, At: 1506816001, Publisher: "site1.com",
+				FQDN: "sync.dmp0001.com", Path: "/cookiesync?uid=5", RefFQDN: "x.adx.com",
+				IP: 0x10203040, HTTPS: true, HasArgs: true,
+			},
+			{
+				Kind: KindRequest, At: 1506816002, Publisher: "site1.com",
+				FQDN: "static.cdn001.com", Path: "/lib/main.js",
+			},
+		},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	want := sampleBatch()
+	got, err := DecodeBinary(EncodeBinary(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+	// Empty batch round-trips too.
+	empty := Batch{User: 7, Seq: 0}
+	got, err = DecodeBinary(EncodeBinary(empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.User != 7 || got.Seq != 0 || len(got.Events) != 0 {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	want := sampleBatch()
+	var buf bytes.Buffer
+	if err := EncodeNDJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 1+len(want.Events) {
+		t.Fatalf("NDJSON has %d lines, want %d", n, 1+len(want.Events))
+	}
+	got, err := DecodeNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestBinaryDecodeRejectsMalformed(t *testing.T) {
+	valid := EncodeBinary(sampleBatch())
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     []byte("NOPE"),
+		"magic only":    []byte("XBB1"),
+		"truncated":     valid[:len(valid)-3],
+		"trailing junk": append(append([]byte{}, valid...), 0xFF),
+		// Header claims 1<<60 events with no bytes behind it.
+		"forged count": append([]byte("XBB1"), 0x01, 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x10),
+	}
+	for name, data := range cases {
+		if _, err := DecodeBinary(data); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}
+
+func TestNDJSONDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"not json":     "hello\n",
+		"missing tail": `{"user":1,"seq":0,"n":2}` + "\n" + `{"k":"v","at":1,"pub":"a.com"}` + "\n",
+		"bad kind":     `{"user":1,"seq":0,"n":1}` + "\n" + `{"k":"x","at":1,"pub":"a.com"}` + "\n",
+		"forged n":     `{"user":1,"seq":0,"n":99999999}` + "\n",
+		"trailing data": `{"user":1,"seq":0,"n":1}` + "\n" +
+			`{"k":"v","at":1,"pub":"a.com"}` + "\n" + `{"k":"v","at":2,"pub":"b.com"}` + "\n",
+	}
+	for name, data := range cases {
+		if _, err := DecodeNDJSON(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}

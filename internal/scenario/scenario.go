@@ -153,63 +153,10 @@ func BuildContext(ctx context.Context, p Params) (*Scenario, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	s := &Scenario{
-		Params:    p,
-		Start:     studyStart,
-		End:       studyEnd,
-		ISPEnd:    ispEnd,
-		PDNS:      pdns.NewDB(),
-		orgClouds: make(map[string][]geodata.CloudProvider),
-	}
-
-	s.Graph = webgraph.Build(rng, webgraph.Config{}.Scale(p.Scale))
-	// World-phase progress counts each service twice: once through the
-	// org-footprint pass, once through the zone-construction pass.
-	prog.startPhase(PhaseWorld, 2*len(s.Graph.Services))
-	s.World = netsim.NewWorld()
-	s.DNS = dns.NewServer(nil)
-	// Imperfect geo load balancing: a slice of nearest-policy answers
-	// land on other same-continent PoPs. This spreads observations over
-	// the orgs' full footprints (keeping the pDNS-only extras small,
-	// §3.3) and contributes the intra-European border crossings of Fig 8.
-	s.DNS.Spill = 0.08
-	// Geo-DNS country mappings churn over ~45-day epochs: whether a
-	// tracker's in-country servers actually receive that country's users
-	// depends on capacity planning, and the probability scales with the
-	// country's infrastructure density (Frankfurt is always on; Madrid
-	// often routes to Paris). This single mechanism yields both the
-	// paper's Table 5 headroom (alternatives observed in other epochs)
-	// and Fig 12's high German national confinement.
-	s.DNS.GeoMapping = func(fqdn string, user geodata.Country, t time.Time) bool {
-		epoch := int64(t.Sub(studyStart) / (45 * 24 * time.Hour))
-		q := 0.30 + float64(geodata.InfraDensity(user))/140
-		if q > 0.93 {
-			q = 0.93
-		}
-		return hashCoin(fqdn, string(user), epoch) < q
-	}
-
-	b := &worldBuilder{s: s, rng: rng, ctx: ctx, prog: prog, workers: workers}
-	if err := b.build(); err != nil {
+	s, err := buildWorldBase(ctx, p, rng, prog, workers)
+	if err != nil {
 		return nil, err
 	}
-	s.World.Freeze()
-	// Zone construction is done; freezing makes the resolver provably
-	// read-only for the concurrent browsing workers below.
-	s.DNS.Freeze()
-
-	// Filter lists over the finished graph.
-	elText, epText := blocklist.Generate(rng, s.Graph, blocklist.Coverage{})
-	var errs []error
-	s.EasyList, errs = blocklist.Parse("easylist", elText)
-	if len(errs) != 0 {
-		panic("scenario: generated easylist failed to parse")
-	}
-	s.EasyPrivacy, errs = blocklist.Parse("easyprivacy", epText)
-	if len(errs) != 0 {
-		panic("scenario: generated easyprivacy failed to parse")
-	}
-	prog.finishPhase()
 
 	// The browsing study: users fan out over a worker pool, each on a
 	// private RNG stream, each worker capturing into its own collector
@@ -225,7 +172,7 @@ func BuildContext(ctx context.Context, p Params) (*Scenario, error) {
 	sim := browser.NewSimulator(s.Graph, s.DNS, browser.Config{
 		Start: studyStart, End: studyEnd, VisitsPerUser: visits,
 	})
-	err := sim.RunWorkersContext(ctx, p.Seed, s.Users, workers, func(w int) []browser.Sink {
+	err = sim.RunWorkersContext(ctx, p.Seed, s.Users, workers, func(w int) []browser.Sink {
 		return []browser.Sink{collector.Shard(w)}
 	}, func(int) { prog.tick(1) })
 	if err != nil {
@@ -276,6 +223,87 @@ func BuildContext(ctx context.Context, p Params) (*Scenario, error) {
 	if err := ctx.Err(); err != nil {
 		return fail(err)
 	}
+	s.buildGeoServices(prog)
+
+	if !p.SkipSensitive {
+		prog.startPhase(PhaseSensitive, 1)
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		s.Identification = sensitive.Identify(rng, s.Graph, sensitive.ExaminerConfig{})
+		prog.finishPhase()
+	}
+	return s, nil
+}
+
+// buildWorldBase runs the shared front of the pipeline: web graph,
+// organization footprints, DNS zones, pDNS feed, and the generated
+// filter lists. It consumes the rng draws of the world phase and leaves
+// the resolver frozen.
+func buildWorldBase(ctx context.Context, p Params, rng *rand.Rand, prog *progress, workers int) (*Scenario, error) {
+	s := &Scenario{
+		Params:    p,
+		Start:     studyStart,
+		End:       studyEnd,
+		ISPEnd:    ispEnd,
+		PDNS:      pdns.NewDB(),
+		orgClouds: make(map[string][]geodata.CloudProvider),
+	}
+
+	s.Graph = webgraph.Build(rng, webgraph.Config{}.Scale(p.Scale))
+	// World-phase progress counts each service twice: once through the
+	// org-footprint pass, once through the zone-construction pass.
+	prog.startPhase(PhaseWorld, 2*len(s.Graph.Services))
+	s.World = netsim.NewWorld()
+	s.DNS = dns.NewServer(nil)
+	// Imperfect geo load balancing: a slice of nearest-policy answers
+	// land on other same-continent PoPs. This spreads observations over
+	// the orgs' full footprints (keeping the pDNS-only extras small,
+	// §3.3) and contributes the intra-European border crossings of Fig 8.
+	s.DNS.Spill = 0.08
+	// Geo-DNS country mappings churn over ~45-day epochs: whether a
+	// tracker's in-country servers actually receive that country's users
+	// depends on capacity planning, and the probability scales with the
+	// country's infrastructure density (Frankfurt is always on; Madrid
+	// often routes to Paris). This single mechanism yields both the
+	// paper's Table 5 headroom (alternatives observed in other epochs)
+	// and Fig 12's high German national confinement.
+	s.DNS.GeoMapping = func(fqdn string, user geodata.Country, t time.Time) bool {
+		epoch := int64(t.Sub(studyStart) / (45 * 24 * time.Hour))
+		q := 0.30 + float64(geodata.InfraDensity(user))/140
+		if q > 0.93 {
+			q = 0.93
+		}
+		return hashCoin(fqdn, string(user), epoch) < q
+	}
+
+	b := &worldBuilder{s: s, rng: rng, ctx: ctx, prog: prog, workers: workers}
+	if err := b.build(); err != nil {
+		return nil, err
+	}
+	s.World.Freeze()
+	// Zone construction is done; freezing makes the resolver provably
+	// read-only for concurrent browsing or upload-classification workers.
+	s.DNS.Freeze()
+
+	// Filter lists over the finished graph.
+	elText, epText := blocklist.Generate(rng, s.Graph, blocklist.Coverage{})
+	var errs []error
+	s.EasyList, errs = blocklist.Parse("easylist", elText)
+	if len(errs) != 0 {
+		panic("scenario: generated easylist failed to parse")
+	}
+	s.EasyPrivacy, errs = blocklist.Parse("easyprivacy", epText)
+	if len(errs) != 0 {
+		panic("scenario: generated easyprivacy failed to parse")
+	}
+	prog.finishPhase()
+	return s, nil
+}
+
+// buildGeoServices constructs the four geolocation services. The caller
+// starts the 4-tick geolocate phase.
+func (s *Scenario) buildGeoServices(prog *progress) {
 	s.Truth = geo.Truth{World: s.World}
 	prog.tick(1)
 	s.MaxMind = geo.NewMaxMind(s.World)
@@ -284,11 +312,57 @@ func BuildContext(ctx context.Context, p Params) (*Scenario, error) {
 	prog.tick(1)
 	s.IPMap = geo.NewIPMap(s.World, geo.DefaultMesh())
 	prog.tick(1)
+}
 
+// BuildWorld is BuildWorldContext over context.Background().
+func BuildWorld(p Params) *Scenario {
+	s, err := BuildWorldContext(context.Background(), p)
+	if err != nil {
+		// Unreachable: the background context never cancels and
+		// cancellation is the only error source.
+		panic("scenario: " + err.Error())
+	}
+	return s
+}
+
+// BuildWorldContext assembles everything except the browsing study: the
+// web graph, DNS zones and pDNS feed, filter lists, user population,
+// geolocation services, and the sensitive-site identification — but no
+// simulated events, so Dataset and Inventory are nil. The returned
+// world consumes exactly the rng draws the full build would (the
+// simulation runs on private per-user streams, and the classify and
+// inventory phases draw nothing), so a live collector built on this
+// world classifies uploaded events against byte-for-byte the same
+// graph, zones, lists, and identification as the batch study with the
+// same Params.
+func BuildWorldContext(ctx context.Context, p Params) (*Scenario, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p = p.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	prog := newProgress(p.Progress)
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s, err := buildWorldBase(ctx, p, rng, prog, workers)
+	if err != nil {
+		return nil, err
+	}
+	s.Users = browser.MakeUsers(scalePopulation(browser.DefaultPopulation(), p.Scale))
+	prog.startPhase(PhaseGeolocate, 4)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.buildGeoServices(prog)
 	if !p.SkipSensitive {
 		prog.startPhase(PhaseSensitive, 1)
 		if err := ctx.Err(); err != nil {
-			return fail(err)
+			return nil, err
 		}
 		s.Identification = sensitive.Identify(rng, s.Graph, sensitive.ExaminerConfig{})
 		prog.finishPhase()

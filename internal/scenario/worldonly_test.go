@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestBuildWorldMatchesFullBuild pins the rng contract of the
+// world-only build: skipping the browsing study (which runs on private
+// per-user streams) and the draw-free classify/inventory phases leaves
+// the main rng sequence intact, so BuildWorld produces the identical
+// graph, zones, filter lists, population and sensitive identification
+// as the full Build with the same Params — everything the live
+// collector classifies uploads against.
+func TestBuildWorldMatchesFullBuild(t *testing.T) {
+	p := Params{Seed: 5, Scale: 0.02, VisitsPerUser: 6}
+	full := Build(p)
+	world := BuildWorld(p)
+
+	if world.Dataset != nil || world.Inventory != nil {
+		t.Fatal("world-only build must not carry a dataset or inventory")
+	}
+	if got, want := len(world.Graph.Publishers), len(full.Graph.Publishers); got != want {
+		t.Fatalf("publishers = %d, want %d", got, want)
+	}
+	for i := range full.Graph.Publishers {
+		if world.Graph.Publishers[i].Domain != full.Graph.Publishers[i].Domain {
+			t.Fatalf("publisher %d = %q, want %q",
+				i, world.Graph.Publishers[i].Domain, full.Graph.Publishers[i].Domain)
+		}
+	}
+	if got, want := len(world.Graph.Services), len(full.Graph.Services); got != want {
+		t.Fatalf("services = %d, want %d", got, want)
+	}
+	if got, want := len(world.Users), len(full.Users); got != want {
+		t.Fatalf("users = %d, want %d", got, want)
+	}
+	for i := range full.Users {
+		if *world.Users[i] != *full.Users[i] {
+			t.Fatalf("user %d = %+v, want %+v", i, world.Users[i], full.Users[i])
+		}
+	}
+
+	wz, fz := world.DNS.Zones(), full.DNS.Zones()
+	sort.Strings(wz)
+	sort.Strings(fz)
+	if len(wz) != len(fz) {
+		t.Fatalf("zones = %d, want %d", len(wz), len(fz))
+	}
+	for i := range fz {
+		if wz[i] != fz[i] {
+			t.Fatalf("zone %d = %q, want %q", i, wz[i], fz[i])
+		}
+	}
+
+	// The sensitive identification runs after the skipped phases, so it
+	// is the sharpest probe of rng alignment.
+	if world.Identification.Inspected != full.Identification.Inspected ||
+		world.Identification.Identified() != full.Identification.Identified() {
+		t.Fatalf("identification = %d/%d, want %d/%d",
+			world.Identification.Identified(), world.Identification.Inspected,
+			full.Identification.Identified(), full.Identification.Inspected)
+	}
+	wantCats := make(map[string]string)
+	for p2, topic := range full.Identification.ByPublisher {
+		wantCats[p2.Domain] = string(topic)
+	}
+	for p2, topic := range world.Identification.ByPublisher {
+		if wantCats[p2.Domain] != string(topic) {
+			t.Fatalf("identified %q as %q, full build says %q", p2.Domain, topic, wantCats[p2.Domain])
+		}
+	}
+}

@@ -101,7 +101,12 @@ func New(ctx context.Context, opts ...Option) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Study{Suite: experiments.NewSuite(s)}, nil
+	su := experiments.NewSuite(s)
+	// The same WithProgress callback that observed the build phases also
+	// receives per-experiment progress from long registry runners (phase
+	// "table8"), so `reproduce -progress` covers the whole run.
+	su.Progress = o.Progress
+	return &Study{Suite: su}, nil
 }
 
 // NewStudy builds the whole study eagerly without cancellation or
