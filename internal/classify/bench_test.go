@@ -7,10 +7,11 @@ import (
 	"crossborder/internal/browser"
 )
 
-// semiBenchDataset builds a merged dataset in post-stage-1 state (semi
-// stages not yet run) plus a pristine copy of the class columns, so
-// each benchmark iteration can rewind and re-run the fixpoint.
-func semiBenchDataset(b *testing.B, chunkRows int) (*Dataset, [][]Class) {
+// benchCollector simulates the shared benchmark capture once: a
+// sequential browse of 14 users over the scale-0.05 rig, ready to
+// merge into any row sink (mergeInto never mutates the shard, so one
+// collector serves several sinks).
+func benchCollector(b *testing.B) (*ShardedCollector, []capRef) {
 	b.Helper()
 	g, srv, el, ep := shardRig(b, 31)
 	users := browser.MakeUsers([]browser.CountryCount{
@@ -23,6 +24,15 @@ func semiBenchDataset(b *testing.B, chunkRows int) (*Dataset, [][]Class) {
 	for i := range order {
 		order[i] = capRef{sh: sc.Shard(0), idx: i}
 	}
+	return sc, order
+}
+
+// semiBenchDataset builds a merged dataset in post-stage-1 state (semi
+// stages not yet run) plus a pristine copy of the class columns, so
+// each benchmark iteration can rewind and re-run the fixpoint.
+func semiBenchDataset(b *testing.B, chunkRows int) (*Dataset, [][]Class) {
+	b.Helper()
+	sc, order := benchCollector(b)
 	ds, err := sc.mergeInto(order, NewMemStoreChunked(chunkRows), false)
 	if err != nil {
 		b.Fatal(err)
@@ -66,4 +76,83 @@ func BenchmarkSemiStagesSequential(b *testing.B) {
 		rewindClasses(ds, pristine)
 		runSemiStages(ds, 1)
 	}
+}
+
+// BenchmarkSpillScan measures a full-dataset Dataset.Scan over the
+// spill store with the chunk codec on and off. Bytes/op is the raw
+// fixed-width reference, so MB/s is comparable across the two; the
+// size-ratio metric reports compressed/raw on disk. -benchmem pins the
+// allocation flatness contract: the scan draws its decode buffer and
+// codec scratch from the pools, so allocs/op stays a small constant
+// regardless of chunk count.
+func BenchmarkSpillScan(b *testing.B) {
+	sc, order := benchCollector(b)
+	for _, mode := range []struct {
+		name string
+		mk   func(dir string) (RowSink, error)
+	}{
+		{"compressed", func(dir string) (RowSink, error) { return NewSpillSink(dir, 4096) }},
+		{"raw", func(dir string) (RowSink, error) { return NewSpillSinkUncompressed(dir, 4096) }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sink, err := mode.mk(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds, err := sc.mergeInto(order, sink, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ds.Close()
+			sp := ds.Store.(*SpillStore)
+			b.SetBytes(sp.RawSize())
+			b.ReportMetric(float64(sp.Size())/float64(sp.RawSize()), "size-ratio")
+			b.ResetTimer()
+			var blackhole uint64
+			for i := 0; i < b.N; i++ {
+				ds.Scan(func(_ int, c *Chunk) {
+					for j := range c.URLHash {
+						blackhole += c.URLHash[j] ^ uint64(c.IP[j]) ^ uint64(c.FQDN[j]) ^ uint64(c.Day[j])
+					}
+				})
+			}
+			_ = blackhole
+		})
+	}
+}
+
+// BenchmarkChunkCodec measures the codec itself — encode and decode of
+// one full study-shaped chunk; bytes/op is the raw fixed-width size,
+// so ns/op converts to raw-layout MB/s.
+func BenchmarkChunkCodec(b *testing.B) {
+	sc, order := benchCollector(b)
+	ds, err := sc.mergeInto(order, NewMemStoreChunked(DefaultChunkRows), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := MustChunk(ds.Store, 0, nil)
+	if c.Len() < DefaultChunkRows {
+		b.Fatalf("bench capture has only %d rows; need a full chunk", c.Len())
+	}
+	rawBytes := int64(c.Len() * spillRowBytes)
+	cc := GetCodec()
+	defer PutCodec(cc)
+	block := cc.EncodeBlock(c, true, nil)
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(rawBytes)
+		b.ReportMetric(float64(len(block))/float64(rawBytes), "size-ratio")
+		var enc []byte
+		for i := 0; i < b.N; i++ {
+			enc = cc.EncodeBlock(c, true, enc[:0])
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(rawBytes)
+		buf := &Chunk{}
+		for i := 0; i < b.N; i++ {
+			if err := DecodeBlockInto(block, c.Len(), buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -190,17 +190,21 @@ func (d *Dataset) Len() int {
 	return d.Store.Len()
 }
 
-// Scan walks the store chunk by chunk in row order, reusing one decode
-// buffer across chunks. base is the global index of the chunk's first
-// row.
+// Scan walks the store chunk by chunk in row order, drawing one decode
+// buffer from the shared pool and reusing it across chunks, so scans
+// over compressed or spilled stores add no per-chunk allocations. base
+// is the global index of the chunk's first row. A store read or decode
+// failure panics (see MustChunk): the aggregate paths scan stores this
+// process wrote, so losing one mid-scan is unrecoverable.
 func (d *Dataset) Scan(fn func(base int, c *Chunk)) {
 	if d.Store == nil {
 		return
 	}
-	var buf Chunk
+	buf := GetChunk()
+	defer PutChunk(buf)
 	base := 0
 	for i := 0; i < d.Store.NumChunks(); i++ {
-		c := d.Store.Chunk(i, &buf)
+		c := MustChunk(d.Store, i, buf)
 		fn(base, c)
 		base += c.Len()
 	}

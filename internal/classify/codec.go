@@ -1,0 +1,938 @@
+package classify
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"slices"
+	"sort"
+	"sync"
+
+	"crossborder/internal/netsim"
+)
+
+// This file implements the per-chunk column codec behind the
+// compressed spill store and the compressed-resident MemStore mode.
+// One encoded block holds the nine spilled columns of one chunk
+// (Class stays resident — the semi-stage fixpoint mutates it after
+// sealing), each column independently encoded with whichever scheme
+// is smallest for its actual contents:
+//
+//   - raw        fixed-width little-endian (the PR 3 layout)
+//   - rle        (run length, value) pairs — the Publisher/User/Day/
+//                Country columns are long runs because the merge emits
+//                rows in user then visit order
+//   - delta      zigzag deltas, uvarint-coded — monotone id columns
+//   - dict       sorted distinct values (delta-uvarint) + bit-packed
+//                indices — the interned-id and IP columns have a few
+//                hundred distinct values per 16Ki-row chunk
+//   - dict+huff  same dictionary with canonical-Huffman-coded indices
+//                — the id distributions are Zipf-skewed, so entropy
+//                coding beats fixed-width packing
+//
+// and any scheme's payload may additionally be wrapped in the LZ4-style
+// block compressor from lz4.go when that shrinks it further (templated
+// RTB cascades repeat multi-byte patterns that per-value schemes miss).
+//
+// Block frame (what SpillSink writes per chunk and the compressed
+// MemStore keeps resident):
+//
+//	[4B crc32c over the rest] [1B format flags] [uvarint row count]
+//	9 × ( [1B tag] [uvarint payload length] [payload] )
+//
+// The decoder is hardened: the checksum is verified first, every
+// declared length is validated against caps derived from the
+// caller-supplied row count before any allocation, dictionary indices
+// are range-checked, and Huffman code-length tables must form an
+// exactly complete code. Forged input errors out; it cannot panic or
+// over-allocate (FuzzDecodeChunk).
+
+// Column encoding schemes (low 7 bits of the column tag).
+const (
+	colRaw      = 0
+	colRLE      = 1
+	colDelta    = 2
+	colDict     = 3
+	colDictHuff = 4
+
+	// colLZ4 marks the payload as LZ4-wrapped: [uvarint inner length]
+	// [lz4 stream], with the inner stream encoded per the scheme bits.
+	colLZ4 = 0x80
+)
+
+// numCols is the number of spilled columns; colWidths their natural
+// byte widths, in encode order (URLHash, IP, FQDN, RefFQDN, Publisher,
+// User, Day, Country, Flags).
+const numCols = 9
+
+var colWidths = [numCols]int{8, 4, 4, 4, 4, 4, 2, 1, 1}
+
+// maxFuzzRows caps the declared row count when the caller does not
+// know it (DecodeBlock with wantRows < 0, i.e. the fuzzer); stores
+// always pass their exact per-chunk row count.
+const maxFuzzRows = 1 << 16
+
+// Huffman limits: alphabets larger than huffMaxAlphabet fall back to
+// bit-packing (the code-length table would cost more than it saves),
+// and code lengths are capped so the decoder's accumulator math stays
+// trivially safe.
+const (
+	huffMaxAlphabet = 1 << 14
+	huffMaxLen      = 27
+	huffTableBits   = 11
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var errCorrupt = errors.New("classify: corrupt chunk block")
+
+// ChunkCodec holds the reusable scratch of the chunk codec: staging
+// buffers, dictionary and Huffman tables, and the LZ4 hash chain. It
+// is not safe for concurrent use; each worker borrows one (they are
+// sync.Pool-backed via GetCodec/PutCodec, and a Chunk decode buffer
+// lazily attaches one so per-worker scan loops reuse a single codec
+// across all their chunk loads).
+type ChunkCodec struct {
+	vals   []uint64 // staged column values
+	dict   []uint64 // sorted distinct values
+	idx    []uint32 // per-row dictionary indices
+	freq   []uint32 // per-dictionary-index frequencies
+	lens   []uint8  // Huffman code length per symbol
+	codes  []uint32 // Huffman code per symbol
+	winner []byte   // winning candidate payload staging
+	cand   []byte   // candidate payload staging
+	rawCol []byte   // raw column bytes (LZ4 input)
+	lz     []byte   // LZ4 output staging
+	inner  []byte   // LZ4-unwrapped payload (decode)
+	htab   []int32  // LZ4 hash heads
+	chain  []int32  // LZ4 hash chains
+
+	// Huffman build scratch.
+	hOrd  []int32
+	hPar  []int32
+	hFreq []uint64
+
+	// Canonical Huffman decode state.
+	dTable  []uint32 // primary lookup: sym<<8 | len (len 0 = long code)
+	dCount  [huffMaxLen + 1]uint32
+	dFirst  [huffMaxLen + 1]uint32
+	dOffset [huffMaxLen + 1]uint32
+	dRank   []uint32 // symbols ordered by (length, symbol)
+}
+
+var codecPool = sync.Pool{New: func() any { return new(ChunkCodec) }}
+
+// GetCodec borrows a codec from the pool.
+func GetCodec() *ChunkCodec { return codecPool.Get().(*ChunkCodec) }
+
+// PutCodec returns a codec to the pool.
+func PutCodec(cc *ChunkCodec) { codecPool.Put(cc) }
+
+// codec returns the chunk buffer's attached codec, borrowing one on
+// first use. Scan loops that reuse one Chunk buffer per worker thereby
+// reuse one codec across every chunk they load.
+func (c *Chunk) codec() *ChunkCodec {
+	if c.cc == nil {
+		c.cc = GetCodec()
+	}
+	return c.cc
+}
+
+// DecodeBlockInto decodes a framed codec block into buf through buf's
+// attached codec scratch. It is the entry point for stores outside
+// this package that hold codec blocks (the live collector's epoch
+// snapshots share the compressed MemStore's sealed blocks).
+func DecodeBlockInto(block []byte, rows int, buf *Chunk) error {
+	return buf.codec().DecodeBlock(block, rows, buf)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func zigzag(d uint64) uint64 {
+	return uint64(int64(d)<<1) ^ uint64(int64(d)>>63)
+}
+
+func unzigzag(z uint64) uint64 {
+	return (z >> 1) ^ uint64(-int64(z&1))
+}
+
+// stage gathers column col of c into cc.vals.
+func (cc *ChunkCodec) stage(c *Chunk, col int) {
+	n := c.Len()
+	if cap(cc.vals) < n {
+		cc.vals = make([]uint64, n)
+	}
+	vals := cc.vals[:n]
+	switch col {
+	case 0:
+		copy(vals, c.URLHash)
+	case 1:
+		for i, v := range c.IP {
+			vals[i] = uint64(uint32(v))
+		}
+	case 2:
+		for i, v := range c.FQDN {
+			vals[i] = uint64(v)
+		}
+	case 3:
+		for i, v := range c.RefFQDN {
+			vals[i] = uint64(v)
+		}
+	case 4:
+		for i, v := range c.Publisher {
+			vals[i] = uint64(uint32(v))
+		}
+	case 5:
+		for i, v := range c.User {
+			vals[i] = uint64(uint32(v))
+		}
+	case 6:
+		for i, v := range c.Day {
+			vals[i] = uint64(v)
+		}
+	case 7:
+		for i, v := range c.Country {
+			vals[i] = uint64(v)
+		}
+	case 8:
+		for i, v := range c.Flags {
+			vals[i] = uint64(v)
+		}
+	}
+	cc.vals = vals
+}
+
+// scatter writes decoded values back into column col of buf, whose
+// columns reset already sized to n.
+func scatter(buf *Chunk, col int, vals []uint64) {
+	switch col {
+	case 0:
+		copy(buf.URLHash, vals)
+	case 1:
+		for i, v := range vals {
+			buf.IP[i] = netsim.IP(uint32(v))
+		}
+	case 2:
+		for i, v := range vals {
+			buf.FQDN[i] = uint32(v)
+		}
+	case 3:
+		for i, v := range vals {
+			buf.RefFQDN[i] = uint32(v)
+		}
+	case 4:
+		for i, v := range vals {
+			buf.Publisher[i] = int32(uint32(v))
+		}
+	case 5:
+		for i, v := range vals {
+			buf.User[i] = int32(uint32(v))
+		}
+	case 6:
+		for i, v := range vals {
+			buf.Day[i] = uint16(v)
+		}
+	case 7:
+		for i, v := range vals {
+			buf.Country[i] = uint8(v)
+		}
+	case 8:
+		for i, v := range vals {
+			buf.Flags[i] = uint8(v)
+		}
+	}
+}
+
+// appendRawVals emits the staged values fixed-width little-endian.
+func appendRawVals(dst []byte, vals []uint64, width int) []byte {
+	switch width {
+	case 8:
+		for _, v := range vals {
+			dst = binary.LittleEndian.AppendUint64(dst, v)
+		}
+	case 4:
+		for _, v := range vals {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+		}
+	case 2:
+		for _, v := range vals {
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(v))
+		}
+	default:
+		for _, v := range vals {
+			dst = append(dst, byte(v))
+		}
+	}
+	return dst
+}
+
+// EncodeBlock appends the framed, encoded form of the chunk's nine
+// spilled columns to dst and returns the extended slice. With compress
+// false every column is stored raw (the byte-transparent layout, still
+// framed and checksummed); with compress true each column gets the
+// smallest applicable encoding.
+func (cc *ChunkCodec) EncodeBlock(c *Chunk, compress bool, dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // crc placeholder
+	dst = append(dst, 0)          // format flags (reserved)
+	dst = binary.AppendUvarint(dst, uint64(c.Len()))
+	for col := 0; col < numCols; col++ {
+		cc.stage(c, col)
+		dst = cc.encodeColumn(dst, colWidths[col], compress)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], crc32.Checksum(dst[start+4:], castagnoli))
+	return dst
+}
+
+// encodeColumn appends [tag][uvarint len][payload] for the staged
+// column, choosing the smallest candidate encoding.
+func (cc *ChunkCodec) encodeColumn(dst []byte, width int, compress bool) []byte {
+	vals := cc.vals
+	n := len(vals)
+	rawSize := n * width
+	if !compress || n == 0 {
+		dst = append(dst, colRaw)
+		dst = binary.AppendUvarint(dst, uint64(rawSize))
+		return appendRawVals(dst, vals, width)
+	}
+
+	// Candidate sizes, computed exactly without materializing.
+	rleSize := 0
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && vals[j] == vals[i] {
+			j++
+		}
+		rleSize += uvarintLen(uint64(j-i)) + uvarintLen(vals[i])
+		i = j
+	}
+	deltaSize := uvarintLen(zigzag(vals[0]))
+	for i := 1; i < n; i++ {
+		deltaSize += uvarintLen(zigzag(vals[i] - vals[i-1]))
+	}
+
+	// Dictionary: sorted distinct values, stored as uvarint deltas.
+	cc.dict = append(cc.dict[:0], vals...)
+	slices.Sort(cc.dict)
+	d := 0
+	for i, v := range cc.dict {
+		if i == 0 || v != cc.dict[d-1] {
+			cc.dict[d] = v
+			d++
+		}
+	}
+	cc.dict = cc.dict[:d]
+	dictSize := uvarintLen(uint64(d)) + uvarintLen(cc.dict[0])
+	for i := 1; i < d; i++ {
+		dictSize += uvarintLen(cc.dict[i] - cc.dict[i-1])
+	}
+	packBits := bitsFor(d)
+	packSize := dictSize + (n*packBits+7)/8
+
+	// Per-row indices and frequencies (needed by both dict schemes).
+	if cap(cc.idx) < n {
+		cc.idx = make([]uint32, n)
+	}
+	cc.idx = cc.idx[:n]
+	if cap(cc.freq) < d {
+		cc.freq = make([]uint32, d)
+	}
+	cc.freq = cc.freq[:d]
+	for i := range cc.freq {
+		cc.freq[i] = 0
+	}
+	for i, v := range vals {
+		k, _ := slices.BinarySearch(cc.dict, v)
+		cc.idx[i] = uint32(k)
+		cc.freq[k]++
+	}
+
+	huffSize := -1
+	if d >= 2 && d <= huffMaxAlphabet {
+		cc.buildHuffLens()
+		bits := 0
+		for s, f := range cc.freq {
+			bits += int(f) * int(cc.lens[s])
+		}
+		huffSize = dictSize + d + (bits+7)/8
+	}
+
+	// Pick the smallest scheme and materialize it.
+	tag, best := byte(colRaw), rawSize
+	if rleSize < best {
+		tag, best = colRLE, rleSize
+	}
+	if deltaSize < best {
+		tag, best = colDelta, deltaSize
+	}
+	if packSize < best {
+		tag, best = colDict, packSize
+	}
+	if huffSize >= 0 && huffSize < best {
+		tag, best = colDictHuff, huffSize
+	}
+	cc.winner = cc.winner[:0]
+	switch tag {
+	case colRaw:
+		cc.winner = appendRawVals(cc.winner, vals, width)
+	case colRLE:
+		for i := 0; i < n; {
+			j := i + 1
+			for j < n && vals[j] == vals[i] {
+				j++
+			}
+			cc.winner = binary.AppendUvarint(cc.winner, uint64(j-i))
+			cc.winner = binary.AppendUvarint(cc.winner, vals[i])
+			i = j
+		}
+	case colDelta:
+		cc.winner = binary.AppendUvarint(cc.winner, zigzag(vals[0]))
+		for i := 1; i < n; i++ {
+			cc.winner = binary.AppendUvarint(cc.winner, zigzag(vals[i]-vals[i-1]))
+		}
+	case colDict:
+		cc.winner = cc.appendDict(cc.winner)
+		var acc uint64
+		var nb uint
+		for _, k := range cc.idx {
+			acc |= uint64(k) << nb
+			nb += uint(packBits)
+			for nb >= 8 {
+				cc.winner = append(cc.winner, byte(acc))
+				acc >>= 8
+				nb -= 8
+			}
+		}
+		if nb > 0 {
+			cc.winner = append(cc.winner, byte(acc))
+		}
+	case colDictHuff:
+		cc.winner = cc.appendDict(cc.winner)
+		cc.winner = append(cc.winner, cc.lens...)
+		cc.buildCanonicalCodes()
+		var acc uint64
+		var nb uint
+		for _, k := range cc.idx {
+			l := uint(cc.lens[k])
+			acc = acc<<l | uint64(cc.codes[k])
+			nb += l
+			for nb >= 8 {
+				cc.winner = append(cc.winner, byte(acc>>(nb-8)))
+				nb -= 8
+			}
+		}
+		if nb > 0 {
+			cc.winner = append(cc.winner, byte(acc<<(8-nb)))
+		}
+	}
+
+	// LZ4 pass: try wrapping the winner, and independently the raw
+	// bytes — a column whose dictionary barely beats raw (near-unique
+	// hashes) can still hold byte-level repeats LZ4 finds. The raw
+	// attempt is skipped once the per-value winner already compresses
+	// below half of raw: LZ4's token stream cannot reach that density
+	// on fixed-width input, so the pass would be pure encode cost.
+	if cap(cc.htab) < lzHashLen {
+		cc.htab = make([]int32, lzHashLen)
+	}
+	bestTag, bestPayload := tag, cc.winner
+	if len(cc.chain) < len(cc.winner) {
+		cc.chain = make([]int32, len(cc.winner)+rawSize)
+	}
+	cc.lz = binary.AppendUvarint(cc.lz[:0], uint64(len(cc.winner)))
+	if lz := lzCompress(cc.winner, cc.lz, cc.htab, cc.chain); lz != nil && len(lz) < len(bestPayload) {
+		cc.lz = lz
+		bestTag, bestPayload = tag|colLZ4, lz
+	}
+	if tag != colRaw && 2*len(bestPayload) > rawSize {
+		cc.rawCol = appendRawVals(cc.rawCol[:0], vals, width)
+		if len(cc.chain) < rawSize {
+			cc.chain = make([]int32, rawSize)
+		}
+		cc.cand = binary.AppendUvarint(cc.cand[:0], uint64(rawSize))
+		if lz := lzCompress(cc.rawCol, cc.cand, cc.htab, cc.chain); lz != nil && len(lz) < len(bestPayload) {
+			cc.cand = lz
+			bestTag, bestPayload = colRaw|colLZ4, lz
+		}
+	}
+
+	dst = append(dst, bestTag)
+	dst = binary.AppendUvarint(dst, uint64(len(bestPayload)))
+	return append(dst, bestPayload...)
+}
+
+// appendDict emits [uvarint ndict][sorted values as uvarint deltas].
+func (cc *ChunkCodec) appendDict(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(cc.dict)))
+	dst = binary.AppendUvarint(dst, cc.dict[0])
+	for i := 1; i < len(cc.dict); i++ {
+		dst = binary.AppendUvarint(dst, cc.dict[i]-cc.dict[i-1])
+	}
+	return dst
+}
+
+// bitsFor returns the index width for an n-entry dictionary (0 for a
+// constant column).
+func bitsFor(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// DecodeBlock decodes a framed block into buf's nine wide columns
+// (Class is left untouched; the store patches in its resident class
+// slice). wantRows >= 0 requires the block to declare exactly that row
+// count; wantRows < 0 accepts up to maxFuzzRows. All declared lengths
+// are validated against row-count-derived caps before anything is
+// allocated, so corrupt or forged blocks return an error instead of
+// panicking or ballooning memory.
+func (cc *ChunkCodec) DecodeBlock(block []byte, wantRows int, buf *Chunk) error {
+	if len(block) < 6 {
+		return fmt.Errorf("%w: %d-byte block", errCorrupt, len(block))
+	}
+	if got, want := crc32.Checksum(block[4:], castagnoli), binary.LittleEndian.Uint32(block); got != want {
+		return fmt.Errorf("%w: checksum mismatch (%08x != %08x)", errCorrupt, got, want)
+	}
+	if block[4] != 0 {
+		return fmt.Errorf("%w: unknown format flags 0x%02x", errCorrupt, block[4])
+	}
+	rest := block[5:]
+	rows64, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return fmt.Errorf("%w: bad row count", errCorrupt)
+	}
+	rest = rest[k:]
+	n := int(rows64)
+	if wantRows >= 0 {
+		if n != wantRows {
+			return fmt.Errorf("%w: block declares %d rows, store expects %d", errCorrupt, n, wantRows)
+		}
+	} else if rows64 > maxFuzzRows || n == 0 {
+		return fmt.Errorf("%w: implausible row count %d", errCorrupt, rows64)
+	}
+	buf.reset(n)
+	if cap(cc.vals) < n {
+		cc.vals = make([]uint64, n)
+	}
+	cc.vals = cc.vals[:n]
+	for col := 0; col < numCols; col++ {
+		if len(rest) < 1 {
+			return fmt.Errorf("%w: truncated at column %d", errCorrupt, col)
+		}
+		tag := rest[0]
+		plen64, k := binary.Uvarint(rest[1:])
+		if k <= 0 || plen64 > uint64(len(rest)-1-k) {
+			return fmt.Errorf("%w: bad payload length for column %d", errCorrupt, col)
+		}
+		payload := rest[1+k : 1+k+int(plen64)]
+		rest = rest[1+k+int(plen64):]
+		if err := cc.decodeColumn(payload, tag, n, colWidths[col]); err != nil {
+			return fmt.Errorf("column %d: %w", col, err)
+		}
+		scatter(buf, col, cc.vals)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", errCorrupt, len(rest))
+	}
+	return nil
+}
+
+// decodeColumn fills cc.vals[:n] from one column payload.
+func (cc *ChunkCodec) decodeColumn(payload []byte, tag byte, n, width int) error {
+	if tag&colLZ4 != 0 {
+		innerLen, k := binary.Uvarint(payload)
+		if k <= 0 || innerLen > uint64(n*width+64) {
+			return fmt.Errorf("%w: bad lz4 inner length", errCorrupt)
+		}
+		if cap(cc.inner) < int(innerLen) {
+			cc.inner = make([]byte, innerLen)
+		}
+		cc.inner = cc.inner[:innerLen]
+		if err := lzDecompress(payload[k:], cc.inner); err != nil {
+			return err
+		}
+		payload = cc.inner
+		tag &^= colLZ4
+	}
+	var maxVal uint64 = 1<<(8*uint(width)) - 1
+	if width == 8 {
+		maxVal = ^uint64(0)
+	}
+	vals := cc.vals[:n]
+	switch tag {
+	case colRaw:
+		if len(payload) != n*width {
+			return fmt.Errorf("%w: raw column is %d bytes, want %d", errCorrupt, len(payload), n*width)
+		}
+		switch width {
+		case 8:
+			for i := range vals {
+				vals[i] = binary.LittleEndian.Uint64(payload[i*8:])
+			}
+		case 4:
+			for i := range vals {
+				vals[i] = uint64(binary.LittleEndian.Uint32(payload[i*4:]))
+			}
+		case 2:
+			for i := range vals {
+				vals[i] = uint64(binary.LittleEndian.Uint16(payload[i*2:]))
+			}
+		default:
+			for i := range vals {
+				vals[i] = uint64(payload[i])
+			}
+		}
+	case colRLE:
+		i := 0
+		for i < n {
+			run, k := binary.Uvarint(payload)
+			if k <= 0 || run == 0 || run > uint64(n-i) {
+				return fmt.Errorf("%w: bad rle run", errCorrupt)
+			}
+			payload = payload[k:]
+			v, k := binary.Uvarint(payload)
+			if k <= 0 || v > maxVal {
+				return fmt.Errorf("%w: bad rle value", errCorrupt)
+			}
+			payload = payload[k:]
+			for j := 0; j < int(run); j++ {
+				vals[i+j] = v
+			}
+			i += int(run)
+		}
+		if len(payload) != 0 {
+			return fmt.Errorf("%w: trailing rle bytes", errCorrupt)
+		}
+	case colDelta:
+		var prev uint64
+		for i := range vals {
+			z, k := binary.Uvarint(payload)
+			if k <= 0 {
+				return fmt.Errorf("%w: truncated delta stream", errCorrupt)
+			}
+			payload = payload[k:]
+			prev += unzigzag(z)
+			if prev > maxVal {
+				return fmt.Errorf("%w: delta value overflows column width", errCorrupt)
+			}
+			vals[i] = prev
+		}
+		if len(payload) != 0 {
+			return fmt.Errorf("%w: trailing delta bytes", errCorrupt)
+		}
+	case colDict, colDictHuff:
+		var err error
+		if payload, err = cc.readDict(payload, n, maxVal); err != nil {
+			return err
+		}
+		d := len(cc.dict)
+		if tag == colDict {
+			bits := bitsFor(d)
+			if need := (n*bits + 7) / 8; len(payload) != need {
+				return fmt.Errorf("%w: packed indices are %d bytes, want %d", errCorrupt, len(payload), need)
+			}
+			var acc uint64
+			var nb uint
+			pi := 0
+			mask := uint64(1)<<bits - 1
+			for i := range vals {
+				for nb < uint(bits) {
+					acc |= uint64(payload[pi]) << nb
+					pi++
+					nb += 8
+				}
+				k := acc & mask
+				acc >>= uint(bits)
+				nb -= uint(bits)
+				if k >= uint64(d) {
+					return fmt.Errorf("%w: dictionary index out of range", errCorrupt)
+				}
+				vals[i] = cc.dict[k]
+			}
+		} else {
+			if len(payload) < d {
+				return fmt.Errorf("%w: truncated code lengths", errCorrupt)
+			}
+			if cap(cc.lens) < d {
+				cc.lens = make([]uint8, d)
+			}
+			cc.lens = cc.lens[:d]
+			copy(cc.lens, payload[:d])
+			if err := cc.buildDecodeTables(); err != nil {
+				return err
+			}
+			if err := cc.huffDecode(payload[d:], vals); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown column tag 0x%02x", errCorrupt, tag)
+	}
+	return nil
+}
+
+// readDict parses [uvarint ndict][delta-uvarint sorted values] into
+// cc.dict, validating the count against the row count and every value
+// against the column width before allocating.
+func (cc *ChunkCodec) readDict(payload []byte, n int, maxVal uint64) ([]byte, error) {
+	d64, k := binary.Uvarint(payload)
+	if k <= 0 || d64 == 0 || d64 > uint64(n) || d64 > uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: bad dictionary size", errCorrupt)
+	}
+	payload = payload[k:]
+	d := int(d64)
+	if cap(cc.dict) < d {
+		cc.dict = make([]uint64, d)
+	}
+	cc.dict = cc.dict[:d]
+	var prev uint64
+	for i := 0; i < d; i++ {
+		v, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: truncated dictionary", errCorrupt)
+		}
+		payload = payload[k:]
+		if i > 0 {
+			nv := prev + v
+			if nv < prev {
+				return nil, fmt.Errorf("%w: dictionary overflow", errCorrupt)
+			}
+			v = nv
+		}
+		if v > maxVal {
+			return nil, fmt.Errorf("%w: dictionary value overflows column width", errCorrupt)
+		}
+		cc.dict[i] = v
+		prev = v
+	}
+	return payload, nil
+}
+
+// buildHuffLens computes Huffman code lengths for cc.freq into
+// cc.lens, capped at huffMaxLen, and returns the maximum length. The
+// construction is deterministic: leaves sort by (frequency, symbol)
+// and ties between the leaf and internal queues prefer the leaf.
+func (cc *ChunkCodec) buildHuffLens() int {
+	d := len(cc.freq)
+	if cap(cc.lens) < d {
+		cc.lens = make([]uint8, d)
+	}
+	cc.lens = cc.lens[:d]
+	if cap(cc.hOrd) < d {
+		cc.hOrd = make([]int32, d)
+		cc.hPar = make([]int32, 2*d)
+		cc.hFreq = make([]uint64, 2*d)
+	}
+	ord := cc.hOrd[:d]
+	freqs := append([]uint32(nil), cc.freq...)
+	for {
+		for i := range ord {
+			ord[i] = int32(i)
+		}
+		sort.Slice(ord, func(a, b int) bool {
+			fa, fb := freqs[ord[a]], freqs[ord[b]]
+			if fa != fb {
+				return fa < fb
+			}
+			return ord[a] < ord[b]
+		})
+		nf := cc.hFreq[:2*d]
+		par := cc.hPar[:2*d]
+		for i, f := range freqs {
+			nf[i] = uint64(f)
+		}
+		li, ni, produced := 0, d, d
+		pick := func() int {
+			if li < d && (ni >= produced || nf[ord[li]] <= nf[ni]) {
+				li++
+				return int(ord[li-1])
+			}
+			ni++
+			return ni - 1
+		}
+		for produced < 2*d-1 {
+			a, b := pick(), pick()
+			nf[produced] = nf[a] + nf[b]
+			par[a], par[b] = int32(produced), int32(produced)
+			produced++
+		}
+		root := 2*d - 2
+		depth := nf // reuse as depth storage
+		depth[root] = 0
+		maxLen := 0
+		for node := root - 1; node >= 0; node-- {
+			depth[node] = depth[par[node]] + 1
+			if node < d {
+				l := int(depth[node])
+				cc.lens[node] = uint8(l)
+				if l > maxLen {
+					maxLen = l
+				}
+			}
+		}
+		if maxLen <= huffMaxLen {
+			return maxLen
+		}
+		// Flatten the distribution and retry; converges in a few
+		// rounds and only triggers on pathological skew.
+		for i := range freqs {
+			freqs[i] = freqs[i]/2 + 1
+		}
+	}
+}
+
+// buildCanonicalCodes assigns canonical codes from cc.lens into
+// cc.codes (zlib convention: within a length, codes follow symbol
+// order).
+func (cc *ChunkCodec) buildCanonicalCodes() {
+	d := len(cc.lens)
+	if cap(cc.codes) < d {
+		cc.codes = make([]uint32, d)
+	}
+	cc.codes = cc.codes[:d]
+	var blCount [huffMaxLen + 1]uint32
+	for _, l := range cc.lens {
+		blCount[l]++
+	}
+	var nextCode [huffMaxLen + 1]uint32
+	code := uint32(0)
+	for bits := 1; bits <= huffMaxLen; bits++ {
+		code = (code + blCount[bits-1]) << 1
+		nextCode[bits] = code
+	}
+	for s, l := range cc.lens {
+		if l > 0 {
+			cc.codes[s] = nextCode[l]
+			nextCode[l]++
+		}
+	}
+}
+
+// buildDecodeTables validates cc.lens as an exactly complete canonical
+// code and builds the primary lookup table plus the per-length
+// canonical arrays for long codes.
+func (cc *ChunkCodec) buildDecodeTables() error {
+	d := len(cc.lens)
+	for i := range cc.dCount {
+		cc.dCount[i] = 0
+	}
+	for _, l := range cc.lens {
+		if l == 0 || l > huffMaxLen {
+			return fmt.Errorf("%w: invalid code length %d", errCorrupt, l)
+		}
+		cc.dCount[l]++
+	}
+	// Kraft equality: the code must be exactly complete, or decode
+	// would hit unreachable or ambiguous bit patterns.
+	var kraft uint64
+	for l := 1; l <= huffMaxLen; l++ {
+		kraft += uint64(cc.dCount[l]) << (huffMaxLen - l)
+	}
+	if kraft != 1<<huffMaxLen {
+		return fmt.Errorf("%w: incomplete huffman code", errCorrupt)
+	}
+	code := uint32(0)
+	var rankBase uint32
+	for l := 1; l <= huffMaxLen; l++ {
+		code = (code + cc.dCount[l-1]) << 1
+		cc.dFirst[l] = code
+		cc.dOffset[l] = rankBase
+		rankBase += cc.dCount[l]
+	}
+	if cap(cc.dRank) < d {
+		cc.dRank = make([]uint32, d)
+	}
+	cc.dRank = cc.dRank[:d]
+	var next [huffMaxLen + 1]uint32
+	for l := 1; l <= huffMaxLen; l++ {
+		next[l] = cc.dOffset[l]
+	}
+	for s, l := range cc.lens {
+		cc.dRank[next[l]] = uint32(s)
+		next[l]++
+	}
+	// Primary table for codes up to huffTableBits.
+	if cc.dTable == nil {
+		cc.dTable = make([]uint32, 1<<huffTableBits)
+	}
+	for i := range cc.dTable {
+		cc.dTable[i] = 0
+	}
+	cc.buildCanonicalCodes()
+	for s, l := range cc.lens {
+		if int(l) > huffTableBits {
+			continue
+		}
+		base := cc.codes[s] << (huffTableBits - uint(l))
+		span := uint32(1) << (huffTableBits - uint(l))
+		entry := uint32(s)<<8 | uint32(l)
+		for j := uint32(0); j < span; j++ {
+			cc.dTable[base+j] = entry
+		}
+	}
+	return nil
+}
+
+// huffDecode decodes len(vals) symbols from the bitstream, mapping
+// them through cc.dict.
+func (cc *ChunkCodec) huffDecode(stream []byte, vals []uint64) error {
+	d := uint32(len(cc.dict))
+	totalBits := 8 * len(stream)
+	var acc uint64
+	var bits uint
+	off, consumed := 0, 0
+	for i := range vals {
+		for bits <= 56 && off < len(stream) {
+			acc |= uint64(stream[off]) << (56 - bits)
+			off++
+			bits += 8
+		}
+		e := cc.dTable[uint32(acc>>(64-huffTableBits))]
+		l := uint(e & 0xff)
+		var sym uint32
+		if l != 0 {
+			sym = e >> 8
+		} else {
+			// Long code: canonical per-length search.
+			code := uint32(0)
+			found := false
+			for cl := 1; cl <= huffMaxLen; cl++ {
+				code = code<<1 | uint32(acc>>(64-uint(cl))&1)
+				if cnt := cc.dCount[cl]; cnt > 0 && code-cc.dFirst[cl] < cnt {
+					sym = cc.dRank[cc.dOffset[cl]+code-cc.dFirst[cl]]
+					l = uint(cl)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("%w: invalid huffman code", errCorrupt)
+			}
+		}
+		consumed += int(l)
+		if consumed > totalBits {
+			return fmt.Errorf("%w: truncated huffman stream", errCorrupt)
+		}
+		acc <<= l
+		if l > bits {
+			bits = 0
+		} else {
+			bits -= l
+		}
+		if sym >= d {
+			return fmt.Errorf("%w: huffman symbol out of range", errCorrupt)
+		}
+		vals[i] = cc.dict[sym]
+	}
+	return nil
+}

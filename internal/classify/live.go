@@ -1,6 +1,7 @@
 package classify
 
 import (
+	"sort"
 	"time"
 
 	"crossborder/internal/geodata"
@@ -145,6 +146,7 @@ type LiveSemi struct {
 	ds      *Dataset
 	workers int
 	pool    *workerPool
+	bufs    []*Chunk // per-worker decode buffers for the rounds
 	inLTF   []bool
 	rows    int
 	// cand holds the global indices of settled rows that could still
@@ -162,7 +164,11 @@ func NewLiveSemi(ds *Dataset, workers int) *LiveSemi {
 	if workers < 1 {
 		workers = 1
 	}
-	return &LiveSemi{ds: ds, workers: workers, pool: newWorkerPool(workers)}
+	bufs := make([]*Chunk, workers)
+	for i := range bufs {
+		bufs[i] = &Chunk{}
+	}
+	return &LiveSemi{ds: ds, workers: workers, pool: newWorkerPool(workers), bufs: bufs}
 }
 
 // Close releases the worker pool. The LiveSemi must not be used
@@ -195,11 +201,12 @@ func (ls *LiveSemi) Extend() (flipped []int) {
 	// (keyword + arguments) converts unconditionally, and the remaining
 	// convertible rows — clean with arguments and a referrer — join the
 	// candidate frontier the rounds below scan.
-	var buf Chunk
+	buf := GetChunk()
+	defer PutChunk(buf)
 	chunkRows := st.ChunkRows()
 	firstChunk := prev / chunkRows
 	for ci := firstChunk; ci < st.NumChunks(); ci++ {
-		c := st.Chunk(ci, &buf)
+		c := MustChunk(st, ci, buf)
 		base := ci * chunkRows
 		lo := 0
 		if base < prev {
@@ -221,33 +228,51 @@ func (ls *LiveSemi) Extend() (flipped []int) {
 	}
 
 	// Propagation rounds over the candidate frontier: label-uniform
-	// referrer propagation against a per-round LTF snapshot, striped
-	// over the persistent pool, until a round admits no new FQDN.
-	// Identical closure to the batch engine's snapshot rounds (worker
-	// count cannot change the outcome because each round reads a frozen
-	// inLTF); scanning only candidates keeps each round O(frontier)
-	// instead of O(store), which is what bounds epoch-commit latency on
-	// a long-lived collector. Candidate chunk loads assume a resident
-	// store (the live MemStore), where Chunk is a pointer fetch.
+	// referrer propagation against a per-round LTF snapshot, until a
+	// round admits no new FQDN. Identical closure to the batch engine's
+	// snapshot rounds (worker count cannot change the outcome because
+	// each round reads a frozen inLTF); scanning only candidates keeps
+	// each round O(frontier) instead of O(store), which is what bounds
+	// epoch-commit latency on a long-lived collector. The candidate
+	// list is ascending, so it partitions into per-chunk runs; workers
+	// take whole runs round-robin and load each chunk once into a
+	// persistent per-worker buffer — one decode per touched chunk per
+	// round even when the live store keeps sealed chunks compressed
+	// (for the wide store the load is still a pointer fetch).
 	type roundOut struct {
 		newLTF  []uint32
 		flipped []int
 	}
+	type candRun struct{ chunk, lo, hi int }
+	var runs []candRun
 	for {
+		runs = runs[:0]
+		for lo := 0; lo < len(ls.cand); {
+			ci := ls.cand[lo] / chunkRows
+			hi := lo + 1
+			for hi < len(ls.cand) && ls.cand[hi]/chunkRows == ci {
+				hi++
+			}
+			runs = append(runs, candRun{chunk: ci, lo: lo, hi: hi})
+			lo = hi
+		}
 		outs := make([]roundOut, ls.workers)
 		ls.pool.run(func(w int) {
 			out := &outs[w]
-			for k := w; k < len(ls.cand); k += ls.workers {
-				g := ls.cand[k]
-				c := st.Chunk(g/chunkRows, nil)
-				i := g % chunkRows
-				if ls.inLTF[c.RefFQDN[i]] {
-					c.Class[i] = ClassSemiReferrer
-					if !ls.inLTF[c.FQDN[i]] {
-						out.newLTF = append(out.newLTF, c.FQDN[i])
-					}
-					if g < prev {
-						out.flipped = append(out.flipped, g)
+			for r := w; r < len(runs); r += ls.workers {
+				run := runs[r]
+				c := MustChunk(st, run.chunk, ls.bufs[w])
+				for k := run.lo; k < run.hi; k++ {
+					g := ls.cand[k]
+					i := g % chunkRows
+					if ls.inLTF[c.RefFQDN[i]] {
+						c.Class[i] = ClassSemiReferrer
+						if !ls.inLTF[c.FQDN[i]] {
+							out.newLTF = append(out.newLTF, c.FQDN[i])
+						}
+						if g < prev {
+							out.flipped = append(out.flipped, g)
+						}
 					}
 				}
 			}
@@ -266,7 +291,7 @@ func (ls *LiveSemi) Extend() (flipped []int) {
 		// (in-place, order-preserving).
 		live := ls.cand[:0]
 		for _, g := range ls.cand {
-			if st.Classes(g/chunkRows)[g%chunkRows] == ClassClean {
+			if st.Classes(g / chunkRows)[g%chunkRows] == ClassClean {
 				live = append(live, g)
 			}
 		}
@@ -276,5 +301,8 @@ func (ls *LiveSemi) Extend() (flipped []int) {
 		}
 	}
 	ls.rows = total
+	// Ascending order makes the report deterministic and lets the
+	// caller walk flipped rows chunk by chunk with one decode buffer.
+	sort.Ints(flipped)
 	return flipped
 }

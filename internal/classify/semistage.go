@@ -54,9 +54,10 @@ func runSemiStagesSequential(ds *Dataset) {
 	// any request to it is classified as tracking. (The paper keys on
 	// URLs; FQDN granularity is the conservative compaction.)
 	inLTF := make([]bool, ds.FQDNs.Len())
-	var buf Chunk
+	buf := GetChunk()
+	defer PutChunk(buf)
 	for ci := 0; ci < st.NumChunks(); ci++ {
-		c := st.Chunk(ci, &buf)
+		c := MustChunk(st, ci, buf)
 		for i, cls := range c.Class {
 			if cls == ClassABP {
 				inLTF[c.FQDN[i]] = true
@@ -70,7 +71,7 @@ func runSemiStagesSequential(ds *Dataset) {
 		// Stage 2: a request with arguments whose referrer FQDN is
 		// already tracking becomes tracking.
 		for ci := 0; ci < st.NumChunks(); ci++ {
-			c := st.Chunk(ci, &buf)
+			c := MustChunk(st, ci, buf)
 			for i := range c.Class {
 				if c.Class[i] != ClassClean || c.Flags[i]&FlagHasArgs == 0 || c.RefFQDN[i] == 0 {
 					continue
@@ -87,7 +88,7 @@ func runSemiStagesSequential(ds *Dataset) {
 
 		// Stage 3: keyword + arguments heuristic for the remainder.
 		for ci := 0; ci < st.NumChunks(); ci++ {
-			c := st.Chunk(ci, &buf)
+			c := MustChunk(st, ci, buf)
 			for i := range c.Class {
 				if c.Class[i] == ClassClean && c.Flags[i]&FlagHasArgs != 0 && c.Flags[i]&FlagKeyword != 0 {
 					c.Class[i] = ClassSemiKeyword
@@ -109,10 +110,10 @@ func runSemiStagesSequential(ds *Dataset) {
 // striped over workers (worker w owns chunks w, w+workers, ...), each
 // worker reusing one decode buffer across all its passes.
 type semiShard struct {
-	st      Store
-	w, n    int
-	buf     Chunk
-	bases   []int // global first-row index per chunk
+	st    Store
+	w, n  int
+	buf   Chunk
+	bases []int // global first-row index per chunk
 	// scratch for the relaxation and LTF rounds.
 	propose map[uint32]int64
 	newLTF  []uint32
@@ -121,7 +122,7 @@ type semiShard struct {
 // eachChunk invokes fn for every chunk this worker owns.
 func (sh *semiShard) eachChunk(fn func(base int, c *Chunk)) {
 	for ci := sh.w; ci < sh.st.NumChunks(); ci += sh.n {
-		fn(sh.bases[ci], sh.st.Chunk(ci, &sh.buf))
+		fn(sh.bases[ci], MustChunk(sh.st, ci, &sh.buf))
 	}
 }
 

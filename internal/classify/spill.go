@@ -2,43 +2,60 @@ package classify
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
-
-	"crossborder/internal/netsim"
 )
 
-// spillRowBytes is the encoded size of the nine spilled columns of one
-// row (the Class column stays resident: the semi-stage fixpoint mutates
-// it after sealing, and at one byte per row it is cheap to keep).
+// spillRowBytes is the fixed-width encoded size of the nine spilled
+// columns of one row (the Class column stays resident: the semi-stage
+// fixpoint mutates it after sealing, and at one byte per row it is
+// cheap to keep). It is the raw-layout reference the codec's
+// compression ratio is measured against.
 const spillRowBytes = 8 + 4 + 4 + 4 + 4 + 4 + 2 + 1 + 1
 
 // SpillSink streams rows into fixed-size column chunks and writes each
-// full chunk to a temporary file as a tight little-endian column block,
-// so Scale >> 1 datasets never hold more than one open chunk in memory
-// on the write path. Seal returns the read-side SpillStore, which
-// serves chunks with plain sequential pread calls — no mmap — and keeps
-// only the class column resident.
+// full chunk to a temporary file as one framed codec block (checksum,
+// declared sizes, per-column encodings — see codec.go), so Scale >> 1
+// datasets never hold more than one open chunk in memory on the write
+// path. Compression is on by default and cuts the spill file
+// severalfold; NewSpillSinkUncompressed keeps the byte-transparent raw
+// column layout inside the same frame. Seal returns the read-side
+// SpillStore, which serves chunks with plain sequential pread calls —
+// no mmap — and keeps only the class column resident.
 type SpillSink struct {
 	chunkRows int
+	compress  bool
 	f         *os.File
 	removed   bool // file already unlinked (unix: cleaned up on close)
 	w         *bufio.Writer
 	cur       *Chunk
+	enc       []byte
 	classes   [][]Class
 	offsets   []int64
 	lens      []int
+	dlens     []int
 	off       int64
 	n         int
 	err       error
 }
 
-// NewSpillSink creates a spill-to-disk sink backed by a temporary file
-// in dir ("" = the OS temp directory). chunkRows <= 0 selects
-// DefaultChunkRows. The caller owns the sealed store and must Close it
-// to release the file.
+// NewSpillSink creates a compressing spill-to-disk sink backed by a
+// temporary file in dir ("" = the OS temp directory). chunkRows <= 0
+// selects DefaultChunkRows. The caller owns the sealed store and must
+// Close it to release the file.
 func NewSpillSink(dir string, chunkRows int) (*SpillSink, error) {
+	return newSpillSink(dir, chunkRows, true)
+}
+
+// NewSpillSinkUncompressed is NewSpillSink with the per-chunk codec
+// forced to the raw column layout — the benchmark and equivalence
+// baseline.
+func NewSpillSinkUncompressed(dir string, chunkRows int) (*SpillSink, error) {
+	return newSpillSink(dir, chunkRows, false)
+}
+
+func newSpillSink(dir string, chunkRows int, compress bool) (*SpillSink, error) {
 	if chunkRows <= 0 {
 		chunkRows = DefaultChunkRows
 	}
@@ -53,6 +70,7 @@ func NewSpillSink(dir string, chunkRows int) (*SpillSink, error) {
 	removed := os.Remove(f.Name()) == nil
 	sk := &SpillSink{
 		chunkRows: chunkRows,
+		compress:  compress,
 		f:         f,
 		removed:   removed,
 		w:         bufio.NewWriterSize(f, 1<<20),
@@ -79,8 +97,9 @@ func (sk *SpillSink) flush() {
 	if n == 0 || sk.err != nil {
 		return
 	}
-	buf := encodeChunk(sk.cur)
-	if _, err := sk.w.Write(buf); err != nil && sk.err == nil {
+	cc := sk.cur.codec()
+	sk.enc = cc.EncodeBlock(sk.cur, sk.compress, sk.enc[:0])
+	if _, err := sk.w.Write(sk.enc); err != nil && sk.err == nil {
 		sk.err = fmt.Errorf("classify: write spill chunk: %w", err)
 	}
 	cls := make([]Class, n)
@@ -88,7 +107,8 @@ func (sk *SpillSink) flush() {
 	sk.classes = append(sk.classes, cls)
 	sk.offsets = append(sk.offsets, sk.off)
 	sk.lens = append(sk.lens, n)
-	sk.off += int64(len(buf))
+	sk.dlens = append(sk.dlens, len(sk.enc))
+	sk.off += int64(len(sk.enc))
 	sk.cur.reset(0)
 	sk.cur.Class = sk.cur.Class[:0]
 }
@@ -116,6 +136,7 @@ func (sk *SpillSink) Seal() (Store, error) {
 		classes:   sk.classes,
 		offsets:   sk.offsets,
 		lens:      sk.lens,
+		dlens:     sk.dlens,
 		n:         sk.n,
 	}, nil
 }
@@ -131,6 +152,7 @@ type SpillStore struct {
 	classes   [][]Class
 	offsets   []int64
 	lens      []int
+	dlens     []int
 	n         int
 }
 
@@ -146,27 +168,45 @@ func (st *SpillStore) ChunkRows() int { return st.chunkRows }
 // Classes implements Store.
 func (st *SpillStore) Classes(i int) []Class { return st.classes[i] }
 
-// Chunk implements Store: it preads chunk i into buf (allocating one
-// when nil) and points the Class column at the resident slice. A
-// decode error panics: the store wrote the file itself moments earlier,
-// so a short or corrupt read means the environment lost the temp file
-// under us and no caller can do better than fail loudly.
-func (st *SpillStore) Chunk(i int, buf *Chunk) *Chunk {
+// Size returns the total bytes written to the spill file — the
+// number the compression ratio is measured from.
+func (st *SpillStore) Size() int64 {
+	if len(st.offsets) == 0 {
+		return 0
+	}
+	return st.offsets[len(st.offsets)-1] + int64(st.dlens[len(st.dlens)-1])
+}
+
+// RawSize returns the bytes the fixed-width raw column layout would
+// occupy for the same rows: the reference for the compression ratio.
+func (st *SpillStore) RawSize() int64 { return int64(st.n) * spillRowBytes }
+
+// Chunk implements Store: it preads chunk i's framed block into buf's
+// scratch (allocating a buffer when buf is nil), verifies and decodes
+// it, and points the Class column at the resident slice. A short read,
+// checksum mismatch or malformed block returns an error — truncation
+// and corruption of the spill file must surface to the caller rather
+// than crash the process or balloon memory.
+func (st *SpillStore) Chunk(i int, buf *Chunk) (*Chunk, error) {
 	if buf == nil {
 		buf = &Chunk{}
 	}
-	n := st.lens[i]
-	if cap(buf.raw) < n*spillRowBytes {
-		buf.raw = make([]byte, n*spillRowBytes)
+	need := st.dlens[i]
+	if cap(buf.raw) < need {
+		buf.raw = make([]byte, need)
 	}
-	raw := buf.raw[:n*spillRowBytes]
+	raw := buf.raw[:need]
 	if _, err := st.f.ReadAt(raw, st.offsets[i]); err != nil {
-		panic(fmt.Sprintf("classify: read spill chunk %d: %v", i, err))
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("spill file truncated")
+		}
+		return nil, fmt.Errorf("classify: read spill chunk %d: %w", i, err)
 	}
-	buf.reset(n)
-	decodeChunk(raw, buf)
+	if err := buf.codec().DecodeBlock(raw, st.lens[i], buf); err != nil {
+		return nil, fmt.Errorf("classify: decode spill chunk %d: %w", i, err)
+	}
 	buf.Class = st.classes[i]
-	return buf
+	return buf, nil
 }
 
 // Close implements Store: it closes and removes the spill file.
@@ -179,80 +219,4 @@ func (st *SpillStore) Close() error {
 		}
 	}
 	return err
-}
-
-// encodeChunk serializes the nine spilled columns column-major in fixed
-// little-endian widths.
-func encodeChunk(c *Chunk) []byte {
-	n := c.Len()
-	buf := make([]byte, n*spillRowBytes)
-	o := 0
-	for _, v := range c.URLHash {
-		binary.LittleEndian.PutUint64(buf[o:], v)
-		o += 8
-	}
-	for _, v := range c.IP {
-		binary.LittleEndian.PutUint32(buf[o:], uint32(v))
-		o += 4
-	}
-	for _, v := range c.FQDN {
-		binary.LittleEndian.PutUint32(buf[o:], v)
-		o += 4
-	}
-	for _, v := range c.RefFQDN {
-		binary.LittleEndian.PutUint32(buf[o:], v)
-		o += 4
-	}
-	for _, v := range c.Publisher {
-		binary.LittleEndian.PutUint32(buf[o:], uint32(v))
-		o += 4
-	}
-	for _, v := range c.User {
-		binary.LittleEndian.PutUint32(buf[o:], uint32(v))
-		o += 4
-	}
-	for _, v := range c.Day {
-		binary.LittleEndian.PutUint16(buf[o:], v)
-		o += 2
-	}
-	o += copy(buf[o:], c.Country)
-	copy(buf[o:], c.Flags)
-	return buf
-}
-
-// decodeChunk is the inverse of encodeChunk; buf's columns are already
-// sized to the row count by reset.
-func decodeChunk(raw []byte, buf *Chunk) {
-	n := len(buf.URLHash)
-	o := 0
-	for i := 0; i < n; i++ {
-		buf.URLHash[i] = binary.LittleEndian.Uint64(raw[o:])
-		o += 8
-	}
-	for i := 0; i < n; i++ {
-		buf.IP[i] = netsim.IP(binary.LittleEndian.Uint32(raw[o:]))
-		o += 4
-	}
-	for i := 0; i < n; i++ {
-		buf.FQDN[i] = binary.LittleEndian.Uint32(raw[o:])
-		o += 4
-	}
-	for i := 0; i < n; i++ {
-		buf.RefFQDN[i] = binary.LittleEndian.Uint32(raw[o:])
-		o += 4
-	}
-	for i := 0; i < n; i++ {
-		buf.Publisher[i] = int32(binary.LittleEndian.Uint32(raw[o:]))
-		o += 4
-	}
-	for i := 0; i < n; i++ {
-		buf.User[i] = int32(binary.LittleEndian.Uint32(raw[o:]))
-		o += 4
-	}
-	for i := 0; i < n; i++ {
-		buf.Day[i] = binary.LittleEndian.Uint16(raw[o:])
-		o += 2
-	}
-	o += copy(buf.Country, raw[o:o+n])
-	copy(buf.Flags, raw[o:o+n])
 }

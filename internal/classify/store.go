@@ -1,6 +1,11 @@
 package classify
 
-import "crossborder/internal/netsim"
+import (
+	"fmt"
+	"sync"
+
+	"crossborder/internal/netsim"
+)
 
 // DefaultChunkRows is the row capacity of one columnar chunk. At ~33
 // bytes of column data per row a chunk is ~half a megabyte: large
@@ -27,10 +32,13 @@ type Chunk struct {
 	Flags     []uint8
 	Class     []Class
 
-	// raw is the spill store's encoded-bytes scratch, reused across
-	// loads into this buffer so a chunk-wise scan reads the whole file
-	// with two persistent allocations.
+	// raw is the spill store's block-read scratch, reused across loads
+	// into this buffer so a chunk-wise scan reads the whole file with a
+	// handful of persistent allocations.
 	raw []byte
+	// cc is the lazily attached codec scratch; a buffer reused across
+	// chunk loads reuses one codec's dictionaries and tables.
+	cc *ChunkCodec
 }
 
 // Len returns the number of rows in the chunk.
@@ -106,6 +114,22 @@ func (c *Chunk) reset(n int) {
 	c.Flags = c.Flags[:n]
 }
 
+// chunkPool recycles decode buffers across scans so chunk-wise readers
+// of compressed or spilled stores stay allocation-flat: Dataset.Scan,
+// EachRow, core.Analyze workers and the fixpoint shards all draw their
+// scratch from here.
+var chunkPool = sync.Pool{New: func() any { return new(Chunk) }}
+
+// GetChunk borrows a reusable chunk decode buffer from the pool.
+func GetChunk() *Chunk { return chunkPool.Get().(*Chunk) }
+
+// PutChunk returns a decode buffer to the pool. The Class alias is
+// dropped so pooled buffers never pin a store's resident class column.
+func PutChunk(c *Chunk) {
+	c.Class = nil
+	chunkPool.Put(c)
+}
+
 // Store is the read side of a sealed row store: a sequence of columnar
 // chunks. Implementations must support concurrent Chunk calls with
 // distinct bufs (the parallel scans in core.Analyze and the sharded
@@ -121,15 +145,30 @@ type Store interface {
 	// ChunkRows returns the fixed per-chunk row capacity.
 	ChunkRows() int
 	// Chunk returns chunk i. buf, when non-nil, may be reused as the
-	// decode target; in-memory stores ignore it and return the resident
-	// chunk directly. The returned chunk is valid until buf is reused.
-	Chunk(i int, buf *Chunk) *Chunk
+	// decode target; stores holding resident chunks ignore it and
+	// return the resident chunk directly. The returned chunk is valid
+	// until buf is reused. Decode and read failures (a lost spill
+	// file, a corrupt block) are reported as errors, never panics.
+	Chunk(i int, buf *Chunk) (*Chunk, error)
 	// Classes returns the resident, mutable class column of chunk i
 	// without loading the spilled columns.
 	Classes(i int) []Class
 	// Close releases any resources backing the store (spill files).
 	// The store must not be used afterwards.
 	Close() error
+}
+
+// MustChunk loads chunk i or panics. The scan pipelines use it: they
+// only read stores this process wrote moments earlier, so a decode
+// failure means the environment lost the backing data under us and no
+// caller can do better than fail loudly. Paths that face untrusted or
+// long-lived storage call Store.Chunk directly and handle the error.
+func MustChunk(st Store, i int, buf *Chunk) *Chunk {
+	c, err := st.Chunk(i, buf)
+	if err != nil {
+		panic(fmt.Sprintf("classify: load chunk %d: %v", i, err))
+	}
+	return c
 }
 
 // RowSink is the write side: the collector merge streams rows into a
@@ -144,10 +183,26 @@ type RowSink interface {
 // MemStore is the default in-memory columnar store. It implements both
 // RowSink and Store: Append is usable before Seal, reads any time, so
 // tests can build datasets incrementally.
+//
+// In compressed-resident mode (NewMemStoreCompressed) every chunk that
+// fills is immediately encoded through the chunk codec and kept only
+// as a compressed block plus its resident class column; the open tail
+// chunk stays wide. Reads decode into the caller's buffer. Sealed
+// blocks are immutable, which is what lets the live collector's epoch
+// snapshots share them by reference instead of copying column slices.
 type MemStore struct {
 	chunkRows int
-	chunks    []*Chunk
+	compress  bool
 	n         int
+
+	// Wide mode: all chunks resident.
+	chunks []*Chunk
+
+	// Compressed mode: sealed blocks + resident classes, plus the open
+	// tail chunk (nil until the first append after a seal).
+	blocks  [][]byte
+	classes [][]Class
+	open    *Chunk
 }
 
 // NewMemStore returns an empty in-memory columnar store with the
@@ -163,6 +218,18 @@ func NewMemStoreChunked(chunkRows int) *MemStore {
 	return &MemStore{chunkRows: chunkRows}
 }
 
+// NewMemStoreCompressed returns an empty in-memory store in
+// compressed-resident mode: full chunks are kept as codec blocks (the
+// class column stays wide and mutable), cutting resident memory
+// severalfold at the cost of a decode per chunk read. chunkRows <= 0
+// selects DefaultChunkRows.
+func NewMemStoreCompressed(chunkRows int) *MemStore {
+	if chunkRows < 1 {
+		chunkRows = DefaultChunkRows
+	}
+	return &MemStore{chunkRows: chunkRows, compress: true}
+}
+
 // StoreOf builds an in-memory store holding the given rows.
 func StoreOf(rows ...Row) *MemStore {
 	st := NewMemStore()
@@ -172,8 +239,24 @@ func StoreOf(rows ...Row) *MemStore {
 	return st
 }
 
+// Compressed reports whether the store runs in compressed-resident
+// mode.
+func (st *MemStore) Compressed() bool { return st.compress }
+
 // Append implements RowSink.
 func (st *MemStore) Append(r Row) {
+	if st.compress {
+		if st.open == nil {
+			st.open = &Chunk{}
+			st.open.grow(st.chunkRows)
+		}
+		st.open.appendRow(r)
+		st.n++
+		if st.open.Len() == st.chunkRows {
+			st.sealOpen()
+		}
+		return
+	}
 	if len(st.chunks) == 0 || st.chunks[len(st.chunks)-1].Len() == st.chunkRows {
 		c := &Chunk{}
 		c.grow(st.chunkRows)
@@ -183,6 +266,19 @@ func (st *MemStore) Append(r Row) {
 	st.n++
 }
 
+// sealOpen encodes the full open chunk into a compressed block,
+// retains its class column, and drops the wide columns. The open
+// chunk buffer is not reused: epoch snapshots may still hold capped
+// views of it, so a fresh buffer is allocated for the next chunk and
+// the sealed one is left to the GC once unreferenced.
+func (st *MemStore) sealOpen() {
+	cc := GetCodec()
+	st.blocks = append(st.blocks, cc.EncodeBlock(st.open, true, nil))
+	PutCodec(cc)
+	st.classes = append(st.classes, st.open.Class)
+	st.open = nil
+}
+
 // Seal implements RowSink. A MemStore is its own sealed Store.
 func (st *MemStore) Seal() (Store, error) { return st, nil }
 
@@ -190,17 +286,59 @@ func (st *MemStore) Seal() (Store, error) { return st, nil }
 func (st *MemStore) Len() int { return st.n }
 
 // NumChunks implements Store.
-func (st *MemStore) NumChunks() int { return len(st.chunks) }
+func (st *MemStore) NumChunks() int {
+	if st.compress {
+		n := len(st.blocks)
+		if st.open != nil && st.open.Len() > 0 {
+			n++
+		}
+		return n
+	}
+	return len(st.chunks)
+}
 
 // ChunkRows implements Store.
 func (st *MemStore) ChunkRows() int { return st.chunkRows }
 
-// Chunk implements Store; the resident chunk is returned and buf is
-// ignored.
-func (st *MemStore) Chunk(i int, _ *Chunk) *Chunk { return st.chunks[i] }
+// SealedBlocks returns the number of compressed sealed chunks (0 in
+// wide mode). The epoch snapshot builder shares those blocks by
+// reference.
+func (st *MemStore) SealedBlocks() int { return len(st.blocks) }
+
+// Block returns sealed compressed block i. The returned slice is
+// immutable; callers may retain it indefinitely.
+func (st *MemStore) Block(i int) []byte { return st.blocks[i] }
+
+// Chunk implements Store. Wide chunks are returned resident (buf
+// ignored); compressed sealed chunks decode into buf, allocating one
+// when nil.
+func (st *MemStore) Chunk(i int, buf *Chunk) (*Chunk, error) {
+	if !st.compress {
+		return st.chunks[i], nil
+	}
+	if i >= len(st.blocks) {
+		return st.open, nil
+	}
+	if buf == nil {
+		buf = &Chunk{}
+	}
+	if err := buf.codec().DecodeBlock(st.blocks[i], len(st.classes[i]), buf); err != nil {
+		return nil, fmt.Errorf("classify: decode resident block %d: %w", i, err)
+	}
+	buf.Class = st.classes[i]
+	return buf, nil
+}
 
 // Classes implements Store.
-func (st *MemStore) Classes(i int) []Class { return st.chunks[i].Class }
+func (st *MemStore) Classes(i int) []Class {
+	if st.compress {
+		if i < len(st.classes) {
+			return st.classes[i]
+		}
+		return st.open.Class
+	}
+	return st.chunks[i].Class
+}
 
 // Close implements Store; in-memory stores hold no external resources.
 func (st *MemStore) Close() error { return nil }

@@ -101,7 +101,7 @@ func TestSpillStoreMatchesMemStore(t *testing.T) {
 	cls := store.Classes(3)
 	cls[5] = ClassSemiKeyword
 	var buf Chunk
-	if c := store.Chunk(3, &buf); c.Class[5] != ClassSemiKeyword {
+	if c := MustChunk(store, 3, &buf); c.Class[5] != ClassSemiKeyword {
 		t.Fatal("class column write not visible through reloaded chunk")
 	}
 }

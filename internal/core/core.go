@@ -196,9 +196,10 @@ func Analyze(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bo
 // that pass the tracking test and face a filter.
 func analyzeChunks(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bool, lo, hi int) *Analysis {
 	a := NewAnalysis()
-	var buf classify.Chunk
+	buf := classify.GetChunk()
+	defer classify.PutChunk(buf)
 	for ci := lo; ci < hi; ci++ {
-		c := ds.Store.Chunk(ci, &buf)
+		c := classify.MustChunk(ds.Store, ci, buf)
 		for i, cls := range c.Class {
 			if !cls.IsTracking() {
 				continue

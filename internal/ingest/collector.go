@@ -43,6 +43,12 @@ type Config struct {
 	// columnar default; tests use small values to exercise multi-chunk
 	// snapshots).
 	ChunkRows int
+	// Compress keeps sealed chunks of the live store as compressed
+	// codec blocks (classify.NewMemStoreCompressed): long-running
+	// collectors stop paying full-width memory for cold epochs, and
+	// epoch snapshots share the compressed blocks by reference. The
+	// dataset and every served artifact are identical either way.
+	Compress bool
 }
 
 func (c Config) withDefaults() Config {
@@ -141,7 +147,9 @@ func NewCollector(world *scenario.Scenario, cfg Config) *Collector {
 	}
 	c.sc = classify.NewShardedCollector(world.Graph, world.EasyList, world.EasyPrivacy, world.Start, cfg.Workers)
 	var sink *classify.MemStore
-	if cfg.ChunkRows > 0 {
+	if cfg.Compress {
+		sink = classify.NewMemStoreCompressed(cfg.ChunkRows)
+	} else if cfg.ChunkRows > 0 {
 		sink = classify.NewMemStoreChunked(cfg.ChunkRows)
 	} else {
 		sink = classify.NewMemStore()
@@ -398,9 +406,11 @@ func (c *Collector) applyDeltas(prevRows int, flips []int) {
 		}
 	}
 
+	buf := classify.GetChunk()
+	defer classify.PutChunk(buf)
 	firstChunk := prevRows / chunkRows
 	for ci := firstChunk; ci < st.NumChunks(); ci++ {
-		ch := st.Chunk(ci, nil)
+		ch := classify.MustChunk(st, ci, buf)
 		base := ci * chunkRows
 		lo := 0
 		if base < prevRows {
@@ -414,9 +424,14 @@ func (c *Collector) applyDeltas(prevRows int, flips []int) {
 			}
 		}
 	}
-	for _, g := range flips {
-		ch := st.Chunk(g/chunkRows, nil)
-		addRow(ch, g%chunkRows)
+	// flips arrive sorted (LiveSemi.Extend), so the flipped rows group
+	// into per-chunk runs and each touched chunk decodes once.
+	for k := 0; k < len(flips); {
+		ci := flips[k] / chunkRows
+		ch := classify.MustChunk(st, ci, buf)
+		for ; k < len(flips) && flips[k]/chunkRows == ci; k++ {
+			addRow(ch, flips[k]%chunkRows)
+		}
 	}
 	c.truthA.Merge(dTruth)
 	c.ipmapA.Merge(dIPMap)

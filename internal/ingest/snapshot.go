@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"fmt"
 	"sync"
 
 	"crossborder/internal/classify"
@@ -12,14 +13,24 @@ import (
 )
 
 // snapStore is the frozen read side of the live store at one epoch
-// boundary: per-chunk column views capped at the epoch's row count,
-// sharing the live store's append-only wide columns, with the mutable
-// class column replaced by frozen copies. Chunks untouched by an epoch
-// reuse the previous snapshot's class slices (copy-on-write), so the
-// per-epoch snapshot cost is proportional to what the epoch changed,
-// not to the dataset size.
+// boundary. Wide chunks are per-chunk column views capped at the
+// epoch's row count, sharing the live store's append-only columns;
+// when the live store runs in compressed-resident mode, sealed chunks
+// are instead shared as references to its immutable codec blocks and
+// decode on read. Either way the mutable class column is replaced by
+// frozen copies, and chunks untouched by an epoch reuse the previous
+// snapshot's class slices (copy-on-write), so the per-epoch snapshot
+// cost is proportional to what the epoch changed, not to the dataset
+// size — and a compressed store's cold epochs stay compressed in every
+// snapshot that references them.
+type snapChunk struct {
+	wide  classify.Chunk // resident view; used when block is nil
+	block []byte         // compressed sealed block shared with the live store
+	rows  int
+}
+
 type snapStore struct {
-	chunks    []classify.Chunk
+	chunks    []snapChunk
 	classes   [][]classify.Class
 	chunkRows int
 	n         int
@@ -31,9 +42,23 @@ func (st *snapStore) Len() int       { return st.n }
 func (st *snapStore) NumChunks() int { return len(st.chunks) }
 func (st *snapStore) ChunkRows() int { return st.chunkRows }
 
-// Chunk returns the resident view; buf is ignored like the in-memory
-// store's.
-func (st *snapStore) Chunk(i int, _ *classify.Chunk) *classify.Chunk { return &st.chunks[i] }
+// Chunk returns the resident view for wide chunks (buf ignored, like
+// the in-memory store) and decodes shared compressed blocks into buf,
+// patching in the snapshot's frozen class column.
+func (st *snapStore) Chunk(i int, buf *classify.Chunk) (*classify.Chunk, error) {
+	sc := &st.chunks[i]
+	if sc.block == nil {
+		return &sc.wide, nil
+	}
+	if buf == nil {
+		buf = &classify.Chunk{}
+	}
+	if err := classify.DecodeBlockInto(sc.block, sc.rows, buf); err != nil {
+		return nil, fmt.Errorf("ingest: decode snapshot chunk %d: %w", i, err)
+	}
+	buf.Class = st.classes[i]
+	return buf, nil
+}
 
 func (st *snapStore) Classes(i int) []classify.Class { return st.classes[i] }
 
@@ -47,12 +72,12 @@ func (st *snapStore) Close() error { return nil }
 // Safe for concurrent use; the collector never mutates a published
 // snapshot.
 type Snapshot struct {
-	epoch   int
-	ds      *classify.Dataset
-	stats   classify.DatasetStats
-	history []EpochStat
+	epoch                 int
+	ds                    *classify.Dataset
+	stats                 classify.DatasetStats
+	history               []EpochStat
 	truth, ipmap, maxmind *core.Analysis
-	world *scenario.Scenario
+	world                 *scenario.Scenario
 
 	once  sync.Once
 	suite *experiments.Suite
@@ -117,7 +142,11 @@ func (c *Collector) buildSnapshot(prev *Snapshot, prevRows int, dirty map[int]st
 	if prev != nil {
 		prevStore, _ = prev.ds.Store.(*snapStore)
 	}
-	chunks := make([]classify.Chunk, numChunks)
+	sealed := 0
+	if st.Compressed() {
+		sealed = st.SealedBlocks()
+	}
+	chunks := make([]snapChunk, numChunks)
 	classes := make([][]classify.Class, numChunks)
 	for ci := 0; ci < numChunks; ci++ {
 		changed := ci >= firstDirty
@@ -132,9 +161,18 @@ func (c *Collector) buildSnapshot(prev *Snapshot, prevRows int, dirty map[int]st
 			copy(cp, src)
 			classes[ci] = cp
 		}
-		lc := st.Chunk(ci, nil)
+		if ci < sealed {
+			// Sealed compressed chunk: share the immutable block; the
+			// snapshot never pays wide-column memory for it.
+			chunks[ci] = snapChunk{block: st.Block(ci), rows: len(classes[ci])}
+			continue
+		}
+		// Wide chunk (every chunk of a wide store; the open tail of a
+		// compressed one): the columns are append-only, so capped
+		// slices shared with the live store stay frozen.
+		lc := classify.MustChunk(st, ci, nil)
 		rows := lc.Len()
-		chunks[ci] = classify.Chunk{
+		chunks[ci] = snapChunk{rows: rows, wide: classify.Chunk{
 			URLHash:   lc.URLHash[:rows:rows],
 			IP:        lc.IP[:rows:rows],
 			FQDN:      lc.FQDN[:rows:rows],
@@ -145,7 +183,7 @@ func (c *Collector) buildSnapshot(prev *Snapshot, prevRows int, dirty map[int]st
 			Country:   lc.Country[:rows:rows],
 			Flags:     lc.Flags[:rows:rows],
 			Class:     classes[ci],
-		}
+		}}
 	}
 
 	// The interner clone is cached: most steady-state epochs intern no

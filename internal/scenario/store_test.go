@@ -9,49 +9,60 @@ import (
 )
 
 // TestRowStoreEquivalence is the sink-equivalence property at the
-// pipeline level: the same world built into the in-memory store and the
-// spill-to-disk store (with a small chunk size, forcing many spilled
-// chunks) must produce identical dataset statistics and identical
-// core.Analyze flow maps under every geolocation service — the
-// storage backend must be invisible to every analysis.
+// pipeline level: the same world built into the in-memory store, the
+// compressed-resident store, and the spill-to-disk store with the
+// codec on and off (small chunk sizes, forcing many chunks) must
+// produce identical dataset statistics and identical core.Analyze flow
+// maps under every geolocation service — neither the storage backend
+// nor the chunk codec may be visible to any analysis.
 func TestRowStoreEquivalence(t *testing.T) {
 	p := Params{Seed: 1, Scale: 0.02, VisitsPerUser: 10}
 	mem := Build(p)
 
 	dir := t.TempDir()
-	p.RowSink = func() (classify.RowSink, error) { return classify.NewSpillSink(dir, 300) }
-	spill := Build(p)
-	defer spill.Dataset.Close()
-
-	if spill.Dataset.Store.NumChunks() < 2 {
-		t.Fatalf("spill store has %d chunks; the test needs several to mean anything",
-			spill.Dataset.Store.NumChunks())
-	}
-
-	if hm, hs := datasetHash(mem), datasetHash(spill); hm != hs {
-		t.Fatalf("dataset hash differs across row stores: mem %x vs spill %x", hm, hs)
-	}
-	if sm, ss := classify.ComputeStats(mem.Dataset), classify.ComputeStats(spill.Dataset); sm != ss {
-		t.Fatalf("DatasetStats differ: mem %+v vs spill %+v", sm, ss)
-	}
-
-	for _, svc := range []struct {
+	variants := []struct {
 		name string
-		a, b *core.Analysis
+		sink func() (classify.RowSink, error)
 	}{
-		{"truth", core.Analyze(mem.Dataset, mem.Truth, nil), core.Analyze(spill.Dataset, spill.Truth, nil)},
-		{"ipmap", core.Analyze(mem.Dataset, mem.IPMap, nil), core.Analyze(spill.Dataset, spill.IPMap, nil)},
-		{"maxmind", core.Analyze(mem.Dataset, mem.MaxMind, nil), core.Analyze(spill.Dataset, spill.MaxMind, nil)},
-	} {
-		if svc.a.Total() != svc.b.Total() || svc.a.Unknown() != svc.b.Unknown() {
-			t.Errorf("%s totals differ: (%d,%d) vs (%d,%d)", svc.name,
-				svc.a.Total(), svc.a.Unknown(), svc.b.Total(), svc.b.Unknown())
+		{"spill-compressed", func() (classify.RowSink, error) { return classify.NewSpillSink(dir, 300) }},
+		{"spill-raw", func() (classify.RowSink, error) { return classify.NewSpillSinkUncompressed(dir, 300) }},
+		{"mem-compressed", func() (classify.RowSink, error) { return classify.NewMemStoreCompressed(300), nil }},
+	}
+	for _, v := range variants {
+		p.RowSink = v.sink
+		other := Build(p)
+		defer other.Dataset.Close()
+
+		if other.Dataset.Store.NumChunks() < 2 {
+			t.Fatalf("%s store has %d chunks; the test needs several to mean anything",
+				v.name, other.Dataset.Store.NumChunks())
 		}
-		if ea, eb := svc.a.CountryEdges(nil), svc.b.CountryEdges(nil); !reflect.DeepEqual(ea, eb) {
-			t.Errorf("%s country flow map differs across row stores", svc.name)
+
+		if hm, hs := datasetHash(mem), datasetHash(other); hm != hs {
+			t.Fatalf("dataset hash differs across row stores: mem %x vs %s %x", hm, v.name, hs)
 		}
-		if ea, eb := svc.a.ContinentEdges(), svc.b.ContinentEdges(); !reflect.DeepEqual(ea, eb) {
-			t.Errorf("%s continent flow map differs across row stores", svc.name)
+		if sm, ss := classify.ComputeStats(mem.Dataset), classify.ComputeStats(other.Dataset); sm != ss {
+			t.Fatalf("DatasetStats differ: mem %+v vs %s %+v", sm, v.name, ss)
+		}
+
+		for _, svc := range []struct {
+			name string
+			a, b *core.Analysis
+		}{
+			{"truth", core.Analyze(mem.Dataset, mem.Truth, nil), core.Analyze(other.Dataset, other.Truth, nil)},
+			{"ipmap", core.Analyze(mem.Dataset, mem.IPMap, nil), core.Analyze(other.Dataset, other.IPMap, nil)},
+			{"maxmind", core.Analyze(mem.Dataset, mem.MaxMind, nil), core.Analyze(other.Dataset, other.MaxMind, nil)},
+		} {
+			if svc.a.Total() != svc.b.Total() || svc.a.Unknown() != svc.b.Unknown() {
+				t.Errorf("%s/%s totals differ: (%d,%d) vs (%d,%d)", v.name, svc.name,
+					svc.a.Total(), svc.a.Unknown(), svc.b.Total(), svc.b.Unknown())
+			}
+			if ea, eb := svc.a.CountryEdges(nil), svc.b.CountryEdges(nil); !reflect.DeepEqual(ea, eb) {
+				t.Errorf("%s/%s country flow map differs across row stores", v.name, svc.name)
+			}
+			if ea, eb := svc.a.ContinentEdges(), svc.b.ContinentEdges(); !reflect.DeepEqual(ea, eb) {
+				t.Errorf("%s/%s continent flow map differs across row stores", v.name, svc.name)
+			}
 		}
 	}
 }

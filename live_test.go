@@ -42,8 +42,9 @@ func TestLiveReplayGoldenParity(t *testing.T) {
 	events := ingest.RecordSimulation(world, visits, 3)
 
 	for _, cfg := range []ingest.Config{
-		{EpochEvents: 1777, Workers: 3, ChunkRows: 512}, // many epochs, multi-chunk, parallel shards
-		{EpochEvents: 1 << 22, Workers: 1},              // one epoch, sequential
+		{EpochEvents: 1777, Workers: 3, ChunkRows: 512},                 // many epochs, multi-chunk, parallel shards
+		{EpochEvents: 1 << 22, Workers: 1},                              // one epoch, sequential
+		{EpochEvents: 1777, Workers: 3, ChunkRows: 512, Compress: true}, // compressed-resident live store
 	} {
 		c := ingest.NewCollector(world, cfg)
 		srv := httptest.NewServer(ingest.NewServer(c))

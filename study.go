@@ -30,6 +30,10 @@ type Options struct {
 	// RowStore selects the dataset row storage backend (the zero value
 	// is the in-memory columnar store; see DiskRowStore).
 	RowStore RowStore
+	// Compression overrides the row store's per-chunk codec (the zero
+	// value compresses disk stores and keeps memory stores wide; see
+	// WithCompression).
+	Compression Compression
 }
 
 // Experiment is one registered artifact of the paper's evaluation: id,
@@ -86,13 +90,28 @@ func New(ctx context.Context, opts ...Option) (*Study, error) {
 		Workers:       o.Workers,
 		Progress:      o.Progress,
 	}
-	if o.RowStore.disk {
-		rs := o.RowStore
+	compress := o.RowStore.disk // codec default: on for spill, off for memory
+	switch o.Compression {
+	case CompressionOn:
+		compress = true
+	case CompressionOff:
+		compress = false
+	}
+	rs := o.RowStore
+	switch {
+	case rs.disk && compress:
 		params.RowSink = func() (classify.RowSink, error) {
 			return classify.NewSpillSink(rs.dir, rs.chunkRows)
 		}
-	} else if o.RowStore.chunkRows > 0 {
-		rs := o.RowStore
+	case rs.disk:
+		params.RowSink = func() (classify.RowSink, error) {
+			return classify.NewSpillSinkUncompressed(rs.dir, rs.chunkRows)
+		}
+	case compress:
+		params.RowSink = func() (classify.RowSink, error) {
+			return classify.NewMemStoreCompressed(rs.chunkRows), nil
+		}
+	case rs.chunkRows > 0:
 		params.RowSink = func() (classify.RowSink, error) {
 			return classify.NewMemStoreChunked(rs.chunkRows), nil
 		}
