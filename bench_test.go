@@ -6,7 +6,9 @@
 package crossborder
 
 import (
+	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
@@ -409,38 +411,60 @@ func BenchmarkIPMapLocate(b *testing.B) {
 	}
 }
 
-// BenchmarkIngestThroughput drives the live collection pipeline end to
-// end in-process: binary batch decode -> sequence dedup -> sharded
-// stage-1 classification -> user-ordered merge into the columnar store
-// -> incremental fixpoint + aggregate deltas -> snapshot publish. One
-// op replays the whole captured event stream; events/sec is the
-// headline serving metric.
-func BenchmarkIngestThroughput(b *testing.B) {
-	world := scenario.BuildWorld(scenario.Params{Seed: 1, Scale: 0.02, VisitsPerUser: 10})
-	events := ingest.RecordSimulation(world, 10, 0)
-	users := make([]int32, 0, len(events))
-	total := 0
-	for uid, evs := range events {
-		users = append(users, uid)
-		total += len(evs)
-	}
-	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
-	var batches [][]byte
-	for _, uid := range users {
-		stream := events[uid]
-		for off := 0; off < len(stream); off += 512 {
-			hi := off + 512
-			if hi > len(stream) {
-				hi = len(stream)
-			}
-			batches = append(batches, ingest.EncodeBinary(ingest.Batch{
-				User: uid, Seq: uint64(off), Events: stream[off:hi],
-			}))
+// benchIngestCapture builds the shared ingest-bench fixture: the world
+// and the pre-encoded binary upload batches of a scale-0.02 capture.
+var benchIngestOnce sync.Once
+var benchIngestWorld *scenario.Scenario
+var benchIngestBatches [][]byte
+var benchIngestTotal int
+
+func benchIngestCapture(b *testing.B) (*scenario.Scenario, [][]byte, int) {
+	b.Helper()
+	benchIngestOnce.Do(func() {
+		benchIngestWorld = scenario.BuildWorld(scenario.Params{Seed: 1, Scale: 0.02, VisitsPerUser: 10})
+		events := ingest.RecordSimulation(benchIngestWorld, 10, 0)
+		users := make([]int32, 0, len(events))
+		for uid, evs := range events {
+			users = append(users, uid)
+			benchIngestTotal += len(evs)
 		}
-	}
+		sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+		for _, uid := range users {
+			stream := events[uid]
+			for off := 0; off < len(stream); off += 512 {
+				hi := off + 512
+				if hi > len(stream) {
+					hi = len(stream)
+				}
+				benchIngestBatches = append(benchIngestBatches, ingest.EncodeBinary(ingest.Batch{
+					User: uid, Seq: uint64(off), Events: stream[off:hi],
+				}))
+			}
+		}
+	})
+	return benchIngestWorld, benchIngestBatches, benchIngestTotal
+}
+
+// benchIngestRun replays the captured batches through one collector per
+// op. With a DataDir in cfg the run is durable — WAL journaling on
+// every upload; checkpoint additionally writes the epoch checkpoint on
+// the final flush (the full write path a durable collectd pays on
+// /v1/flush).
+func benchIngestRun(b *testing.B, cfg ingest.Config, checkpoint bool) {
+	world, batches, total := benchIngestCapture(b)
+	root := b.TempDir()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c := ingest.NewCollector(world, ingest.Config{EpochEvents: 1 << 14})
+		run := cfg
+		if cfg.DataDir != "" {
+			run.DataDir = filepath.Join(root, fmt.Sprintf("op%d", i))
+		}
+		c := ingest.NewCollector(world, run)
+		if run.DataDir != "" {
+			if _, err := c.Recover(); err != nil {
+				b.Fatal(err)
+			}
+		}
 		for _, raw := range batches {
 			bt, err := ingest.DecodeBinary(raw)
 			if err != nil {
@@ -450,12 +474,50 @@ func BenchmarkIngestThroughput(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		c.Flush()
+		if checkpoint {
+			if _, err := c.FlushCheckpoint(); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			c.Flush()
+		}
 		c.Close()
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(total), "events/op")
+}
+
+// BenchmarkIngestThroughput drives the live collection pipeline end to
+// end in-process: binary batch decode -> sequence dedup -> sharded
+// stage-1 classification -> user-ordered merge into the columnar store
+// -> incremental fixpoint + aggregate deltas -> snapshot publish. One
+// op replays the whole captured event stream; events/sec is the
+// headline serving metric.
+func BenchmarkIngestThroughput(b *testing.B) {
+	benchIngestRun(b, ingest.Config{EpochEvents: 1 << 14}, false)
+}
+
+// BenchmarkIngestThroughputWAL is the durable variant: the same replay
+// with write-ahead journaling in the loop. "interval" is the default
+// deployment policy; "always" pays one fsync per upload batch and is
+// required to stay within 2x of the memory baseline; "checkpoint" adds
+// the epoch-checkpoint write (store re-encode + atomic rename + fsync)
+// a durable /v1/flush performs on top of interval journaling.
+func BenchmarkIngestThroughputWAL(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		pol  string
+		ckpt bool
+	}{
+		{"interval", "interval", false},
+		{"always", "always", false},
+		{"checkpoint", "interval", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			benchIngestRun(b, ingest.Config{EpochEvents: 1 << 14, DataDir: "x", WALSync: bc.pol}, bc.ckpt)
+		})
+	}
 }
 
 func BenchmarkCoreAnalyze(b *testing.B) {

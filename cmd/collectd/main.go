@@ -9,11 +9,12 @@
 // queries:
 //
 //	POST /v1/upload           batched events (NDJSON or binary framing)
-//	POST /v1/flush            force an epoch commit
+//	POST /v1/flush            force an epoch commit (+ checkpoint with -data)
 //	GET  /v1/experiments      registry ids
 //	GET  /v1/experiments/{id} artifact over the latest epoch snapshot
 //	GET  /v1/stats            incrementally maintained aggregates
-//	GET  /healthz, /metrics   liveness and Prometheus counters
+//	GET  /healthz, /readyz    liveness, readiness (recovery progress)
+//	GET  /metrics             Prometheus counters
 //
 // Uploads carry per-user sequence numbers; re-sent batches deduplicate,
 // so clients retry freely (at-least-once). Accepted events commit as an
@@ -23,9 +24,20 @@
 // the epoch's delta. Queries read immutable epoch snapshots and never
 // block ingestion.
 //
+// With -data the daemon is durable: accepted batches journal to a
+// write-ahead log under the data dir (fsync policy via -wal-sync),
+// /v1/flush and graceful shutdown write epoch checkpoints, and a
+// restart — even after kill -9 — recovers the exact pre-crash state by
+// loading the newest checkpoint and replaying the WAL tail. The HTTP
+// listener is up during recovery: /healthz says alive, /readyz reports
+// replay progress, uploads get 503 + Retry-After until ready.
+//
+// SIGTERM/SIGINT shut down gracefully: new uploads 503, in-flight
+// requests drain, a final epoch + checkpoint is written, exit 0.
+//
 // Replay a simulated study against it with:
 //
-//	collectd -scale 0.1 -addr :8477
+//	collectd -scale 0.1 -addr :8477 -data /var/lib/collectd
 //	crawlsim -scale 0.1 -replay -target http://localhost:8477
 //
 // The replayed artifacts are byte-identical to `reproduce -scale 0.1`.
@@ -36,9 +48,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"crossborder/internal/ingest"
@@ -52,6 +66,10 @@ func main() {
 	epoch := flag.Int("epoch", 1<<15, "events per epoch commit")
 	workers := flag.Int("workers", 0, "classification/fixpoint workers (0 = GOMAXPROCS)")
 	compress := flag.Bool("compress", false, "keep sealed chunks of the live store compressed (cold epochs stop paying full-width memory; served artifacts are identical)")
+	data := flag.String("data", "", "durability directory (WAL + checkpoints); empty = memory-only")
+	walSync := flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | none")
+	walSyncEvery := flag.Duration("wal-sync-interval", 100*time.Millisecond, "background fsync cadence under -wal-sync=interval")
+	walSegment := flag.Int64("wal-segment", 64<<20, "WAL segment size before rotation, bytes")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "collectd: building world (seed=%d scale=%.2f)...\n", *seed, *scale)
@@ -71,25 +89,63 @@ func main() {
 	fmt.Fprintf(os.Stderr, "collectd: world ready in %v (%d users, %d publishers)\n",
 		time.Since(start).Round(time.Millisecond), len(world.Users), len(world.Graph.Publishers))
 
-	c := ingest.NewCollector(world, ingest.Config{EpochEvents: *epoch, Workers: *workers, Compress: *compress})
+	c := ingest.NewCollector(world, ingest.Config{
+		EpochEvents: *epoch, Workers: *workers, Compress: *compress,
+		DataDir: *data, WALSync: *walSync,
+		WALSyncInterval: *walSyncEvery, WALSegmentBytes: *walSegment,
+	})
 	defer c.Close()
-	srv := &http.Server{Addr: *addr, Handler: ingest.NewServer(c)}
+	srv := &http.Server{Handler: ingest.NewServer(c)}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	go func() {
-		<-ctx.Done()
-		fmt.Fprintln(os.Stderr, "collectd: shutting down")
-		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		srv.Shutdown(shctx)
-	}()
-
-	fmt.Fprintf(os.Stderr, "collectd: serving on %s (epoch=%d events, workers=%d)\n", *addr, *epoch, *workers)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	// Listen before recovering: during a long WAL replay the daemon
+	// already answers /healthz (alive) and /readyz (progress), and
+	// uploads bounce with 503 + Retry-After instead of connection
+	// refused — retrying clients wait recovery out.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "collectd:", err)
 		os.Exit(1)
 	}
-	snap := c.Flush()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "collectd: serving on %s (epoch=%d events, workers=%d)\n", ln.Addr(), *epoch, *workers)
+
+	if *data != "" {
+		fmt.Fprintf(os.Stderr, "collectd: recovering from %s (wal-sync=%s)...\n", *data, *walSync)
+		rstats, err := c.Recover()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "collectd:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "collectd: recovered in %v (checkpoint epoch %d, %d WAL segments, %d records, %d rows)\n",
+			rstats.Duration.Round(time.Millisecond), rstats.CheckpointEpoch, rstats.Segments, rstats.Records, rstats.Rows)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "collectd:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Graceful shutdown: refuse new uploads (503 + Retry-After), drain
+	// in-flight requests, then commit the final epoch and checkpoint.
+	fmt.Fprintln(os.Stderr, "collectd: shutting down (draining uploads)")
+	c.BeginDrain()
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shctx)
+	snap, err := c.FlushCheckpoint()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collectd: final checkpoint:", err)
+		os.Exit(1)
+	}
+	if *data != "" {
+		fmt.Fprintf(os.Stderr, "collectd: checkpointed epoch %d, %d rows\n", snap.Epoch(), snap.Rows())
+	}
 	fmt.Fprintf(os.Stderr, "collectd: stopped at epoch %d, %d rows\n", snap.Epoch(), snap.Rows())
 }

@@ -1,0 +1,162 @@
+package classify
+
+import (
+	"fmt"
+
+	"crossborder/internal/geodata"
+	"crossborder/internal/webgraph"
+)
+
+// This file is the checkpoint-restore side of the dataset engine: the
+// pieces a durable collector (internal/ingest) uses to rebuild a live
+// dataset from a checkpoint — interner snapshot in, sealed chunk
+// blocks in, merge/fixpoint state in — such that subsequent appends
+// and fixpoint rounds behave byte-for-byte as if the process had never
+// restarted.
+
+// Strings returns the interned strings in id order as an immutable
+// prefix share (ids are append-only, so the prefix never mutates).
+// Checkpoints persist this; NewInternerFromStrings inverts it.
+func (in *Interner) Strings() []string { return in.strs[:len(in.strs):len(in.strs)] }
+
+// NewInternerFromStrings rebuilds an interner from a Strings()
+// snapshot: strs[i] gets id i, so every persisted row's FQDN ids
+// resolve to the same strings they named when checkpointed.
+func NewInternerFromStrings(strs []string) (*Interner, error) {
+	if len(strs) == 0 || strs[0] != "" {
+		return nil, fmt.Errorf("classify: interner snapshot must start with the empty string (id 0)")
+	}
+	in := &Interner{ids: make(map[string]uint32, len(strs)), strs: make([]string, 0, len(strs))}
+	for i, s := range strs {
+		if _, dup := in.ids[s]; dup {
+			return nil, fmt.Errorf("classify: interner snapshot repeats %q", s)
+		}
+		in.ids[s] = uint32(i)
+		in.strs = append(in.strs, s)
+	}
+	return in, nil
+}
+
+// RestoreChunk appends one checkpointed chunk — a framed codec block
+// plus its class column — to the store. Chunks must arrive in order on
+// a store that has seen no Append, and only the final restored chunk
+// may be partial (every checkpoint satisfies both by construction).
+// The store keeps full chunks in its native representation (block
+// reference in compressed mode, decoded wide columns otherwise); a
+// partial final chunk is decoded into the open/appendable tail either
+// way, with full chunkRows capacity so later appends never reallocate
+// column arrays out from under epoch snapshots.
+func (st *MemStore) RestoreChunk(block []byte, classes []Class) error {
+	rows := len(classes)
+	if rows == 0 || rows > st.chunkRows {
+		return fmt.Errorf("classify: restore chunk of %d rows into a %d-row store", rows, st.chunkRows)
+	}
+	if st.n%st.chunkRows != 0 {
+		return fmt.Errorf("classify: restore after a partial chunk (%d rows so far)", st.n)
+	}
+	cls := make([]Class, rows, st.chunkRows)
+	copy(cls, classes)
+	if st.compress && rows == st.chunkRows {
+		st.blocks = append(st.blocks, append([]byte(nil), block...))
+		st.classes = append(st.classes, cls)
+		st.n += rows
+		return nil
+	}
+	c := &Chunk{}
+	c.grow(st.chunkRows)
+	cc := GetCodec()
+	defer PutCodec(cc)
+	if err := cc.DecodeBlock(block, rows, c); err != nil {
+		return fmt.Errorf("classify: restore chunk %d: %w", st.n/st.chunkRows, err)
+	}
+	c.Class = cls
+	if st.compress {
+		st.open = c
+	} else {
+		st.chunks = append(st.chunks, c)
+	}
+	st.n += rows
+	return nil
+}
+
+// EncodeChunk renders chunk i of any store as a framed codec block
+// (always through the compressing encoder), the checkpoint
+// representation of a chunk. Stores already holding the chunk as a
+// sealed block return that block by reference instead of re-encoding.
+func EncodeChunk(st Store, i int) ([]byte, error) {
+	if ms, ok := st.(*MemStore); ok && ms.compress && i < len(ms.blocks) {
+		return ms.blocks[i], nil
+	}
+	buf := GetChunk()
+	defer PutChunk(buf)
+	c, err := st.Chunk(i, buf)
+	if err != nil {
+		return nil, err
+	}
+	cc := GetCodec()
+	defer PutCodec(cc)
+	return cc.EncodeBlock(c, true, nil), nil
+}
+
+// NewMergerOver resumes a merger over a restored dataset: the country
+// and publisher id assignments replay from the dataset's own tables,
+// so the next appended row receives exactly the id it would have
+// received had the original merger never stopped.
+func NewMergerOver(ds *Dataset, sink RowSink) *Merger {
+	m := &Merger{
+		ds:         ds,
+		sink:       sink,
+		countryIdx: make(map[geodata.Country]uint8, len(ds.Countries)),
+		pubIdx:     make(map[*webgraph.Publisher]int32, len(ds.Publishers)),
+	}
+	for i, cc := range ds.Countries {
+		m.countryIdx[cc] = uint8(i)
+	}
+	for i, p := range ds.Publishers {
+		m.pubIdx[p] = int32(i)
+	}
+	return m
+}
+
+// Frontier exports the carried fixpoint state for checkpointing: the
+// FQDN ids currently in the LTF (ascending) and the candidate rows
+// still eligible to convert (ascending, as maintained). Settled row
+// count is the dataset length the last Extend observed; the caller
+// persists that alongside.
+func (ls *LiveSemi) Frontier() (ltf []uint32, cand []int) {
+	for id, in := range ls.inLTF {
+		if in {
+			ltf = append(ltf, uint32(id))
+		}
+	}
+	return ltf, append([]int(nil), ls.cand...)
+}
+
+// SettledRows returns the dataset length as of the last Extend.
+func (ls *LiveSemi) SettledRows() int { return ls.rows }
+
+// Restore seeds a fresh LiveSemi with a checkpointed frontier, making
+// its next Extend behave exactly as the original's would have: rows
+// rows are considered settled, ltf names the LTF membership, cand the
+// still-convertible settled rows.
+func (ls *LiveSemi) Restore(rows int, ltf []uint32, cand []int) error {
+	n := ls.ds.FQDNs.Len()
+	ls.inLTF = make([]bool, n)
+	for _, id := range ltf {
+		if int(id) >= n {
+			return fmt.Errorf("classify: LTF id %d outside the %d-entry interner", id, n)
+		}
+		ls.inLTF[id] = true
+	}
+	if st := ls.ds.Store; st != nil && rows > st.Len() {
+		return fmt.Errorf("classify: frontier claims %d settled rows, store has %d", rows, st.Len())
+	}
+	for _, g := range cand {
+		if g < 0 || g >= rows {
+			return fmt.Errorf("classify: candidate row %d outside the %d settled rows", g, rows)
+		}
+	}
+	ls.rows = rows
+	ls.cand = append(ls.cand[:0], cand...)
+	return nil
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sort"
+
+	"crossborder/internal/geodata"
+)
+
+// FlowCount is one origin→destination counter of an Analysis: the unit
+// of (de)serialization the durable collector's checkpoints use to
+// persist the incrementally merged flow maps.
+type FlowCount struct {
+	Src geodata.Country `json:"src"`
+	Dst geodata.Country `json:"dst"`
+	N   int64           `json:"n"`
+}
+
+// Flows exports the non-zero flow counters sorted by (Src, Dst) — a
+// deterministic snapshot with RestoreAnalysis as its exact inverse:
+// RestoreAnalysis(a.Flows(), a.Unknown()).Equal(a) always holds.
+func (a *Analysis) Flows() []FlowCount {
+	out := make([]FlowCount, 0, len(a.byFlow))
+	for f, n := range a.byFlow {
+		if n != 0 {
+			out = append(out, FlowCount{Src: f.Src, Dst: f.Dst, N: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// RestoreAnalysis rebuilds an accumulator from a Flows() snapshot plus
+// the unknown-destination count.
+func RestoreAnalysis(flows []FlowCount, unknown int64) *Analysis {
+	a := NewAnalysis()
+	for _, f := range flows {
+		a.Add(f.Src, f.Dst, f.N)
+	}
+	if unknown != 0 {
+		a.AddUnknown(unknown)
+	}
+	return a
+}

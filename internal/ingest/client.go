@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"sync"
@@ -85,6 +86,46 @@ func RecordSimulation(world *scenario.Scenario, visitsPerUser, workers int) map[
 	return merged
 }
 
+// RetryPolicy makes a Client ride out transient failures: transport
+// errors (connection reset, refused, timeout) and 5xx responses —
+// notably the 503s a recovering or draining collector returns. Retries
+// back off exponentially with full jitter. Uploads are safe to retry
+// blindly: the collector's sequence floors dedup re-sent events, so a
+// request whose response was lost applies exactly once.
+type RetryPolicy struct {
+	// MaxAttempts is the total try budget, first attempt included
+	// (0 = 5).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; attempt k waits
+	// up to BaseDelay<<k (0 = 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff (0 = 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before retry k (0-based): full jitter over
+// an exponentially growing window.
+func (p RetryPolicy) backoff(k int) time.Duration {
+	d := p.BaseDelay << k
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return time.Duration(rand.Int64N(int64(d))) + 1
+}
+
 // Client uploads batches to a collectd instance and queries its API.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8477".
@@ -93,6 +134,9 @@ type Client struct {
 	HTTP *http.Client
 	// Binary selects the compact binary framing instead of NDJSON.
 	Binary bool
+	// Retry, when non-nil, retries transient request failures (see
+	// RetryPolicy). Nil = one attempt, fail fast.
+	Retry *RetryPolicy
 }
 
 func (cl *Client) http() *http.Client {
@@ -102,69 +146,112 @@ func (cl *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-func (cl *Client) post(path, contentType string, body io.Reader, out any) error {
-	resp, err := cl.http().Post(cl.Base+path, contentType, body)
-	if err != nil {
-		return err
+// retryable reports whether a response status is worth another attempt:
+// the server-side errors a restart or drain heals. 4xx are permanent —
+// the request itself is wrong (or, for 409, needs different data).
+func retryable(status int) bool { return status >= 500 }
+
+// do issues one request with the retry policy. The body is a byte
+// slice, not a Reader, precisely so every attempt can re-send it from
+// the start.
+func (cl *Client) do(method, path, contentType string, body []byte, out any) error {
+	policy := RetryPolicy{MaxAttempts: 1}
+	if cl.Retry != nil {
+		policy = cl.Retry.withDefaults()
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(policy.backoff(attempt - 1))
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, cl.Base+path, rd)
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := cl.http().Do(req)
+		if err != nil {
+			lastErr = err // transport failure: retryable
+			continue
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("ingest: %s: %s: %s", path, resp.Status, bytes.TrimSpace(raw))
+			if retryable(resp.StatusCode) {
+				continue
+			}
+			return lastErr
+		}
+		if out != nil {
+			return json.Unmarshal(raw, out)
+		}
+		return nil
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("ingest: %s: %s: %s", path, resp.Status, bytes.TrimSpace(raw))
-	}
-	if out != nil {
-		return json.Unmarshal(raw, out)
-	}
-	return nil
+	return fmt.Errorf("ingest: giving up after %d attempts: %w", policy.MaxAttempts, lastErr)
 }
 
-// Upload sends one batch and returns the server's accounting.
+// Upload sends one batch and returns the server's accounting. With a
+// retry policy set, a lost response re-sends the batch and the server's
+// dedup reports it as duplicates — the events still apply exactly once.
 func (cl *Client) Upload(b Batch) (UploadResult, error) {
 	var (
-		body bytes.Buffer
+		body []byte
 		ct   string
 	)
 	if cl.Binary {
 		ct = ContentTypeBinary
-		body.Write(EncodeBinary(b))
+		body = EncodeBinary(b)
 	} else {
 		ct = ContentTypeNDJSON
-		if err := EncodeNDJSON(&body, b); err != nil {
+		var buf bytes.Buffer
+		if err := EncodeNDJSON(&buf, b); err != nil {
 			return UploadResult{}, err
 		}
+		body = buf.Bytes()
 	}
 	var res UploadResult
-	err := cl.post("/v1/upload", ct, &body, &res)
+	err := cl.do(http.MethodPost, "/v1/upload", ct, body, &res)
 	return res, err
 }
 
-// Flush forces an epoch commit and returns the committed epoch/rows.
+// Flush forces an epoch commit (and, on a durable collector, a
+// checkpoint) and returns the committed epoch/rows.
 func (cl *Client) Flush() (epoch, rows int, err error) {
 	var out struct {
 		Epoch int `json:"epoch"`
 		Rows  int `json:"rows"`
 	}
-	err = cl.post("/v1/flush", "", nil, &out)
+	err = cl.do(http.MethodPost, "/v1/flush", "", nil, &out)
 	return out.Epoch, out.Rows, err
 }
 
 // Stats fetches /v1/stats.
 func (cl *Client) Stats() (StatsResponse, error) {
-	resp, err := cl.http().Get(cl.Base + "/v1/stats")
-	if err != nil {
-		return StatsResponse{}, err
-	}
-	defer resp.Body.Close()
 	var out StatsResponse
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(resp.Body)
-		return out, fmt.Errorf("ingest: /v1/stats: %s: %s", resp.Status, bytes.TrimSpace(raw))
-	}
-	err = json.NewDecoder(resp.Body).Decode(&out)
+	err := cl.do(http.MethodGet, "/v1/stats", "", nil, &out)
 	return out, err
+}
+
+// Ready reports whether the server's /readyz says it accepts uploads.
+func (cl *Client) Ready() bool {
+	resp, err := cl.http().Get(cl.Base + "/readyz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }
 
 // Artifact fetches one experiment's rendered text from the latest

@@ -12,6 +12,7 @@ import (
 	"crossborder/internal/browser"
 	"crossborder/internal/classify"
 	"crossborder/internal/core"
+	"crossborder/internal/ingest/wal"
 	"crossborder/internal/netsim"
 	"crossborder/internal/rtb"
 	"crossborder/internal/scenario"
@@ -49,6 +50,24 @@ type Config struct {
 	// epoch snapshots share the compressed blocks by reference. The
 	// dataset and every served artifact are identical either way.
 	Compress bool
+	// DataDir makes the collector durable: accepted batches journal to
+	// a write-ahead log and FlushCheckpoint writes epoch checkpoints
+	// under this directory, so a crashed collector recovers its exact
+	// state via Recover. Empty (the default) keeps the collector
+	// memory-only. A durable collector is NOT ready at construction —
+	// Recover must run first.
+	DataDir string
+	// WALSync picks the journal fsync policy: "always" syncs every
+	// append (an acknowledged upload survives kill -9), "interval"
+	// (default) syncs in the background every WALSyncInterval, "none"
+	// leaves syncing to the OS. See wal.ParsePolicy.
+	WALSync string
+	// WALSyncInterval is the background sync cadence under
+	// WALSync="interval" (0 = 100ms).
+	WALSyncInterval time.Duration
+	// WALSegmentBytes caps a journal segment before rotation
+	// (0 = 64 MiB).
+	WALSegmentBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +128,23 @@ type Collector struct {
 
 	snap atomic.Pointer[Snapshot]
 
+	// Durability state (nil / zero for a memory-only collector). walErr
+	// poisons ingestion after a journal failure: the WAL tail may be
+	// torn, so acknowledging further uploads would promise durability
+	// the journal can no longer deliver.
+	wal    *wal.WAL
+	walErr error
+	// ready gates uploads: memory-only collectors are born ready,
+	// durable ones flip ready when Recover completes. draining gates
+	// uploads during graceful shutdown. The rec* counters feed the
+	// /readyz recovery-progress body without taking mu.
+	ready        atomic.Bool
+	draining     atomic.Bool
+	recCkptEpoch atomic.Int64
+	recSegTotal  atomic.Int64
+	recSegDone   atomic.Int64
+	recRecords   atomic.Int64
+
 	started time.Time
 	// metrics counters (atomic: the /metrics handler reads them without
 	// the ingest lock).
@@ -158,6 +194,7 @@ func NewCollector(world *scenario.Scenario, cfg Config) *Collector {
 	c.merger = classify.NewMerger(world.Start, sink, 0)
 	c.semi = classify.NewLiveSemi(c.merger.Dataset(), cfg.Workers)
 	c.snap.Store(c.buildSnapshot(nil, 0, nil))
+	c.ready.Store(cfg.DataDir == "")
 	return c
 }
 
@@ -172,6 +209,9 @@ func (c *Collector) Close() {
 	if !c.closed {
 		c.closed = true
 		c.semi.Close()
+		if c.wal != nil {
+			c.wal.Close()
+		}
 	}
 }
 
@@ -223,9 +263,21 @@ func (c *Collector) Ingest(b Batch) (UploadResult, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
+	switch {
+	case c.closed:
 		return UploadResult{}, ErrClosed
+	case !c.ready.Load():
+		return UploadResult{}, ErrNotReady
+	case c.draining.Load():
+		return UploadResult{}, ErrDraining
 	}
+	return c.ingestLocked(b, true)
+}
+
+// ingestLocked is the sequencing core of Ingest, called with c.mu held.
+// WAL recovery replays journaled batches through it with journal=false:
+// same dedup, same epoch commits, no re-journaling.
+func (c *Collector) ingestLocked(b Batch, journal bool) (UploadResult, error) {
 	next := c.nextSeq[b.User]
 	if b.Seq > next {
 		c.mSeqGaps.Add(1)
@@ -237,6 +289,19 @@ func (c *Collector) Ingest(b Batch) (UploadResult, error) {
 	if end > next {
 		skip := int(next - b.Seq)
 		fresh := b.Events[skip:]
+		if journal && c.wal != nil {
+			// Journal the accepted suffix before any state changes: a
+			// crash after the append replays it, a crash before never
+			// acknowledged it. Only the fresh suffix is journaled, so
+			// replay needs no dedup beyond the normal sequence floors.
+			if c.walErr != nil {
+				return UploadResult{}, c.walErr
+			}
+			if _, err := c.wal.Append(EncodeBinary(Batch{User: b.User, Seq: next, Events: fresh})); err != nil {
+				c.walErr = fmt.Errorf("%w: %v", ErrJournal, err)
+				return UploadResult{}, c.walErr
+			}
+		}
 		c.pending[b.User] = append(c.pending[b.User], fresh...)
 		c.pendingN.Add(int64(len(fresh)))
 		c.nextSeq[b.User] = end

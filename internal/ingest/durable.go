@@ -1,0 +1,591 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"crossborder/internal/classify"
+	"crossborder/internal/core"
+	"crossborder/internal/geodata"
+	"crossborder/internal/ingest/wal"
+)
+
+// This file is the durability layer of the collector: the write-ahead
+// journal of accepted batches, epoch checkpoints of the committed
+// state, and crash recovery (load newest checkpoint, replay the WAL
+// tail). The invariants:
+//
+//   - Every accepted batch is journaled before it mutates collector
+//     state, so an acknowledged upload survives kill -9 (under
+//     -wal-sync=always; weaker policies trade the sync for throughput
+//     and rely on client retries for the unsynced tail).
+//   - A checkpoint captures exactly the committed state (pending
+//     events are committed first) plus the id of a freshly rotated WAL
+//     segment; everything before that segment is covered by the
+//     checkpoint and garbage-collected after the checkpoint is
+//     durable. Checkpoints are written temp + rename, so a crash
+//     mid-write leaves the previous checkpoint intact.
+//   - Recovery replays every WAL segment still on disk through the
+//     normal ingest path with journaling disabled. Replay is
+//     idempotent because the checkpointed per-user sequence floors
+//     make every already-covered record a duplicate, so recovery is
+//     correct at every crash point — including crashes during
+//     checkpoint GC and crashes during recovery itself.
+//
+// The golden property (TestCrashRecovery in internal/ingest/crashtest)
+// is that a collector killed at any point and recovered serves
+// artifacts byte-identical to one that never crashed.
+
+// Durability errors. The HTTP layer maps ErrNotReady and ErrDraining
+// to 503 with Retry-After, ErrJournal to 500.
+var (
+	// ErrNotReady: the collector is durable and Recover has not
+	// completed; uploads must wait for readiness.
+	ErrNotReady = errors.New("ingest: recovering, not ready for uploads")
+	// ErrDraining: the collector is shutting down gracefully and no
+	// longer accepts uploads.
+	ErrDraining = errors.New("ingest: draining for shutdown")
+	// ErrJournal: a WAL append failed. The collector fails stop — the
+	// journal tail may be torn, so accepting further uploads could
+	// acknowledge data a restart would refuse to replay.
+	ErrJournal = errors.New("ingest: write-ahead journal failed")
+)
+
+// ckptMagic opens every checkpoint file, followed by a CRC32C
+// (Castagnoli) over the body.
+var ckptMagic = [5]byte{'X', 'C', 'K', 'P', '1'}
+
+var ckptCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const ckptPattern = "checkpoint-%08d.ckpt"
+
+func ckptName(epoch int) string { return fmt.Sprintf(ckptPattern, epoch) }
+
+// seqFloor persists one user's next expected sequence number.
+type seqFloor struct {
+	User int32  `json:"user"`
+	Next uint64 `json:"next"`
+}
+
+// analysisState persists one incrementally merged flow map.
+type analysisState struct {
+	Flows   []core.FlowCount `json:"flows"`
+	Unknown int64            `json:"unknown"`
+}
+
+// ckptMeta is the JSON head of a checkpoint: everything except the
+// chunk blocks. Identity fields (seed/scale/layout) let recovery
+// refuse a checkpoint written by a differently configured collector
+// instead of silently diverging.
+type ckptMeta struct {
+	Seed      int64   `json:"seed"`
+	Scale     float64 `json:"scale"`
+	StartUnix int64   `json:"start_unix"`
+	ChunkRows int     `json:"chunk_rows"`
+	Compress  bool    `json:"compress"`
+
+	Rows      int         `json:"rows"`
+	Visits    int         `json:"visits"`
+	ChunkLens []int       `json:"chunk_lens"`
+	Epochs    []EpochStat `json:"epochs"`
+
+	Seqs       []seqFloor `json:"seqs"`
+	Countries  []string   `json:"countries"`
+	Publishers []string   `json:"publishers"`
+	FQDNs      []string   `json:"fqdns"`
+
+	LTF         []uint32 `json:"ltf"`
+	Cand        []int    `json:"cand"`
+	SettledRows int      `json:"settled_rows"`
+
+	Users    []int32  `json:"users"`
+	FQDNSeen []uint32 `json:"fqdn_seen"`
+
+	Truth   analysisState `json:"truth"`
+	IPMap   analysisState `json:"ipmap"`
+	MaxMind analysisState `json:"maxmind"`
+
+	// WALSeg is the first WAL segment NOT covered by this checkpoint:
+	// the segment rotated in immediately before the checkpoint was
+	// built. Segments below it are garbage once the checkpoint is
+	// durable. Recovery replays every segment still present — replay
+	// is idempotent — so WALSeg only drives GC, never correctness.
+	WALSeg int `json:"wal_seg"`
+}
+
+// walDir returns the journal directory under the data dir.
+func walDir(dataDir string) string { return filepath.Join(dataDir, "wal") }
+
+// walOptions maps the collector config to WAL options.
+func (c Config) walOptions() (wal.Options, error) {
+	pol := wal.SyncInterval
+	if c.WALSync != "" {
+		var err error
+		if pol, err = wal.ParsePolicy(c.WALSync); err != nil {
+			return wal.Options{}, err
+		}
+	}
+	return wal.Options{
+		Policy:       pol,
+		Interval:     c.WALSyncInterval,
+		SegmentBytes: c.WALSegmentBytes,
+	}, nil
+}
+
+// Durable reports whether the collector journals and checkpoints
+// (Config.DataDir was set and Recover opened the WAL).
+func (c *Collector) Durable() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wal != nil
+}
+
+// Ready reports whether the collector accepts uploads: memory-only
+// collectors are born ready; durable ones become ready when Recover
+// completes.
+func (c *Collector) Ready() bool { return c.ready.Load() }
+
+// BeginDrain stops upload acceptance for a graceful shutdown: every
+// subsequent Ingest fails with ErrDraining (503 + Retry-After over
+// HTTP) while queries keep serving. In-flight uploads finish normally;
+// the caller then commits the final epoch with FlushCheckpoint.
+func (c *Collector) BeginDrain() { c.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (c *Collector) Draining() bool { return c.draining.Load() }
+
+// RecoveryProgress is the /readyz view of a recovery in flight:
+// operators watch segments replayed converge on the total.
+type RecoveryProgress struct {
+	Ready            bool  `json:"ready"`
+	CheckpointEpoch  int   `json:"checkpoint_epoch"`
+	SegmentsTotal    int   `json:"segments_total"`
+	SegmentsReplayed int   `json:"segments_replayed"`
+	RecordsReplayed  int64 `json:"records_replayed"`
+}
+
+// Recovery returns the current recovery progress. Lock-free: the
+// readiness endpoint polls it while Recover holds the ingest lock.
+func (c *Collector) Recovery() RecoveryProgress {
+	return RecoveryProgress{
+		Ready:            c.ready.Load(),
+		CheckpointEpoch:  int(c.recCkptEpoch.Load()),
+		SegmentsTotal:    int(c.recSegTotal.Load()),
+		SegmentsReplayed: int(c.recSegDone.Load()),
+		RecordsReplayed:  c.recRecords.Load(),
+	}
+}
+
+// RecoveryStats summarizes a completed Recover.
+type RecoveryStats struct {
+	CheckpointEpoch int           // 0 = started from an empty checkpoint
+	Segments        int           // WAL segments replayed
+	Records         int64         // WAL records replayed (including duplicates)
+	Rows            int           // dataset rows after recovery
+	Duration        time.Duration // wall time of the whole recovery
+}
+
+// Recover brings a durable collector to readiness: it loads the newest
+// valid checkpoint under DataDir, opens the WAL (truncating a torn
+// tail), replays every surviving record through the normal dedup path,
+// and only then marks the collector ready. Memory-only collectors
+// return immediately. Recover must be called exactly once, before any
+// Ingest; the HTTP server may already be serving (uploads fail with
+// ErrNotReady until recovery completes, /readyz reports progress).
+func (c *Collector) Recover() (RecoveryStats, error) {
+	start := time.Now()
+	var stats RecoveryStats
+	if c.cfg.DataDir == "" {
+		return stats, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ready.Load() {
+		return stats, errors.New("ingest: Recover called twice")
+	}
+	if err := os.MkdirAll(c.cfg.DataDir, 0o755); err != nil {
+		return stats, err
+	}
+
+	// The newest checkpoint must load. No falling back to an older one
+	// or to WAL-only: writing a checkpoint garbage-collects the WAL
+	// prefix it covers, so once any checkpoint exists, recovering
+	// without the newest could silently drop that prefix. A crash never
+	// tears a checkpoint (temp + rename), so an unreadable one means
+	// disk corruption — fail loudly, like mid-WAL corruption.
+	epochs, err := listCheckpoints(c.cfg.DataDir)
+	if err != nil {
+		return stats, err
+	}
+	if len(epochs) > 0 {
+		name := ckptName(epochs[len(epochs)-1])
+		meta, blocks, classes, err := readCheckpoint(filepath.Join(c.cfg.DataDir, name))
+		if err != nil {
+			return stats, fmt.Errorf("ingest: %s: %w", name, err)
+		}
+		if err := c.restoreCheckpoint(meta, blocks, classes); err != nil {
+			return stats, fmt.Errorf("ingest: checkpoint %s: %w", name, err)
+		}
+		stats.CheckpointEpoch = len(meta.Epochs)
+		c.recCkptEpoch.Store(int64(stats.CheckpointEpoch))
+	}
+
+	opts, err := c.cfg.walOptions()
+	if err != nil {
+		return stats, err
+	}
+	w, err := wal.Open(walDir(c.cfg.DataDir), opts)
+	if err != nil {
+		return stats, err
+	}
+	c.wal = w
+
+	segs := w.Segments()
+	c.recSegTotal.Store(int64(len(segs)))
+	for _, id := range segs {
+		err := w.ReplaySegment(id, func(_ int, payload []byte) error {
+			b, err := DecodeBinary(payload)
+			if err != nil {
+				return fmt.Errorf("ingest: WAL record undecodable: %w", err)
+			}
+			if err := c.validate(b); err != nil {
+				return fmt.Errorf("ingest: WAL replay: %w", err)
+			}
+			if _, err := c.ingestLocked(b, false); err != nil {
+				return fmt.Errorf("ingest: WAL replay: %w", err)
+			}
+			c.recRecords.Add(1)
+			return nil
+		})
+		if err != nil {
+			return stats, err
+		}
+		c.recSegDone.Add(1)
+	}
+	stats.Segments = len(segs)
+	stats.Records = c.recRecords.Load()
+	stats.Rows = c.store.Len()
+	stats.Duration = time.Since(start)
+	c.ready.Store(true)
+	return stats, nil
+}
+
+// FlushCheckpoint commits any pending events as an epoch and, for a
+// durable collector, writes a checkpoint and garbage-collects the
+// covered WAL prefix and older checkpoints. It is the Flush of
+// /v1/flush and graceful shutdown. The returned snapshot is the state
+// the checkpoint captured.
+func (c *Collector) FlushCheckpoint() (*Snapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pendingN.Load() > 0 && !c.closed {
+		c.commitEpoch()
+	}
+	if c.wal == nil || c.closed {
+		return c.snap.Load(), nil
+	}
+	return c.snap.Load(), c.checkpointLocked()
+}
+
+// checkpointLocked writes a checkpoint of the committed state. Called
+// with c.mu held and pending empty.
+func (c *Collector) checkpointLocked() error {
+	if n := c.pendingN.Load(); n != 0 {
+		return fmt.Errorf("ingest: checkpoint with %d uncommitted events", n)
+	}
+	// Rotate first: every journaled record is committed state, so the
+	// fresh segment is the exact WAL suffix the checkpoint excludes.
+	seg, err := c.wal.Rotate()
+	if err != nil {
+		return err
+	}
+	body, err := c.encodeCheckpoint(seg)
+	if err != nil {
+		return err
+	}
+	epoch := len(c.epochs)
+	if err := writeFileAtomic(c.cfg.DataDir, ckptName(epoch), body); err != nil {
+		return err
+	}
+	// The checkpoint is durable: reclaim everything it covers. GC
+	// failures are non-fatal (stale files replay as duplicates or are
+	// skipped as older checkpoints) but surface as errors so operators
+	// notice a disk that stops honoring removes.
+	epochs, err := listCheckpoints(c.cfg.DataDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range epochs {
+		if e != epoch {
+			if err := os.Remove(filepath.Join(c.cfg.DataDir, ckptName(e))); err != nil {
+				return err
+			}
+		}
+	}
+	return c.wal.RemoveBefore(seg)
+}
+
+// encodeCheckpoint serializes the committed state: meta JSON, then one
+// framed codec block + raw class column per chunk.
+func (c *Collector) encodeCheckpoint(walSeg int) ([]byte, error) {
+	ds := c.merger.Dataset()
+	st := c.store
+	meta := ckptMeta{
+		Seed:        c.world.Params.Seed,
+		Scale:       c.world.Params.Scale,
+		StartUnix:   c.world.Start.Unix(),
+		ChunkRows:   st.ChunkRows(),
+		Compress:    st.Compressed(),
+		Rows:        st.Len(),
+		Visits:      ds.Visits,
+		Epochs:      c.epochs,
+		SettledRows: c.semi.SettledRows(),
+		WALSeg:      walSeg,
+	}
+	meta.LTF, meta.Cand = c.semi.Frontier()
+	for u, next := range c.nextSeq {
+		meta.Seqs = append(meta.Seqs, seqFloor{User: u, Next: next})
+	}
+	sort.Slice(meta.Seqs, func(i, j int) bool { return meta.Seqs[i].User < meta.Seqs[j].User })
+	for _, cc := range ds.Countries {
+		meta.Countries = append(meta.Countries, string(cc))
+	}
+	for _, p := range ds.Publishers {
+		meta.Publishers = append(meta.Publishers, p.Domain)
+	}
+	meta.FQDNs = ds.FQDNs.Strings()
+	for u := range c.userSet {
+		meta.Users = append(meta.Users, u)
+	}
+	sort.Slice(meta.Users, func(i, j int) bool { return meta.Users[i] < meta.Users[j] })
+	for f := range c.fqdnSet {
+		meta.FQDNSeen = append(meta.FQDNSeen, f)
+	}
+	sort.Slice(meta.FQDNSeen, func(i, j int) bool { return meta.FQDNSeen[i] < meta.FQDNSeen[j] })
+	meta.Truth = analysisState{Flows: c.truthA.Flows(), Unknown: c.truthA.Unknown()}
+	meta.IPMap = analysisState{Flows: c.ipmapA.Flows(), Unknown: c.ipmapA.Unknown()}
+	meta.MaxMind = analysisState{Flows: c.maxmindA.Flows(), Unknown: c.maxmindA.Unknown()}
+	for ci := 0; ci < st.NumChunks(); ci++ {
+		meta.ChunkLens = append(meta.ChunkLens, len(st.Classes(ci)))
+	}
+
+	head, err := json.Marshal(&meta)
+	if err != nil {
+		return nil, err
+	}
+	body := binary.AppendUvarint(nil, uint64(len(head)))
+	body = append(body, head...)
+	for ci := 0; ci < st.NumChunks(); ci++ {
+		block, err := classify.EncodeChunk(st, ci)
+		if err != nil {
+			return nil, err
+		}
+		body = binary.AppendUvarint(body, uint64(len(block)))
+		body = append(body, block...)
+		for _, cls := range st.Classes(ci) {
+			body = append(body, byte(cls))
+		}
+	}
+	out := append([]byte(nil), ckptMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, ckptCastagnoli))
+	return append(out, body...), nil
+}
+
+// errCkptCorrupt marks a checkpoint file recovery should skip in favor
+// of an older one (vs. a hard error like an identity mismatch).
+var errCkptCorrupt = errors.New("ingest: corrupt checkpoint")
+
+// readCheckpoint parses and validates one checkpoint file.
+func readCheckpoint(path string) (*ckptMeta, [][]byte, [][]classify.Class, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(data) < len(ckptMagic)+4 || string(data[:len(ckptMagic)]) != string(ckptMagic[:]) {
+		return nil, nil, nil, fmt.Errorf("%w: bad header", errCkptCorrupt)
+	}
+	sum := binary.LittleEndian.Uint32(data[len(ckptMagic):])
+	body := data[len(ckptMagic)+4:]
+	if crc32.Checksum(body, ckptCastagnoli) != sum {
+		return nil, nil, nil, fmt.Errorf("%w: checksum mismatch", errCkptCorrupt)
+	}
+	headLen, n := binary.Uvarint(body)
+	if n <= 0 || headLen > uint64(len(body)-n) {
+		return nil, nil, nil, fmt.Errorf("%w: bad meta length", errCkptCorrupt)
+	}
+	var meta ckptMeta
+	if err := json.Unmarshal(body[n:n+int(headLen)], &meta); err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: meta: %v", errCkptCorrupt, err)
+	}
+	rest := body[n+int(headLen):]
+	total := 0
+	blocks := make([][]byte, 0, len(meta.ChunkLens))
+	classes := make([][]classify.Class, 0, len(meta.ChunkLens))
+	for ci, rows := range meta.ChunkLens {
+		if rows <= 0 || rows > meta.ChunkRows {
+			return nil, nil, nil, fmt.Errorf("%w: chunk %d declares %d rows", errCkptCorrupt, ci, rows)
+		}
+		blen, n := binary.Uvarint(rest)
+		if n <= 0 || blen > uint64(len(rest)-n) {
+			return nil, nil, nil, fmt.Errorf("%w: chunk %d block length", errCkptCorrupt, ci)
+		}
+		blocks = append(blocks, rest[n:n+int(blen)])
+		rest = rest[n+int(blen):]
+		if len(rest) < rows {
+			return nil, nil, nil, fmt.Errorf("%w: chunk %d classes truncated", errCkptCorrupt, ci)
+		}
+		cls := make([]classify.Class, rows)
+		for i := 0; i < rows; i++ {
+			cls[i] = classify.Class(rest[i])
+		}
+		classes = append(classes, cls)
+		rest = rest[rows:]
+		total += rows
+	}
+	if len(rest) != 0 {
+		return nil, nil, nil, fmt.Errorf("%w: %d trailing bytes", errCkptCorrupt, len(rest))
+	}
+	if total != meta.Rows {
+		return nil, nil, nil, fmt.Errorf("%w: chunk lengths sum to %d, meta says %d rows", errCkptCorrupt, total, meta.Rows)
+	}
+	return &meta, blocks, classes, nil
+}
+
+// restoreCheckpoint rebuilds the collector's committed state from a
+// parsed checkpoint. Called with c.mu held, on a freshly constructed
+// collector (NewCollector state), before WAL replay.
+func (c *Collector) restoreCheckpoint(meta *ckptMeta, blocks [][]byte, classes [][]classify.Class) error {
+	if meta.Seed != c.world.Params.Seed || meta.Scale != c.world.Params.Scale {
+		return fmt.Errorf("checkpoint is for seed %d scale %g, collector runs seed %d scale %g",
+			meta.Seed, meta.Scale, c.world.Params.Seed, c.world.Params.Scale)
+	}
+	if meta.StartUnix != c.world.Start.Unix() {
+		return fmt.Errorf("checkpoint start time %d does not match the world's %d", meta.StartUnix, c.world.Start.Unix())
+	}
+	if meta.ChunkRows != c.store.ChunkRows() || meta.Compress != c.store.Compressed() {
+		return fmt.Errorf("checkpoint layout (chunkRows=%d compress=%v) does not match the configured store (chunkRows=%d compress=%v)",
+			meta.ChunkRows, meta.Compress, c.store.ChunkRows(), c.store.Compressed())
+	}
+
+	var sink *classify.MemStore
+	switch {
+	case meta.Compress:
+		sink = classify.NewMemStoreCompressed(meta.ChunkRows)
+	default:
+		sink = classify.NewMemStoreChunked(meta.ChunkRows)
+	}
+	for ci := range blocks {
+		if err := sink.RestoreChunk(blocks[ci], classes[ci]); err != nil {
+			return err
+		}
+	}
+
+	in, err := classify.NewInternerFromStrings(meta.FQDNs)
+	if err != nil {
+		return err
+	}
+	countries := make([]geodata.Country, len(meta.Countries))
+	for i, s := range meta.Countries {
+		countries[i] = geodata.Country(s)
+	}
+	ds := &classify.Dataset{
+		Store:     sink,
+		FQDNs:     in,
+		Countries: countries,
+		Visits:    meta.Visits,
+		Start:     c.world.Start,
+	}
+	for _, dom := range meta.Publishers {
+		p, ok := c.pubs[dom]
+		if !ok {
+			return fmt.Errorf("checkpoint publisher %q unknown to the world", dom)
+		}
+		ds.Publishers = append(ds.Publishers, p)
+	}
+
+	c.store = sink
+	c.merger = classify.NewMergerOver(ds, sink)
+	c.semi.Close()
+	c.semi = classify.NewLiveSemi(ds, c.cfg.Workers)
+	if err := c.semi.Restore(meta.SettledRows, meta.LTF, meta.Cand); err != nil {
+		return err
+	}
+
+	c.nextSeq = make(map[int32]uint64, len(meta.Seqs))
+	for _, s := range meta.Seqs {
+		c.nextSeq[s.User] = s.Next
+	}
+	c.userSet = make(map[int32]struct{}, len(meta.Users))
+	for _, u := range meta.Users {
+		c.userSet[u] = struct{}{}
+	}
+	c.fqdnSet = make(map[uint32]struct{}, len(meta.FQDNSeen))
+	for _, f := range meta.FQDNSeen {
+		c.fqdnSet[f] = struct{}{}
+	}
+	c.truthA = core.RestoreAnalysis(meta.Truth.Flows, meta.Truth.Unknown)
+	c.ipmapA = core.RestoreAnalysis(meta.IPMap.Flows, meta.IPMap.Unknown)
+	c.maxmindA = core.RestoreAnalysis(meta.MaxMind.Flows, meta.MaxMind.Unknown)
+	c.epochs = append([]EpochStat(nil), meta.Epochs...)
+	c.internClone, c.internCloneLen = nil, 0
+	c.snap.Store(c.buildSnapshot(nil, 0, nil))
+	return nil
+}
+
+// listCheckpoints returns the checkpoint epochs present in dir,
+// ascending.
+func listCheckpoints(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []int
+	for _, e := range entries {
+		var epoch int
+		if _, err := fmt.Sscanf(e.Name(), ckptPattern, &epoch); err == nil && e.Name() == ckptName(epoch) {
+			out = append(out, epoch)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// writeFileAtomic writes name under dir via temp + rename + dir sync,
+// so the file either exists complete or not at all.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -59,7 +59,9 @@ type flowsBlock struct {
 //	GET  /v1/experiments/{id} artifact of the latest snapshot
 //	                          (?format=text|json; X-Epoch names the epoch)
 //	GET  /v1/stats           incremental aggregates of the latest snapshot
-//	GET  /healthz            liveness + epoch/rows
+//	GET  /healthz            liveness (process is up; always 200)
+//	GET  /readyz             readiness (200 once recovery completed and
+//	                          not draining; 503 with progress otherwise)
 //	GET  /metrics            Prometheus-style counters
 //
 // Every query endpoint reads one atomic snapshot, so responses are
@@ -78,6 +80,7 @@ func NewServer(c *Collector) *Server {
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -126,6 +129,14 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrSequenceGap):
 		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, ErrNotReady), errors.Is(err, ErrDraining):
+		// Transient by design: clients with a retry policy (see
+		// RetryPolicy) wait out recovery or find the replacement after
+		// a drain.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrJournal):
+		writeError(w, http.StatusInternalServerError, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 	default:
@@ -134,8 +145,16 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	snap := s.c.Flush()
-	writeJSON(w, http.StatusOK, map[string]int{"epoch": snap.Epoch(), "rows": snap.Rows()})
+	snap, err := s.c.FlushCheckpoint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":        snap.Epoch(),
+		"rows":         snap.Rows(),
+		"checkpointed": s.c.Durable(),
+	})
 }
 
 func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
@@ -217,14 +236,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// It stays 200 through recovery and drain — orchestrators must not kill
+// a pod for being busy replaying its WAL. Readiness lives at /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.c.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
-		"epoch":  snap.Epoch(),
-		"rows":   snap.Rows(),
 		"uptime": time.Since(s.c.started).Round(time.Second).String(),
 	})
+}
+
+// handleReadyz is readiness: 200 only when the collector accepts
+// uploads. During recovery it returns 503 with replay progress
+// (segments replayed / total) so operators can watch a restart
+// converge; during a graceful drain it returns 503 "draining".
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.c.Draining():
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	case !s.c.Ready():
+		p := s.c.Recovery()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":   "recovering",
+			"recovery": p,
+		})
+	default:
+		snap := s.c.Snapshot()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ready",
+			"epoch":  snap.Epoch(),
+			"rows":   snap.Rows(),
+		})
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -260,3 +260,70 @@ func TestConcurrentUploadAndQuery(t *testing.T) {
 		t.Fatalf("final rows = %d, want %d", snap.Stats().ThirdPartyReqs, total)
 	}
 }
+
+// TestReadinessEndpoints: /healthz is pure liveness (200 always);
+// /readyz splits out readiness — 503 with recovery progress before
+// Recover, 200 once recovered, 503 "draining" after BeginDrain — and
+// uploads mirror it with 503 + Retry-After.
+func TestReadinessEndpoints(t *testing.T) {
+	world, evs, _ := rig(t)
+	cfg := Config{EpochEvents: 1 << 20, Workers: 2, DataDir: t.TempDir(), WALSync: "none"}
+	c := NewCollector(world, cfg)
+	srv := httptest.NewServer(NewServer(c))
+	t.Cleanup(func() { srv.Close(); c.Close() })
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	// Pre-recovery: alive, not ready, uploads bounce retryably.
+	if code, body, _ := get("/healthz"); code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz pre-recovery = %d %s", code, body)
+	}
+	code, body, hdr := get("/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "recovering") ||
+		!strings.Contains(body, "segments_total") || hdr.Get("Retry-After") == "" {
+		t.Fatalf("readyz pre-recovery = %d %s (Retry-After %q)", code, body, hdr.Get("Retry-After"))
+	}
+	var uid int32
+	for u := range evs {
+		uid = u
+		break
+	}
+	cl := &Client{Base: srv.URL, Binary: true}
+	if _, err := cl.Upload(Batch{User: uid, Seq: 0, Events: evs[uid][:1]}); err == nil ||
+		!strings.Contains(err.Error(), "503") {
+		t.Fatalf("pre-recovery upload = %v, want 503", err)
+	}
+
+	if _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body, _ := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("readyz post-recovery = %d %s", code, body)
+	}
+	if !cl.Ready() {
+		t.Fatal("client Ready() false on a recovered collector")
+	}
+	if _, err := cl.Upload(Batch{User: uid, Seq: 0, Events: evs[uid][:1]}); err != nil {
+		t.Fatal(err)
+	}
+
+	c.BeginDrain()
+	if code, body, _ := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("readyz draining = %d %s", code, body)
+	}
+	if code, _, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz draining = %d, want 200", code)
+	}
+	if _, err := cl.Upload(Batch{User: uid, Seq: 1, Events: evs[uid][1:2]}); err == nil ||
+		!strings.Contains(err.Error(), "503") {
+		t.Fatalf("draining upload = %v, want 503", err)
+	}
+}

@@ -1,0 +1,42 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkWALAppend measures the journal append path — frame, CRC32C,
+// buffered write, rotation bookkeeping — per policy on a representative
+// 4KiB record (a ~130-event binary batch). The "none" and "interval"
+// variants are CPU-bound and pinned in BENCH_baseline.json; "always" is
+// fsync-bound and reported for visibility only (its cost is the disk's,
+// not the code's).
+func BenchmarkWALAppend(b *testing.B) {
+	rec := make([]byte, 4096)
+	for i := range rec {
+		rec[i] = byte(i * 31)
+	}
+	for _, bc := range []struct {
+		name string
+		opts Options
+	}{
+		{"none", Options{Policy: SyncNone}},
+		{"interval", Options{Policy: SyncInterval, Interval: 100 * time.Millisecond}},
+		{"always", Options{Policy: SyncAlways}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			w, err := Open(b.TempDir(), bc.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.SetBytes(int64(len(rec)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

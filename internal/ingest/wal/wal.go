@@ -1,0 +1,538 @@
+// Package wal implements the collector's write-ahead journal: an
+// append-only sequence of segment files holding framed, CRC32C-checked
+// records. The collector journals every accepted upload batch before
+// applying it, so a crash — up to and including kill -9 mid-write —
+// loses at most the unacknowledged tail of the log, never an
+// acknowledged batch (under SyncAlways) and never already-synced data
+// (under any policy).
+//
+// Record framing mirrors the columnar chunk blocks (internal/classify
+// codec): a leading CRC32C (Castagnoli) over the rest of the record,
+// then a uvarint payload length, then the payload:
+//
+//	[4B crc32c over the rest] [uvarint len] [payload]
+//
+// Segments are numbered files "wal-%08d.seg" in one directory. A
+// segment begins with a header naming its id, so a stray or renamed
+// file cannot masquerade as another position in the log. Appends go to
+// the highest segment and rotate to a fresh one past a size threshold;
+// checkpointing rotates explicitly and garbage-collects the fully
+// checkpointed prefix with RemoveBefore.
+//
+// Crash tolerance on Open follows the standard WAL contract: a
+// truncated record at the end of the final segment — the torn write of
+// the crash itself — is detected and truncated away; every other
+// corruption (a checksum mismatch on a fully present record, garbage
+// in the middle of a segment, a non-final segment that does not end
+// cleanly) is reported as an error and refuses the log, because silent
+// skipping would drop acknowledged data.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged batch
+	// survives kill -9 and power loss. The durable default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker (Options.Interval):
+	// a crash loses at most one interval of acknowledged batches, which
+	// upload-side retries re-deliver (server dedup makes that safe).
+	SyncInterval
+	// SyncNone never fsyncs explicitly; the OS flushes on its own
+	// schedule. Survives process crashes (the page cache persists) but
+	// not power loss.
+	SyncNone
+)
+
+// ParsePolicy maps the -wal-sync flag values to a policy.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (always, interval or none)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options tunes a WAL.
+type Options struct {
+	// Policy is the fsync policy (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the SyncInterval flush period (default 100ms).
+	Interval time.Duration
+	// SegmentBytes rotates to a new segment once the current one
+	// exceeds this size (default 64 MiB).
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segMagic opens every segment file, followed by a uvarint segment id.
+var segMagic = [5]byte{'X', 'W', 'A', 'L', '1'}
+
+// ErrCorrupt reports unrecoverable log damage: a record that is fully
+// present but fails its checksum, or garbage not attributable to the
+// torn tail of the final segment. The WAL refuses to open rather than
+// silently skip acknowledged data.
+var ErrCorrupt = errors.New("wal: corrupt journal")
+
+const segPattern = "wal-%08d.seg"
+
+func segName(id int) string { return fmt.Sprintf(segPattern, id) }
+
+// WAL is an open journal. Append/Sync/Rotate/RemoveBefore serialize on
+// an internal mutex; one process owns a WAL directory at a time.
+type WAL struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	segs   []int // ascending segment ids present on disk
+	f      *os.File
+	size   int64
+	dirty  bool // bytes written since the last fsync
+	broken bool // a failed append poisoned the tail; refuse further writes
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open opens (creating if needed) the journal in dir. Recovery of a
+// torn tail happens here: the final segment is scanned and truncated
+// after its last intact record. Any other damage returns ErrCorrupt.
+// The caller replays records via Replay before appending new ones.
+func Open(dir string, opts Options) (*WAL, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, e := range entries {
+		var id int
+		if _, err := fmt.Sscanf(e.Name(), segPattern, &id); err == nil && e.Name() == segName(id) {
+			segs = append(segs, id)
+		}
+	}
+	sort.Ints(segs)
+	for i := 1; i < len(segs); i++ {
+		if segs[i] != segs[i-1]+1 {
+			return nil, fmt.Errorf("%w: segment gap: %s missing", ErrCorrupt, segName(segs[i-1]+1))
+		}
+	}
+
+	w := &WAL{dir: dir, opts: opts, segs: segs, stop: make(chan struct{}), done: make(chan struct{})}
+
+	// Validate every segment: non-final segments must end cleanly;
+	// the final segment may carry a torn tail, which is truncated.
+	for i, id := range segs {
+		final := i == len(segs)-1
+		if err := w.validateSegment(id, final); err != nil {
+			return nil, err
+		}
+	}
+
+	if len(segs) == 0 {
+		if err := w.createSegment(0); err != nil {
+			return nil, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_RDWR, 0)
+		if err != nil {
+			return nil, err
+		}
+		size, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.f, w.size = f, size
+	}
+
+	if opts.Policy == SyncInterval {
+		go w.flushLoop()
+	} else {
+		close(w.done)
+	}
+	return w, nil
+}
+
+// validateSegment scans one segment. For the final segment a torn tail
+// is truncated in place; for any other segment it is corruption.
+func (w *WAL) validateSegment(id int, final bool) error {
+	path := filepath.Join(w.dir, segName(id))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	good, err := scanSegment(data, id)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCorrupt, segName(id), err)
+	}
+	if good == int64(len(data)) && len(data) > 0 {
+		return nil
+	}
+	// Torn tail — or a zero-length final segment (crash between create
+	// and header write), which needs its header rewritten below.
+	if !final {
+		return fmt.Errorf("%w: %s: torn record in non-final segment", ErrCorrupt, segName(id))
+	}
+	if good == 0 {
+		// The header itself was torn: rewrite it so the segment is
+		// append-ready. (scanSegment never returns 0 < good < header.)
+		hdr := append([]byte(nil), segMagic[:]...)
+		hdr = binary.AppendUvarint(hdr, uint64(id))
+		if err := os.WriteFile(path, hdr, 0o644); err != nil {
+			return err
+		}
+		return nil
+	}
+	return os.Truncate(path, good)
+}
+
+// scanSegment walks a segment's bytes. It returns the offset after the
+// last intact record (the truncation point when the remainder is a
+// torn tail) and a nil error, or an error when the damage is not a
+// clean tail truncation: a fully present record failing its checksum,
+// or a header naming the wrong segment.
+func scanSegment(data []byte, wantID int) (good int64, err error) {
+	if len(data) == 0 {
+		return 0, nil // crash between segment create and header write
+	}
+	if len(data) < len(segMagic) {
+		if isPrefix(data, segMagic[:]) {
+			return 0, nil // torn header write
+		}
+		return 0, errors.New("bad segment header")
+	}
+	if string(data[:len(segMagic)]) != string(segMagic[:]) {
+		return 0, errors.New("bad segment magic")
+	}
+	off := len(segMagic)
+	id, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		if off+10 > len(data) {
+			return 0, nil // torn header write
+		}
+		return 0, errors.New("bad segment id")
+	}
+	if int(id) != wantID {
+		return 0, fmt.Errorf("segment header names id %d", id)
+	}
+	off += n
+
+	pos := int64(off)
+	for off < len(data) {
+		rec := data[off:]
+		if len(rec) < 4 {
+			return pos, nil // torn: checksum itself incomplete
+		}
+		sum := binary.BigEndian.Uint32(rec)
+		plen, n := binary.Uvarint(rec[4:])
+		if n <= 0 {
+			// A uvarint is unterminated only at end of input (torn);
+			// 10 full continuation bytes mid-file are corruption.
+			if len(rec[4:]) >= binary.MaxVarintLen64 {
+				return 0, fmt.Errorf("unterminated record length at offset %d", off)
+			}
+			return pos, nil
+		}
+		body := rec[4:]
+		if uint64(len(body)-n) < plen {
+			return pos, nil // torn: declared payload extends past EOF
+		}
+		body = body[:n+int(plen)]
+		if crc32.Checksum(body, castagnoli) != sum {
+			return 0, fmt.Errorf("checksum mismatch on record at offset %d", off)
+		}
+		off += 4 + len(body)
+		pos = int64(off)
+	}
+	return pos, nil
+}
+
+func isPrefix(data, of []byte) bool {
+	if len(data) > len(of) {
+		return false
+	}
+	return string(data) == string(of[:len(data)])
+}
+
+// createSegment starts segment id and makes it the append target.
+func (w *WAL) createSegment(id int) error {
+	hdr := append([]byte(nil), segMagic[:]...)
+	hdr = binary.AppendUvarint(hdr, uint64(id))
+	path := filepath.Join(w.dir, segName(id))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	if w.f != nil {
+		// Seal the previous segment: whatever the sync policy, a
+		// rotated-away segment is fully durable before new appends.
+		w.f.Sync()
+		w.f.Close()
+	}
+	w.f, w.size, w.dirty = f, int64(len(hdr)), false
+	w.segs = append(w.segs, id)
+	return nil
+}
+
+// Append journals one record. It returns the id of the segment the
+// record landed in. Under SyncAlways the record is on stable storage
+// when Append returns. A failed append poisons the WAL (the tail may
+// hold a torn record that later appends would bury as mid-file
+// corruption); every subsequent Append fails until the log is
+// reopened.
+func (w *WAL) Append(payload []byte) (seg int, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, errors.New("wal: closed")
+	}
+	if w.broken {
+		return 0, errors.New("wal: poisoned by an earlier failed append; reopen to recover")
+	}
+	if w.size >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	var hdr [4 + binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[4:], uint64(len(payload)))
+	crc := crc32.Checksum(hdr[4:4+n], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.BigEndian.PutUint32(hdr[:4], crc)
+
+	if _, err := w.f.Write(hdr[:4+n]); err != nil {
+		w.broken = true
+		return 0, err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		w.broken = true
+		return 0, err
+	}
+	w.size += int64(4 + n + len(payload))
+	w.dirty = true
+	if w.opts.Policy == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			w.broken = true
+			return 0, err
+		}
+		w.dirty = false
+	}
+	return w.segs[len(w.segs)-1], nil
+}
+
+// Sync forces buffered appends to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if w.f == nil || !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	return nil
+}
+
+// Rotate seals the current segment and starts a fresh one, returning
+// the new segment's id. Checkpoints rotate so the checkpoint can name
+// "replay everything from segment N" and RemoveBefore(N) can reclaim
+// the prefix.
+func (w *WAL) Rotate() (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return w.segs[len(w.segs)-1], nil
+}
+
+func (w *WAL) rotateLocked() error {
+	return w.createSegment(w.segs[len(w.segs)-1] + 1)
+}
+
+// Segments returns the ids of the segments currently on disk,
+// ascending.
+func (w *WAL) Segments() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]int(nil), w.segs...)
+}
+
+// Replay streams every record of every segment, oldest first, to fn.
+// fn's seg argument names the segment the record came from. Replay is
+// meant for the window between Open and the first Append (recovery);
+// it reads the files directly.
+func (w *WAL) Replay(fn func(seg int, payload []byte) error) error {
+	for _, id := range w.Segments() {
+		if err := w.ReplaySegment(id, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplaySegment streams one segment's records to fn.
+func (w *WAL) ReplaySegment(id int, fn func(seg int, payload []byte) error) error {
+	data, err := os.ReadFile(filepath.Join(w.dir, segName(id)))
+	if err != nil {
+		return err
+	}
+	good, err := scanSegment(data, id)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCorrupt, segName(id), err)
+	}
+	data = data[:good]
+	if len(data) == 0 {
+		return nil
+	}
+	off := len(segMagic)
+	_, n := binary.Uvarint(data[off:])
+	off += n
+	for off < len(data) {
+		plen, n := binary.Uvarint(data[off+4:])
+		start := off + 4 + n
+		if err := fn(id, data[start:start+int(plen)]); err != nil {
+			return err
+		}
+		off = start + int(plen)
+	}
+	return nil
+}
+
+// RemoveBefore deletes every segment with id < seg. The caller
+// guarantees those records are covered by a durable checkpoint.
+func (w *WAL) RemoveBefore(seg int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	kept := w.segs[:0]
+	for _, id := range w.segs {
+		if id >= seg {
+			kept = append(kept, id)
+			continue
+		}
+		if err := os.Remove(filepath.Join(w.dir, segName(id))); err != nil {
+			// Keep the list truthful: everything not removed stays.
+			kept = append(kept, id)
+			w.segs = kept
+			return err
+		}
+	}
+	w.segs = kept
+	return syncDir(w.dir)
+}
+
+// Close flushes and closes the journal.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	err := w.syncLocked()
+	if w.f != nil {
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	w.mu.Unlock()
+	if w.opts.Policy == SyncInterval {
+		close(w.stop)
+		<-w.done
+	}
+	return err
+}
+
+// flushLoop is the SyncInterval background syncer.
+func (w *WAL) flushLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed {
+				w.syncLocked()
+			}
+			w.mu.Unlock()
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,285 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func collect(t *testing.T, w *WAL) [][]byte {
+	t.Helper()
+	var out [][]byte
+	if err := w.Replay(func(_ int, p []byte) error {
+		out = append(out, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *WAL {
+	t.Helper()
+	w, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+// TestRoundTrip: appended records come back verbatim, in order, across
+// a close/reopen and across all sync policies.
+func TestRoundTrip(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(p.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			w := mustOpen(t, dir, Options{Policy: p, Interval: 5 * time.Millisecond})
+			var want [][]byte
+			for i := 0; i < 50; i++ {
+				rec := bytes.Repeat([]byte{byte(i)}, i*7%97+1)
+				want = append(want, rec)
+				if _, err := w.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			w2 := mustOpen(t, dir, Options{Policy: p})
+			got := collect(t, w2)
+			if len(got) != len(want) {
+				t.Fatalf("replayed %d records, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("record %d = %x, want %x", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRotationAndGC: appends rotate past the size threshold, Rotate
+// cuts explicitly, and RemoveBefore reclaims exactly the prefix.
+func TestRotationAndGC(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Policy: SyncNone, SegmentBytes: 64})
+	for i := 0; i < 20; i++ {
+		if _, err := w.Append(bytes.Repeat([]byte{byte(i)}, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(w.Segments()); n < 3 {
+		t.Fatalf("size rotation produced only %d segments", n)
+	}
+	cut, err := w.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("post-checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RemoveBefore(cut); err != nil {
+		t.Fatal(err)
+	}
+	segs := w.Segments()
+	if segs[0] != cut {
+		t.Fatalf("segments after GC start at %d, want %d", segs[0], cut)
+	}
+	recs := collect(t, w)
+	if len(recs) != 1 || string(recs[0]) != "post-checkpoint" {
+		t.Fatalf("post-GC replay = %q", recs)
+	}
+	// Reopen after GC: the contiguous suffix is a valid log.
+	w.Close()
+	w2 := mustOpen(t, dir, Options{})
+	if recs := collect(t, w2); len(recs) != 1 {
+		t.Fatalf("reopen after GC replayed %d records", len(recs))
+	}
+}
+
+// TestTornTailTruncated: a record cut mid-payload by a crash is
+// truncated on open and replay yields exactly the intact prefix.
+// Every truncation point within the final record is exercised.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Policy: SyncNone})
+	w.Append([]byte("alpha"))
+	w.Append([]byte("beta"))
+	w.Close()
+	path := filepath.Join(dir, segName(0))
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "beta" occupies the last 4 (crc) + 1 (len) + 4 (payload) bytes.
+	for cut := 1; cut <= 8; cut++ {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir2 := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir2, segName(0)), whole[:len(whole)-cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			w2 := mustOpen(t, dir2, Options{})
+			recs := collect(t, w2)
+			if len(recs) != 1 || string(recs[0]) != "alpha" {
+				t.Fatalf("cut %d: replay = %q, want [alpha]", cut, recs)
+			}
+			// The torn bytes are gone: appends after recovery extend a
+			// clean tail.
+			if _, err := w2.Append([]byte("gamma")); err != nil {
+				t.Fatal(err)
+			}
+			w2.Close()
+			w3 := mustOpen(t, dir2, Options{})
+			if recs := collect(t, w3); len(recs) != 2 || string(recs[1]) != "gamma" {
+				t.Fatalf("cut %d: post-recovery replay = %q", cut, recs)
+			}
+		})
+	}
+}
+
+// TestZeroLengthSegment: a crash between segment creation and header
+// write leaves an empty final segment; it must open cleanly and accept
+// appends.
+func TestZeroLengthSegment(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Policy: SyncNone})
+	w.Append([]byte("one"))
+	w.Rotate()
+	w.Close()
+	// Simulate the crash: empty the last segment.
+	last := segName(1)
+	if err := os.WriteFile(filepath.Join(dir, last), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := mustOpen(t, dir, Options{})
+	if recs := collect(t, w2); len(recs) != 1 || string(recs[0]) != "one" {
+		t.Fatalf("replay = %q", recs)
+	}
+	if _, err := w2.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	w3 := mustOpen(t, dir, Options{})
+	if recs := collect(t, w3); len(recs) != 2 {
+		t.Fatalf("after append to recovered empty segment: %q", recs)
+	}
+}
+
+// TestMidFileCorruptionRefused: a checksum-corrupt record that is NOT
+// the torn tail — valid data follows it, or it sits in a non-final
+// segment — must refuse the log, not silently skip.
+func TestMidFileCorruptionRefused(t *testing.T) {
+	build := func(t *testing.T) (dir string, recOff int64) {
+		dir = t.TempDir()
+		w := mustOpen(t, dir, Options{Policy: SyncNone})
+		w.Append([]byte("first-record"))
+		st, err := os.Stat(filepath.Join(dir, segName(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recOff = st.Size() - 6 // inside "first-record"'s payload
+		w.Append([]byte("second-record"))
+		w.Close()
+		return dir, recOff
+	}
+
+	flip := func(t *testing.T, path string, off int64) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[off] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("middle-of-final-segment", func(t *testing.T) {
+		dir, off := build(t)
+		flip(t, filepath.Join(dir, segName(0)), off)
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("open = %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("non-final-segment", func(t *testing.T) {
+		dir, off := build(t)
+		// Add a later segment so segment 0 is non-final; corrupt even
+		// its LAST record — tail tolerance applies only to the final
+		// segment.
+		w := mustOpen(t, dir, Options{Policy: SyncNone})
+		w.Rotate()
+		w.Append([]byte("later"))
+		w.Close()
+		data, _ := os.ReadFile(filepath.Join(dir, segName(0)))
+		data[int64(len(data))-3] ^= 0xff
+		os.WriteFile(filepath.Join(dir, segName(0)), data, 0o644)
+		_ = off
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("open = %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("truncated-non-final-segment", func(t *testing.T) {
+		dir, _ := build(t)
+		w := mustOpen(t, dir, Options{Policy: SyncNone})
+		w.Rotate()
+		w.Append([]byte("later"))
+		w.Close()
+		path := filepath.Join(dir, segName(0))
+		st, _ := os.Stat(path)
+		if err := os.Truncate(path, st.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("open = %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("segment-gap", func(t *testing.T) {
+		dir, _ := build(t)
+		w := mustOpen(t, dir, Options{Policy: SyncNone})
+		w.Rotate()
+		w.Rotate()
+		w.Close()
+		if err := os.Remove(filepath.Join(dir, segName(1))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("open = %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("mislabeled-segment", func(t *testing.T) {
+		dir, _ := build(t)
+		// Rename segment 0 to segment 1: the header still says 0.
+		if err := os.Rename(filepath.Join(dir, segName(0)), filepath.Join(dir, segName(1))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("open = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// TestAppendFailurePoisons: after a failed append the WAL refuses
+// further appends instead of burying a torn record mid-file.
+func TestAppendFailurePoisons(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Policy: SyncNone})
+	w.Append([]byte("ok"))
+	// Force the failure by closing the file out from under the WAL.
+	w.f.Close()
+	if _, err := w.Append([]byte("fails")); err == nil {
+		t.Fatal("append on closed file succeeded")
+	}
+	if _, err := w.Append([]byte("also-fails")); err == nil {
+		t.Fatal("append after poison succeeded")
+	}
+}
