@@ -3,14 +3,17 @@
 // best ns/op — and, when the run used -benchmem and the baseline pins
 // one, its best allocs/op — against the values in BENCH_baseline.json,
 // and exits non-zero when a regression exceeds the allowed fraction.
-// With -emit it also writes every parsed benchmark result as JSON, the
-// file CI uploads as the per-PR benchmark artifact.
+// The allowed fraction is per-bench: a post_pr entry may carry its own
+// max_regress / max_allocs_regress, and the -max-regress /
+// -max-allocs-regress flags only fill in for benches that don't. With
+// -emit it also writes every parsed benchmark result as JSON, the file
+// CI uploads as the per-PR benchmark artifact.
 //
 // Usage:
 //
 //	go test -run=NONE -bench='^BenchmarkScenarioBuild$' -benchtime=5x -benchmem . |
 //	    go run ./cmd/benchguard -baseline BENCH_baseline.json \
-//	        -bench BenchmarkScenarioBuild -max-regress 0.25 -max-allocs-regress 0.25
+//	        -bench BenchmarkScenarioBuild
 package main
 
 import (
@@ -25,11 +28,17 @@ import (
 )
 
 // baseline mirrors the slice of BENCH_baseline.json benchguard needs:
-// the pinned post-PR numbers per benchmark.
+// the pinned post-PR numbers per benchmark, plus optional per-bench
+// tolerance overrides. A bench with no override is gated at the CLI
+// defaults; an override wins over the flags, so the tolerance lives
+// next to the number it guards instead of being scattered across CI
+// step invocations.
 type baseline struct {
 	PostPR map[string]struct {
-		NsPerOp     float64 `json:"ns_per_op"`
-		AllocsPerOp float64 `json:"allocs_per_op"`
+		NsPerOp          float64  `json:"ns_per_op"`
+		AllocsPerOp      float64  `json:"allocs_per_op"`
+		MaxRegress       *float64 `json:"max_regress,omitempty"`
+		MaxAllocsRegress *float64 `json:"max_allocs_regress,omitempty"`
 	} `json:"post_pr"`
 }
 
@@ -50,8 +59,8 @@ var benchLine = regexp.MustCompile(
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON with post_pr.<bench>.{ns_per_op,allocs_per_op}")
 	bench := flag.String("bench", "BenchmarkScenarioBuild", "comma-separated benchmark names to guard")
-	maxRegress := flag.Float64("max-regress", 0.25, "maximum allowed ns/op regression as a fraction of the baseline")
-	maxAllocs := flag.Float64("max-allocs-regress", 0.25, "maximum allowed allocs/op regression as a fraction of the baseline (gated only when the baseline pins allocs and the run used -benchmem)")
+	maxRegress := flag.Float64("max-regress", 0.25, "default maximum allowed ns/op regression as a fraction of the baseline (a post_pr entry's max_regress overrides it)")
+	maxAllocs := flag.Float64("max-allocs-regress", 0.25, "default maximum allowed allocs/op regression as a fraction of the baseline (a post_pr entry's max_allocs_regress overrides it; gated only when the baseline pins allocs and the run used -benchmem)")
 	emit := flag.String("emit", "", "write every parsed benchmark result to this JSON file")
 	flag.Parse()
 
@@ -126,19 +135,26 @@ func main() {
 		if !ok {
 			fatalf("no %s result found on stdin", name)
 		}
+		nsLimit, allocLimit := *maxRegress, *maxAllocs
+		if pinned.MaxRegress != nil {
+			nsLimit = *pinned.MaxRegress
+		}
+		if pinned.MaxAllocsRegress != nil {
+			allocLimit = *pinned.MaxAllocsRegress
+		}
 		change := 100 * (got.NsPerOp - pinned.NsPerOp) / pinned.NsPerOp
 		fmt.Printf("benchguard: %s best %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
-			name, got.NsPerOp, pinned.NsPerOp, change, 100**maxRegress)
-		if got.NsPerOp > pinned.NsPerOp*(1+*maxRegress) {
-			fmt.Fprintf(os.Stderr, "benchguard: %s ns/op regressed beyond the %.0f%% budget\n", name, 100**maxRegress)
+			name, got.NsPerOp, pinned.NsPerOp, change, 100*nsLimit)
+		if got.NsPerOp > pinned.NsPerOp*(1+nsLimit) {
+			fmt.Fprintf(os.Stderr, "benchguard: %s ns/op regressed beyond the %.0f%% budget\n", name, 100*nsLimit)
 			failed = true
 		}
 		if pinned.AllocsPerOp > 0 && got.hasAllocs {
 			change := 100 * (got.AllocsPerOp - pinned.AllocsPerOp) / pinned.AllocsPerOp
 			fmt.Printf("benchguard: %s best %.0f allocs/op vs baseline %.0f allocs/op (%+.1f%%, limit +%.0f%%)\n",
-				name, got.AllocsPerOp, pinned.AllocsPerOp, change, 100**maxAllocs)
-			if got.AllocsPerOp > pinned.AllocsPerOp*(1+*maxAllocs) {
-				fmt.Fprintf(os.Stderr, "benchguard: %s allocs/op regressed beyond the %.0f%% budget\n", name, 100**maxAllocs)
+				name, got.AllocsPerOp, pinned.AllocsPerOp, change, 100*allocLimit)
+			if got.AllocsPerOp > pinned.AllocsPerOp*(1+allocLimit) {
+				fmt.Fprintf(os.Stderr, "benchguard: %s allocs/op regressed beyond the %.0f%% budget\n", name, 100*allocLimit)
 				failed = true
 			}
 		}

@@ -34,6 +34,14 @@
 //
 // SIGTERM/SIGINT shut down gracefully: new uploads 503, in-flight
 // requests drain, a final epoch + checkpoint is written, exit 0.
+// -checkpoint-bytes additionally cuts checkpoints mid-run whenever the
+// WAL grows past the threshold, bounding recovery time.
+//
+// With -node and -registry the daemon joins a cluster: it heartbeats
+// its name, advertised address, and epoch high-water mark into the
+// registries (normally the mergerd fan-in tier), owns the ring
+// partition of users that hash to its name, and exports its committed
+// state at GET /v1/snapshot for the merge tier to pull.
 //
 // Replay a simulated study against it with:
 //
@@ -52,9 +60,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"crossborder/internal/cluster"
 	"crossborder/internal/ingest"
 	"crossborder/internal/scenario"
 )
@@ -70,6 +80,11 @@ func main() {
 	walSync := flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | none")
 	walSyncEvery := flag.Duration("wal-sync-interval", 100*time.Millisecond, "background fsync cadence under -wal-sync=interval")
 	walSegment := flag.Int64("wal-segment", 64<<20, "WAL segment size before rotation, bytes")
+	ckptBytes := flag.Int64("checkpoint-bytes", 0, "cut a checkpoint automatically once the uncovered WAL exceeds this many bytes (0 = only on flush/shutdown; needs -data)")
+	node := flag.String("node", "", "stable shard name in a cluster (enables heartbeating with -registry)")
+	advertise := flag.String("advertise", "", "base URL clients and the merge tier reach this shard at (default http://<addr>)")
+	registry := flag.String("registry", "", "comma-separated registry base URLs to heartbeat into (typically the mergerd address)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "heartbeat cadence with -registry")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "collectd: building world (seed=%d scale=%.2f)...\n", *seed, *scale)
@@ -93,6 +108,7 @@ func main() {
 		EpochEvents: *epoch, Workers: *workers, Compress: *compress,
 		DataDir: *data, WALSync: *walSync,
 		WALSyncInterval: *walSyncEvery, WALSegmentBytes: *walSegment,
+		CheckpointBytes: *ckptBytes,
 	})
 	defer c.Close()
 	srv := &http.Server{Handler: ingest.NewServer(c)}
@@ -109,6 +125,33 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "collectd: serving on %s (epoch=%d events, workers=%d)\n", ln.Addr(), *epoch, *workers)
+
+	// Cluster membership: announce this shard to the registries so the
+	// merge tier pulls its snapshots and clients can re-resolve its
+	// address after a restart. Heartbeats start before recovery — the
+	// shard is discoverable (suspect, then alive) while it replays.
+	if *node != "" && *registry != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		var targets []string
+		for _, t := range strings.Split(*registry, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targets = append(targets, t)
+			}
+		}
+		hb := &cluster.Heartbeater{
+			Node: *node, Addr: adv, Targets: targets, Interval: *heartbeat,
+			Source: func() (int, int) {
+				snap := c.Snapshot()
+				return snap.Epoch(), snap.Rows()
+			},
+		}
+		hb.Start()
+		defer hb.Stop()
+		fmt.Fprintf(os.Stderr, "collectd: heartbeating as %q (%s) to %v every %v\n", *node, adv, targets, *heartbeat)
+	}
 
 	if *data != "" {
 		fmt.Fprintf(os.Stderr, "collectd: recovering from %s (wal-sync=%s)...\n", *data, *walSync)

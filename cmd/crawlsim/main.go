@@ -19,6 +19,16 @@
 // rebuilds the batch dataset byte for byte. -binary switches NDJSON for
 // the compact binary framing. The final partial epoch is flushed unless
 // -noflush is set.
+//
+// -targets drives a whole cluster instead of one daemon: users route to
+// collectors by consistent hash on user id (the same ring the cluster
+// package gives clients), one uploader goroutine per shard, and
+// -registry lets the client re-resolve a shard's address if it restarts
+// elsewhere mid-replay:
+//
+//	crawlsim -scale 0.1 -replay \
+//	    -targets c1=http://h1:8477,c2=http://h2:8477 \
+//	    -registry http://merger:8080
 package main
 
 import (
@@ -27,10 +37,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"crossborder"
 	"crossborder/internal/classify"
+	"crossborder/internal/cluster"
 	"crossborder/internal/ingest"
 	"crossborder/internal/scenario"
 )
@@ -43,6 +55,8 @@ func main() {
 	dump := flag.Int("dump", 0, "emit every Nth captured request as CSV (0 = none)")
 	replay := flag.Bool("replay", false, "upload the simulated event stream to a collectd instance instead of classifying locally")
 	target := flag.String("target", "", "collectd base URL for -replay (e.g. http://localhost:8477)")
+	targets := flag.String("targets", "", "drive a whole cluster in -replay: comma-separated node=url pairs (e.g. c1=http://h1:8477,c2=http://h2:8477); users route to shards by consistent hash")
+	registry := flag.String("registry", "", "registry base URL(s) for shard address re-resolution in cluster -replay (e.g. the mergerd address)")
 	batch := flag.Int("batch", 512, "events per upload batch in -replay")
 	uploaders := flag.Int("uploaders", 1, "concurrent upload connections in -replay (1 preserves byte parity)")
 	binary := flag.Bool("binary", false, "use the binary upload framing instead of NDJSON in -replay")
@@ -50,6 +64,10 @@ func main() {
 	flag.Parse()
 
 	if *replay {
+		if *targets != "" {
+			runClusterReplay(*seed, *scale, *visits, *workers, *targets, *registry, *batch, *binary, !*noflush)
+			return
+		}
 		runReplay(*seed, *scale, *visits, *workers, *target, *batch, *uploaders, *binary, !*noflush)
 		return
 	}
@@ -122,5 +140,71 @@ func runReplay(seed int64, scale float64, visits, workers int, target string, ba
 	}
 	fmt.Printf("replayed %d events (%d users, %d batches, %d uploaders) in %v: %.0f events/sec\n",
 		stats.Events, stats.Users, stats.Batches, uploaders,
+		stats.Duration.Round(time.Millisecond), stats.EventsPerSec())
+}
+
+// runClusterReplay simulates the browsing study and uploads the
+// captured streams across a partitioned cluster: users hash to shards
+// on the consistent ring, one uploader per shard, retargeting through
+// the registry when a shard moves.
+func runClusterReplay(seed int64, scale float64, visits, workers int, targets, registry string, batch int, binary, flush bool) {
+	addrs := make(map[string]string)
+	var nodes []string
+	for _, pair := range strings.Split(targets, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		node, url, ok := strings.Cut(pair, "=")
+		if !ok || node == "" || url == "" {
+			fmt.Fprintf(os.Stderr, "crawlsim: -targets entry %q is not node=url\n", pair)
+			os.Exit(2)
+		}
+		nodes = append(nodes, node)
+		addrs[node] = url
+	}
+	ring, err := cluster.NewRing(nodes, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawlsim:", err)
+		os.Exit(2)
+	}
+	var registries []string
+	for _, r := range strings.Split(registry, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			registries = append(registries, r)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "crawlsim: building world and simulating (seed=%d scale=%.2f)...\n", seed, scale)
+	world := scenario.BuildWorld(scenario.Params{Seed: seed, Scale: scale, VisitsPerUser: visits, Workers: workers})
+	events := ingest.RecordSimulation(world, visits, workers)
+	total := 0
+	for _, evs := range events {
+		total += len(evs)
+	}
+	fmt.Fprintf(os.Stderr, "crawlsim: captured %d events from %d users; uploading across %d shards\n",
+		total, len(events), len(nodes))
+
+	cl, err := cluster.NewClient(ring, addrs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawlsim:", err)
+		os.Exit(2)
+	}
+	cl.Binary = binary
+	cl.Retry = &ingest.RetryPolicy{}
+	cl.Registries = registries
+	stats, err := cl.Replay(events, batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawlsim:", err)
+		os.Exit(1)
+	}
+	if flush {
+		if err := cl.FlushAll(); err != nil {
+			fmt.Fprintln(os.Stderr, "crawlsim: flush:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("replayed %d events (%d users, %d batches, %d shards) in %v: %.0f events/sec\n",
+		stats.Events, stats.Users, stats.Batches, len(nodes),
 		stats.Duration.Round(time.Millisecond), stats.EventsPerSec())
 }

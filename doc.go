@@ -94,4 +94,19 @@
 // what long-running collectors want). The codec is lossless and
 // checksummed, so backend and compression choices never change a
 // rendered artifact.
+//
+// # Live collection and the cluster tier
+//
+// The batch study has a streaming twin: cmd/collectd ingests
+// sequence-numbered uploads into the same columnar engine epoch by
+// epoch (internal/ingest), optionally durable via a write-ahead log
+// and epoch checkpoints, and serves every registered artifact live.
+// internal/cluster scales that horizontally — N collectd shards each
+// own a consistent-hash partition of the users, announce themselves
+// over a heartbeat/gossip membership layer, and cmd/mergerd merges
+// the per-shard epoch snapshots (interner remap, cross-shard
+// fixpoint re-closure, aggregate deltas) behind the same /v1/* query
+// API. The invariant at every tier is byte parity: single collector,
+// crash-recovered collector, and eight-shard merged cluster all
+// render the exact bytes of the batch study over the same events.
 package crossborder

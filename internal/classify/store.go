@@ -14,6 +14,13 @@ import (
 // spilled dataset needs only a few chunks resident at a time.
 const DefaultChunkRows = 1 << 14
 
+// RowWidthBytes is the wide (struct-of-arrays) column width of one row:
+// 8 (URLHash) + 4 (IP) + 4 (FQDN) + 4 (RefFQDN) + 4 (Publisher) +
+// 4 (User) + 2 (Day) + 1 (Country) + 1 (Flags) + 1 (Class). Footprint
+// accounting uses it as the raw-equivalent size of a row, the yardstick
+// compressed blocks are measured against.
+const RowWidthBytes = 33
+
 // Chunk is one fixed-capacity columnar (struct-of-arrays) block of
 // rows. All column slices share the same length. The Class column is
 // special: it always aliases the store's resident class storage, so
@@ -342,3 +349,40 @@ func (st *MemStore) Classes(i int) []Class {
 
 // Close implements Store; in-memory stores hold no external resources.
 func (st *MemStore) Close() error { return nil }
+
+// Footprint is the memory accounting of a store: how many bytes of row
+// data are resident wide, how many live as compressed codec blocks, and
+// how many chunks are sealed. RawEquivalentBytes (Rows*RowWidthBytes)
+// is what the same rows would occupy fully wide — the compression
+// yardstick.
+type Footprint struct {
+	Rows            int
+	ResidentBytes   int64 // wide columns (including resident class columns)
+	CompressedBytes int64 // sealed codec blocks
+	SealedChunks    int
+}
+
+// RawEquivalentBytes returns the fully-wide size of the stored rows.
+func (f Footprint) RawEquivalentBytes() int64 { return int64(f.Rows) * RowWidthBytes }
+
+// Footprint reports the store's current memory accounting. In wide mode
+// everything is resident; in compressed-resident mode sealed chunks
+// count their block bytes plus the one-byte-per-row class column that
+// stays wide and mutable, and the open tail chunk counts fully wide.
+func (st *MemStore) Footprint() Footprint {
+	fp := Footprint{Rows: st.n, SealedChunks: len(st.blocks)}
+	if !st.compress {
+		for _, c := range st.chunks {
+			fp.ResidentBytes += int64(c.Len()) * RowWidthBytes
+		}
+		return fp
+	}
+	for i, b := range st.blocks {
+		fp.CompressedBytes += int64(len(b))
+		fp.ResidentBytes += int64(len(st.classes[i])) // resident class column
+	}
+	if st.open != nil {
+		fp.ResidentBytes += int64(st.open.Len()) * RowWidthBytes
+	}
+	return fp
+}

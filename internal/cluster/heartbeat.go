@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Heartbeater is the shard-side announcement loop: every Interval it
+// POSTs a wire heartbeat — node name, advertised address, epoch
+// high-water mark — to every registry target. collectd runs one when
+// started with -registry; tests drive Beat directly.
+type Heartbeater struct {
+	// Node and Addr identify the shard (see Heartbeat).
+	Node string
+	Addr string
+	// Targets are registry base URLs (e.g. the mergerd address).
+	Targets []string
+	// Interval is the heartbeat cadence (0 = 1s).
+	Interval time.Duration
+	// Source reports the shard's committed epoch and rows at send time.
+	Source func() (epoch, rows int)
+	// HTTP overrides the transport (nil = a client with a short
+	// timeout, so a hung registry never wedges the loop).
+	HTTP *http.Client
+
+	once sync.Once
+	stop chan struct{}
+	done chan struct{}
+}
+
+func (h *Heartbeater) client() *http.Client {
+	if h.HTTP != nil {
+		return h.HTTP
+	}
+	return &http.Client{Timeout: 2 * time.Second}
+}
+
+// Beat sends one heartbeat to every target, returning the first error
+// (all targets are still attempted — registries fail independently).
+func (h *Heartbeater) Beat() error {
+	var epoch, rows int
+	if h.Source != nil {
+		epoch, rows = h.Source()
+	}
+	body := EncodeHeartbeat(Heartbeat{
+		Node: h.Node, Addr: h.Addr,
+		Epoch: uint64(epoch), Rows: uint64(rows),
+	})
+	var firstErr error
+	for _, t := range h.Targets {
+		resp, err := h.client().Post(t+"/cluster/v1/heartbeat", ContentTypeHeartbeat, bytes.NewReader(body))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: heartbeat to %s: %s", t, resp.Status)
+		}
+	}
+	return firstErr
+}
+
+// Start launches the loop. Stop ends it.
+func (h *Heartbeater) Start() {
+	h.once.Do(func() {
+		h.stop = make(chan struct{})
+		h.done = make(chan struct{})
+		interval := h.Interval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		go func() {
+			defer close(h.done)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			h.Beat() // announce immediately; errors are retried next tick
+			for {
+				select {
+				case <-h.stop:
+					return
+				case <-t.C:
+					h.Beat()
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the loop and waits for it to exit. Safe to call without
+// Start (no-op) and more than once.
+func (h *Heartbeater) Stop() {
+	if h.stop == nil {
+		return
+	}
+	select {
+	case <-h.stop:
+	default:
+		close(h.stop)
+	}
+	<-h.done
+}
+
+// FetchMembers pulls a registry's membership view over HTTP (the wire
+// form, so the hardened decoder validates it).
+func FetchMembers(httpc *http.Client, registryBase string) ([]MemberRecord, error) {
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 2 * time.Second}
+	}
+	resp, err := httpc.Get(registryBase + "/cluster/v1/members?format=wire")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: members from %s: %s", registryBase, resp.Status)
+	}
+	return DecodeMembers(raw)
+}

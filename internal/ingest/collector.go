@@ -68,6 +68,13 @@ type Config struct {
 	// WALSegmentBytes caps a journal segment before rotation
 	// (0 = 64 MiB).
 	WALSegmentBytes int64
+	// CheckpointBytes, when > 0, cuts a checkpoint automatically once
+	// the uncovered WAL (journaled record bytes not yet covered by a
+	// checkpoint) exceeds this threshold — bounding recovery time under
+	// sustained ingest instead of checkpointing only on flush and
+	// shutdown. An auto-checkpoint failure never fails the triggering
+	// upload; it is recorded and surfaced via /v1/stats.
+	CheckpointBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +141,14 @@ type Collector struct {
 	// the journal can no longer deliver.
 	wal    *wal.WAL
 	walErr error
+	// walSinceCkpt counts journaled record bytes not yet covered by a
+	// checkpoint (reset when one is written); Config.CheckpointBytes
+	// triggers auto-checkpoints off it. lastCkptBytes and lastCkptErr
+	// describe the most recent checkpoint attempt. All three are written
+	// under mu but read atomically by the lock-free /v1/stats path.
+	walSinceCkpt  atomic.Int64
+	lastCkptBytes atomic.Int64
+	lastCkptErr   atomic.Pointer[string]
 	// ready gates uploads: memory-only collectors are born ready,
 	// durable ones flip ready when Recover completes. draining gates
 	// uploads during graceful shutdown. The rec* counters feed the
@@ -297,10 +312,12 @@ func (c *Collector) ingestLocked(b Batch, journal bool) (UploadResult, error) {
 			if c.walErr != nil {
 				return UploadResult{}, c.walErr
 			}
-			if _, err := c.wal.Append(EncodeBinary(Batch{User: b.User, Seq: next, Events: fresh})); err != nil {
+			rec := EncodeBinary(Batch{User: b.User, Seq: next, Events: fresh})
+			if _, err := c.wal.Append(rec); err != nil {
 				c.walErr = fmt.Errorf("%w: %v", ErrJournal, err)
 				return UploadResult{}, c.walErr
 			}
+			c.walSinceCkpt.Add(int64(len(rec)))
 		}
 		c.pending[b.User] = append(c.pending[b.User], fresh...)
 		c.pendingN.Add(int64(len(fresh)))
@@ -315,6 +332,25 @@ func (c *Collector) ingestLocked(b Batch, journal bool) (UploadResult, error) {
 	c.mDupEvents.Add(int64(res.Duplicate))
 	if c.pendingN.Load() >= int64(c.cfg.EpochEvents) {
 		c.commitEpoch()
+	}
+	// Checkpoint cadence by WAL bytes: once the uncovered journal
+	// exceeds the threshold, commit whatever is pending and cut a
+	// checkpoint inline. Gated on readiness so WAL replay (which also
+	// flows through here) never checkpoints — and GCs segments — out
+	// from under the recovery loop iterating them. A failed
+	// auto-checkpoint must not fail the upload that happened to trip
+	// the threshold: the journal already holds the accepted batch, so
+	// durability is intact; the error is surfaced via /v1/stats and
+	// retried at the next threshold crossing.
+	if journal && c.wal != nil && c.walErr == nil && c.cfg.CheckpointBytes > 0 &&
+		c.walSinceCkpt.Load() >= c.cfg.CheckpointBytes && c.ready.Load() {
+		if c.pendingN.Load() > 0 {
+			c.commitEpoch()
+		}
+		if err := c.checkpointLocked(); err != nil {
+			msg := err.Error()
+			c.lastCkptErr.Store(&msg)
+		}
 	}
 	snap := c.snap.Load()
 	res.Epoch, res.Rows = snap.Epoch(), snap.Rows()

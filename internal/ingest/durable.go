@@ -261,6 +261,10 @@ func (c *Collector) Recover() (RecoveryStats, error) {
 			if _, err := c.ingestLocked(b, false); err != nil {
 				return fmt.Errorf("ingest: WAL replay: %w", err)
 			}
+			// Surviving journal bytes are uncovered by the checkpoint;
+			// they count toward the auto-checkpoint threshold so a
+			// restart does not reset the cadence.
+			c.walSinceCkpt.Add(int64(len(payload)))
 			c.recRecords.Add(1)
 			return nil
 		})
@@ -291,7 +295,8 @@ func (c *Collector) FlushCheckpoint() (*Snapshot, error) {
 	if c.wal == nil || c.closed {
 		return c.snap.Load(), nil
 	}
-	return c.snap.Load(), c.checkpointLocked()
+	err := c.checkpointLocked()
+	return c.snap.Load(), err
 }
 
 // checkpointLocked writes a checkpoint of the committed state. Called
@@ -329,6 +334,11 @@ func (c *Collector) checkpointLocked() error {
 			}
 		}
 	}
+	// The checkpoint now covers every journaled byte: reset the
+	// auto-checkpoint accumulator and record the size for /v1/stats.
+	c.walSinceCkpt.Store(0)
+	c.lastCkptBytes.Store(int64(len(body)))
+	c.lastCkptErr.Store(nil)
 	return c.wal.RemoveBefore(seg)
 }
 
@@ -408,6 +418,12 @@ func readCheckpoint(path string) (*ckptMeta, [][]byte, [][]classify.Class, error
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	return decodeCheckpoint(data)
+}
+
+// decodeCheckpoint parses one XCKP1 payload (a checkpoint file or a
+// /v1/snapshot export body).
+func decodeCheckpoint(data []byte) (*ckptMeta, [][]byte, [][]classify.Class, error) {
 	if len(data) < len(ckptMagic)+4 || string(data[:len(ckptMagic)]) != string(ckptMagic[:]) {
 		return nil, nil, nil, fmt.Errorf("%w: bad header", errCkptCorrupt)
 	}

@@ -1,0 +1,95 @@
+package ingest
+
+import (
+	"errors"
+	"net/http"
+	"time"
+)
+
+// ErrNoSnapshot is what a query tier reports before its first merged
+// view is published (503 over HTTP).
+var ErrNoSnapshot = errors.New("ingest: no snapshot published yet")
+
+// QueryServer is the read-only query half of the /v1 API over any
+// snapshot source. The collector's Server wires these same handlers to
+// its live snapshot; the fan-in tier (mergerd) mounts a QueryServer
+// over its merged snapshots, so clients query a cluster and a single
+// collector through one identical API:
+//
+//	GET /v1/experiments       registry ids (JSON array)
+//	GET /v1/experiments/{id}  artifact of the current snapshot
+//	GET /v1/stats             aggregates + store footprint of the snapshot
+//	GET /healthz              liveness (always 200)
+//	GET /readyz               readiness (200 once a snapshot is published)
+type QueryServer struct {
+	snap    func() *Snapshot // nil result = nothing published yet
+	ready   func() error     // nil func or nil result = ready
+	started time.Time
+	mux     *http.ServeMux
+}
+
+// NewQueryServer builds a query server over a snapshot source. snap is
+// called per request and must be cheap and concurrency-safe (an atomic
+// pointer load); ready, when non-nil, supplies the /readyz failure
+// reason while the source is still assembling its first view.
+func NewQueryServer(snap func() *Snapshot, ready func() error) *QueryServer {
+	q := &QueryServer{snap: snap, ready: ready, started: time.Now(), mux: http.NewServeMux()}
+	q.mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		serveExperimentList(w)
+	})
+	q.mux.HandleFunc("GET /v1/experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := q.current()
+		if err != nil {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		serveExperiment(w, r, snap)
+	})
+	q.mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := q.current()
+		if err != nil {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, statsResponse(snap, 0))
+	})
+	q.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"uptime": time.Since(q.started).Round(time.Second).String(),
+		})
+	})
+	q.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := q.current()
+		if err != nil {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "not ready", "error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ready",
+			"epoch":  snap.Epoch(),
+			"rows":   snap.Rows(),
+		})
+	})
+	return q
+}
+
+// current resolves the snapshot to serve, or the not-ready reason.
+func (q *QueryServer) current() (*Snapshot, error) {
+	if q.ready != nil {
+		if err := q.ready(); err != nil {
+			return nil, err
+		}
+	}
+	snap := q.snap()
+	if snap == nil {
+		return nil, ErrNoSnapshot
+	}
+	return snap, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (q *QueryServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { q.mux.ServeHTTP(w, r) }

@@ -20,6 +20,10 @@ const (
 	ContentTypeBinary = "application/x-crossborder-batch"
 )
 
+// ContentTypeSnapshot is the /v1/snapshot body: an XCKP1 checkpoint
+// payload (see EncodeSnapshot).
+const ContentTypeSnapshot = "application/x-crossborder-checkpoint"
+
 // maxUploadBytes bounds one upload request body (64 MiB comfortably
 // holds a MaxBatchEvents binary batch).
 const maxUploadBytes = 64 << 20
@@ -30,6 +34,7 @@ type StatsResponse struct {
 	Epoch   int                   `json:"epoch"`
 	Rows    int                   `json:"rows"`
 	Stats   statsBlock            `json:"dataset"`
+	Store   StoreFootprint        `json:"store"`
 	Flows   map[string]flowsBlock `json:"flows"` // per geolocation service
 	Epochs  []EpochStat           `json:"epochs"`
 	Pending int                   `json:"pending_events"`
@@ -76,6 +81,7 @@ func NewServer(c *Collector) *Server {
 	s := &Server{c: c, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/upload", s.handleUpload)
 	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -157,18 +163,47 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+// handleSnapshot serves the collector's committed state as one XCKP1
+// payload for the fan-in tier. The ETag is the committed epoch, so a
+// merger polling an idle shard pays one header round-trip, not a
+// re-encode: If-None-Match against the current epoch answers 304 before
+// any encoding happens.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.c.Ready() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, ErrNotReady)
+		return
+	}
+	etagOf := func(epoch int) string { return fmt.Sprintf("\"epoch-%d\"", epoch) }
+	if inm := r.Header.Get("If-None-Match"); inm != "" && inm == etagOf(s.c.Snapshot().Epoch()) {
+		w.Header().Set("ETag", inm)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	data, epoch, err := s.c.EncodeSnapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeSnapshot)
+	w.Header().Set("ETag", etagOf(epoch))
+	w.Header().Set("X-Epoch", strconv.Itoa(epoch))
+	w.Write(data)
+}
+
+// serveExperimentList and serveExperiment are the snapshot-driven query
+// handlers shared by the collector Server and the fan-in QueryServer.
+func serveExperimentList(w http.ResponseWriter) {
 	writeJSON(w, http.StatusOK, experiments.IDs())
 }
 
-func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+func serveExperiment(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
 	id := r.PathValue("id")
 	if _, ok := experiments.Get(id); !ok {
 		writeError(w, http.StatusNotFound,
 			fmt.Errorf("ingest: unknown experiment %q (see /v1/experiments)", id))
 		return
 	}
-	snap := s.c.Snapshot()
 	if snap.Rows() == 0 {
 		writeError(w, http.StatusConflict,
 			errors.New("ingest: no epochs committed yet; upload events first"))
@@ -199,6 +234,14 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	serveExperimentList(w)
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	serveExperiment(w, r, s.c.Snapshot())
+}
+
 func flowsOf(a *core.Analysis) flowsBlock {
 	inC, inEU, inEur, _ := a.RegionConfinement(core.EU28Origin)
 	return flowsBlock{
@@ -210,10 +253,12 @@ func flowsOf(a *core.Analysis) flowsBlock {
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.c.Snapshot()
+// statsResponse assembles the /v1/stats payload for one snapshot. The
+// store footprint rides on the snapshot (computed at epoch commit under
+// the ingest lock); callers with live durability gauges overlay them.
+func statsResponse(snap *Snapshot, pending int) StatsResponse {
 	st := snap.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	return StatsResponse{
 		Epoch: snap.Epoch(),
 		Rows:  snap.Rows(),
 		Stats: statsBlock{
@@ -223,17 +268,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ThirdPartyFQDNs:  st.ThirdPartyFQDNs,
 			ThirdPartyReqs:   st.ThirdPartyReqs,
 		},
+		Store: snap.Footprint(),
 		Flows: map[string]flowsBlock{
 			"truth":   flowsOf(snap.TruthAnalysis()),
 			"ipmap":   flowsOf(snap.IPMapAnalysis()),
 			"maxmind": flowsOf(snap.MaxMindAnalysis()),
 		},
-		// The history rides on the snapshot (immutable prefix share) and
-		// the pending gauge is atomic, so /v1/stats — like every query
-		// endpoint — never waits behind an in-flight epoch commit.
 		Epochs:  snap.History(),
-		Pending: s.c.PendingEvents(),
-	})
+		Pending: pending,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// The history and footprint ride on the snapshot (immutable shares)
+	// and every live gauge is atomic, so /v1/stats — like every query
+	// endpoint — never waits behind an in-flight epoch commit.
+	resp := statsResponse(s.c.Snapshot(), s.c.PendingEvents())
+	resp.Store.WALUncoveredBytes = s.c.walSinceCkpt.Load()
+	resp.Store.LastCheckpointBytes = s.c.lastCkptBytes.Load()
+	if msg := s.c.lastCkptErr.Load(); msg != nil {
+		resp.Store.LastCheckpointError = *msg
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz is pure liveness: the process is up and serving HTTP.

@@ -75,6 +75,7 @@ type Snapshot struct {
 	epoch                 int
 	ds                    *classify.Dataset
 	stats                 classify.DatasetStats
+	footprint             StoreFootprint
 	history               []EpochStat
 	truth, ipmap, maxmind *core.Analysis
 	world                 *scenario.Scenario
@@ -82,6 +83,41 @@ type Snapshot struct {
 	once  sync.Once
 	suite *experiments.Suite
 }
+
+// StoreFootprint is the store-accounting block of /v1/stats: how much
+// memory the row store occupies (resident wide columns vs compressed
+// sealed blocks) against the raw-equivalent size of the same rows, plus
+// the durability gauges — journal bytes not yet covered by a checkpoint
+// and the size/outcome of the most recent checkpoint. Per-epoch row
+// counts live in the epochs history alongside it. The WAL fields are
+// zero on a snapshot from a memory-only collector or a merged fan-in
+// view; the HTTP layer overlays them live for durable collectors.
+type StoreFootprint struct {
+	Rows                int    `json:"rows"`
+	SealedChunks        int    `json:"sealed_chunks"`
+	ResidentBytes       int64  `json:"resident_bytes"`
+	CompressedBytes     int64  `json:"compressed_bytes"`
+	RawEquivalentBytes  int64  `json:"raw_equivalent_bytes"`
+	WALUncoveredBytes   int64  `json:"wal_uncovered_bytes"`
+	LastCheckpointBytes int64  `json:"last_checkpoint_bytes"`
+	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
+}
+
+// footprintOf converts the store's accounting to the /v1/stats block.
+func footprintOf(st *classify.MemStore) StoreFootprint {
+	fp := st.Footprint()
+	return StoreFootprint{
+		Rows:               fp.Rows,
+		SealedChunks:       fp.SealedChunks,
+		ResidentBytes:      fp.ResidentBytes,
+		CompressedBytes:    fp.CompressedBytes,
+		RawEquivalentBytes: fp.RawEquivalentBytes(),
+	}
+}
+
+// Footprint returns the live store's memory accounting as of this
+// snapshot (the snapshot itself shares that storage by reference).
+func (s *Snapshot) Footprint() StoreFootprint { return s.footprint }
 
 // Epoch returns the epoch number (0 = nothing committed yet).
 func (s *Snapshot) Epoch() int { return s.epoch }
@@ -204,9 +240,10 @@ func (c *Collector) buildSnapshot(prev *Snapshot, prevRows int, dirty map[int]st
 		Start:      live.Start,
 	}
 	return &Snapshot{
-		epoch:   len(c.epochs),
-		history: c.epochs[:len(c.epochs):len(c.epochs)],
-		ds:      ds,
+		epoch:     len(c.epochs),
+		history:   c.epochs[:len(c.epochs):len(c.epochs)],
+		ds:        ds,
+		footprint: footprintOf(st),
 		stats: classify.DatasetStats{
 			Users:            len(c.userSet),
 			FirstPartySites:  nPubs,

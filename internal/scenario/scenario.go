@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"time"
 
 	"crossborder/internal/blocklist"
@@ -418,10 +419,11 @@ func (s *Scenario) OrgClouds(fqdn string) []geodata.CloudProvider {
 
 // FQDNWeights derives tracking-FQDN popularity from the extension
 // dataset's request counts, the profile the ISP synthesizer replays.
-// The slice is ordered by interner id (first-appearance order in the
-// dataset), not map order: the synthesizer samples weights positionally,
-// so a randomized order would make the §7 ISP tables drift between runs
-// of the same seed.
+// The slice is sorted by FQDN name: the synthesizer samples weights
+// positionally from a seeded rng, so the order must be canonical — a
+// map-order (or even interner-id, i.e. row-arrival-order) slice would
+// make the §7 ISP tables drift between a batch build and a
+// cluster-merged dataset holding the very same rows.
 func (s *Scenario) FQDNWeights() []netflow.FQDNWeight {
 	counts := make([]int64, s.Dataset.FQDNs.Len())
 	s.Dataset.Scan(func(_ int, c *classify.Chunk) {
@@ -437,6 +439,7 @@ func (s *Scenario) FQDNWeights() []netflow.FQDNWeight {
 			out = append(out, netflow.FQDNWeight{FQDN: s.Dataset.FQDNs.Str(uint32(id)), Weight: float64(n)})
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FQDN < out[j].FQDN })
 	return out
 }
 

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -156,6 +157,12 @@ func TestFQDNWeights(t *testing.T) {
 		if w.Weight <= 0 || w.FQDN == "" {
 			t.Fatalf("bad weight %+v", w)
 		}
+	}
+	// The order is canonical (sorted by FQDN): the ISP synthesizer
+	// samples positionally, so any dataset holding the same rows — batch
+	// or cluster-merged — must hand it the same slice.
+	if !sort.SliceIsSorted(ws, func(i, j int) bool { return ws[i].FQDN < ws[j].FQDN }) {
+		t.Error("FQDNWeights not sorted by FQDN")
 	}
 }
 
