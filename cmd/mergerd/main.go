@@ -11,6 +11,8 @@
 //	GET  /v1/experiments        registry ids
 //	GET  /v1/experiments/{id}   artifact over the merged snapshot
 //	GET  /v1/stats              merged aggregates + store footprint
+//	GET  /metrics               Prometheus text: membership, transitions,
+//	                            re-merges, projection-scan counters
 //	GET  /healthz, /readyz      liveness; readiness = all -shards merged
 //
 // A shard that dies keeps contributing its last pulled export, so the
@@ -83,6 +85,7 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/cluster/v1/", reg.Handler())
+	mux.Handle("GET /metrics", cluster.MetricsHandler(reg, fanin))
 	mux.Handle("/", ingest.NewQueryServer(fanin.Snapshot, fanin.Ready))
 	srv := &http.Server{Addr: *addr, Handler: mux}
 

@@ -40,6 +40,16 @@ import (
 //
 //	[4B crc32c over the rest] [1B format flags] [uvarint row count]
 //	9 × ( [1B tag] [uvarint payload length] [payload] )
+//	optional sections (format flag 0x01):
+//	N × ( [1B section tag] [uvarint payload length] [payload] )
+//
+// Sections are version-tolerant: a reader skips section tags it does
+// not know (tag 0 is reserved invalid, so trailing garbage cannot
+// masquerade as a section), so frames can grow new metadata without
+// breaking old readers, and flags==0 blocks from before sections
+// existed decode exactly as they always did. The only section today is the zone map
+// (per-column min/max + distinct count + seal-time class bitmap) the
+// projection scan path uses to skip chunks without decoding them.
 //
 // The decoder is hardened: the checksum is verified first, every
 // declared length is validated against caps derived from the
@@ -59,6 +69,22 @@ const (
 	// colLZ4 marks the payload as LZ4-wrapped: [uvarint inner length]
 	// [lz4 stream], with the inner stream encoded per the scheme bits.
 	colLZ4 = 0x80
+)
+
+// numSchemes is the number of base column encoding schemes
+// (colRaw..colDictHuff), the index space of EncBreakdown.
+const numSchemes = 5
+
+// Format-flag bits of the frame's fifth byte.
+const (
+	// frameHasSections marks that tagged sections follow the nine
+	// columns. Readers skip sections whose tag they do not know.
+	frameHasSections = 0x01
+)
+
+// Section tags.
+const (
+	secZoneMap = 1
 )
 
 // numCols is the number of spilled columns; colWidths their natural
@@ -86,6 +112,148 @@ const (
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 var errCorrupt = errors.New("classify: corrupt chunk block")
+
+// ZoneMap is the per-chunk pruning metadata computed while a chunk is
+// encoded and persisted as a frame section: per-column min/max and
+// distinct count, plus the bitmap of Class values present at seal time.
+// Min/max over the immutable spilled columns are always authoritative;
+// ClassBits is only a seal-time observation — the semi-stage fixpoint
+// mutates the resident class column after sealing (Clean rows can
+// become Semi*), so skip decisions about classes must consult the
+// resident Store.Classes slice, not this bitmap.
+type ZoneMap struct {
+	Min      [numCols]uint64
+	Max      [numCols]uint64
+	Distinct [numCols]uint32 // 0 = not computed (raw/uncompressed encode)
+	ClassBits uint8
+}
+
+// appendZoneSection emits the zone map as a tagged frame section.
+func appendZoneSection(dst []byte, zm *ZoneMap) []byte {
+	dst = append(dst, secZoneMap)
+	// Payload staged separately so the section length prefix is exact.
+	var pay [16 + numCols*(10+10+5)]byte
+	p := pay[:0]
+	for col := 0; col < numCols; col++ {
+		p = binary.AppendUvarint(p, zm.Min[col])
+		p = binary.AppendUvarint(p, zm.Max[col]-zm.Min[col])
+		p = binary.AppendUvarint(p, uint64(zm.Distinct[col]))
+	}
+	p = append(p, zm.ClassBits)
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+// parseZoneSection decodes a zone-map section payload. Malformed
+// payloads (truncated streams, max < min overflow, out-of-width values)
+// return an error so a forged section cannot plant a zone map that
+// would prune live chunks.
+func parseZoneSection(payload []byte, rows int, zm *ZoneMap) error {
+	for col := 0; col < numCols; col++ {
+		var maxVal uint64 = 1<<(8*uint(colWidths[col])) - 1
+		if colWidths[col] == 8 {
+			maxVal = ^uint64(0)
+		}
+		mn, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return fmt.Errorf("%w: truncated zone map", errCorrupt)
+		}
+		payload = payload[k:]
+		span, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return fmt.Errorf("%w: truncated zone map", errCorrupt)
+		}
+		payload = payload[k:]
+		mx := mn + span
+		if mx < mn || mn > maxVal || mx > maxVal {
+			return fmt.Errorf("%w: zone range overflows column %d", errCorrupt, col)
+		}
+		d64, k := binary.Uvarint(payload)
+		if k <= 0 || d64 > uint64(rows) {
+			return fmt.Errorf("%w: bad zone distinct count", errCorrupt)
+		}
+		payload = payload[k:]
+		zm.Min[col], zm.Max[col], zm.Distinct[col] = mn, mx, uint32(d64)
+	}
+	if len(payload) != 1 {
+		return fmt.Errorf("%w: bad zone-map payload size", errCorrupt)
+	}
+	zm.ClassBits = payload[0]
+	return nil
+}
+
+// BlockZoneMap extracts the zone-map section from a framed block
+// without decoding any column payload: it verifies the checksum, walks
+// the nine column headers, and parses the section if present. It
+// returns nil for legacy flags==0 blocks (checkpoints written before
+// zone maps existed) and an error only for corrupt frames.
+func BlockZoneMap(block []byte) (*ZoneMap, error) {
+	_, _, _, zm, _, err := inspectBlock(block)
+	return zm, err
+}
+
+// inspectBlock walks a framed block's headers without decoding column
+// payloads, returning the row count, per-column tags and framed sizes
+// (tag byte + length prefix + payload), the parsed zone map (nil if the
+// frame has none), and the byte size of the zone-map section.
+func inspectBlock(block []byte) (rows int, tags [numCols]byte, sizes [numCols]int, zm *ZoneMap, zoneBytes int, err error) {
+	if len(block) < 6 {
+		return 0, tags, sizes, nil, 0, fmt.Errorf("%w: %d-byte block", errCorrupt, len(block))
+	}
+	if got, want := crc32.Checksum(block[4:], castagnoli), binary.LittleEndian.Uint32(block); got != want {
+		return 0, tags, sizes, nil, 0, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", errCorrupt, got, want)
+	}
+	flags := block[4]
+	if flags&^byte(frameHasSections) != 0 {
+		return 0, tags, sizes, nil, 0, fmt.Errorf("%w: unknown format flags 0x%02x", errCorrupt, flags)
+	}
+	rest := block[5:]
+	rows64, k := binary.Uvarint(rest)
+	if k <= 0 || rows64 > maxFuzzRows {
+		return 0, tags, sizes, nil, 0, fmt.Errorf("%w: bad row count", errCorrupt)
+	}
+	rest = rest[k:]
+	rows = int(rows64)
+	for col := 0; col < numCols; col++ {
+		if len(rest) < 1 {
+			return 0, tags, sizes, nil, 0, fmt.Errorf("%w: truncated at column %d", errCorrupt, col)
+		}
+		tags[col] = rest[0]
+		plen64, k := binary.Uvarint(rest[1:])
+		if k <= 0 || plen64 > uint64(len(rest)-1-k) {
+			return 0, tags, sizes, nil, 0, fmt.Errorf("%w: bad payload length for column %d", errCorrupt, col)
+		}
+		sizes[col] = 1 + k + int(plen64)
+		rest = rest[sizes[col]:]
+	}
+	if flags&frameHasSections == 0 {
+		if len(rest) != 0 {
+			return 0, tags, sizes, nil, 0, fmt.Errorf("%w: %d trailing bytes", errCorrupt, len(rest))
+		}
+		return rows, tags, sizes, nil, 0, nil
+	}
+	for len(rest) > 0 {
+		tag := rest[0]
+		if tag == 0 {
+			return 0, tags, sizes, nil, 0, fmt.Errorf("%w: reserved section tag", errCorrupt)
+		}
+		plen64, k := binary.Uvarint(rest[1:])
+		if k <= 0 || plen64 > uint64(len(rest)-1-k) {
+			return 0, tags, sizes, nil, 0, fmt.Errorf("%w: bad section length", errCorrupt)
+		}
+		payload := rest[1+k : 1+k+int(plen64)]
+		rest = rest[1+k+int(plen64):]
+		if tag != secZoneMap {
+			continue // unknown section: skip (forward compatibility)
+		}
+		z := new(ZoneMap)
+		if err := parseZoneSection(payload, rows, z); err != nil {
+			return 0, tags, sizes, nil, 0, err
+		}
+		zm, zoneBytes = z, 1+k+int(plen64)
+	}
+	return rows, tags, sizes, zm, zoneBytes, nil
+}
 
 // ChunkCodec holds the reusable scratch of the chunk codec: staging
 // buffers, dictionary and Huffman tables, and the LZ4 hash chain. It
@@ -119,6 +287,30 @@ type ChunkCodec struct {
 	dFirst  [huffMaxLen + 1]uint32
 	dOffset [huffMaxLen + 1]uint32
 	dRank   []uint32 // symbols ordered by (length, symbol)
+
+	// Statistics of the most recent EncodeBlock call: the zone map and
+	// the winning tag + framed size per column plus the zone-map
+	// section size. Stores fold them into their Footprint breakdown and
+	// retain the zone map resident for the projection scan path.
+	encZone      ZoneMap
+	encTags      [numCols]byte
+	encSizes     [numCols]int
+	encZoneBytes int
+
+	// noSections forces the legacy flags==0 frame without the zone-map
+	// section; tests use it to prove old blocks still decode.
+	noSections bool
+}
+
+// EncodedZone returns a copy of the zone map computed by the most
+// recent EncodeBlock call.
+func (cc *ChunkCodec) EncodedZone() ZoneMap { return cc.encZone }
+
+// EncodedColStats returns the winning tag and framed byte size of each
+// column plus the zone-map section size from the most recent
+// EncodeBlock call.
+func (cc *ChunkCodec) EncodedColStats() (tags [numCols]byte, sizes [numCols]int, zoneBytes int) {
+	return cc.encTags, cc.encSizes, cc.encZoneBytes
 }
 
 var codecPool = sync.Pool{New: func() any { return new(ChunkCodec) }}
@@ -282,11 +474,36 @@ func appendRawVals(dst []byte, vals []uint64, width int) []byte {
 func (cc *ChunkCodec) EncodeBlock(c *Chunk, compress bool, dst []byte) []byte {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // crc placeholder
-	dst = append(dst, 0)          // format flags (reserved)
+	flags := byte(frameHasSections)
+	if cc.noSections {
+		flags = 0
+	}
+	dst = append(dst, flags)
 	dst = binary.AppendUvarint(dst, uint64(c.Len()))
+	cc.encZone = ZoneMap{}
 	for col := 0; col < numCols; col++ {
 		cc.stage(c, col)
-		dst = cc.encodeColumn(dst, colWidths[col], compress)
+		for i, v := range cc.vals {
+			if i == 0 || v < cc.encZone.Min[col] {
+				cc.encZone.Min[col] = v
+			}
+			if i == 0 || v > cc.encZone.Max[col] {
+				cc.encZone.Max[col] = v
+			}
+		}
+		before := len(dst)
+		dst = cc.encodeColumn(dst, col, compress)
+		cc.encTags[col] = dst[before]
+		cc.encSizes[col] = len(dst) - before
+	}
+	for _, cl := range c.Class {
+		cc.encZone.ClassBits |= 1 << cl
+	}
+	cc.encZoneBytes = 0
+	if flags&frameHasSections != 0 {
+		before := len(dst)
+		dst = appendZoneSection(dst, &cc.encZone)
+		cc.encZoneBytes = len(dst) - before
 	}
 	binary.LittleEndian.PutUint32(dst[start:], crc32.Checksum(dst[start+4:], castagnoli))
 	return dst
@@ -294,7 +511,8 @@ func (cc *ChunkCodec) EncodeBlock(c *Chunk, compress bool, dst []byte) []byte {
 
 // encodeColumn appends [tag][uvarint len][payload] for the staged
 // column, choosing the smallest candidate encoding.
-func (cc *ChunkCodec) encodeColumn(dst []byte, width int, compress bool) []byte {
+func (cc *ChunkCodec) encodeColumn(dst []byte, col int, compress bool) []byte {
+	width := colWidths[col]
 	vals := cc.vals
 	n := len(vals)
 	rawSize := n * width
@@ -330,6 +548,7 @@ func (cc *ChunkCodec) encodeColumn(dst []byte, width int, compress bool) []byte 
 		}
 	}
 	cc.dict = cc.dict[:d]
+	cc.encZone.Distinct[col] = uint32(d)
 	dictSize := uvarintLen(uint64(d)) + uvarintLen(cc.dict[0])
 	for i := 1; i < d; i++ {
 		dictSize += uvarintLen(cc.dict[i] - cc.dict[i-1])
@@ -503,8 +722,9 @@ func (cc *ChunkCodec) DecodeBlock(block []byte, wantRows int, buf *Chunk) error 
 	if got, want := crc32.Checksum(block[4:], castagnoli), binary.LittleEndian.Uint32(block); got != want {
 		return fmt.Errorf("%w: checksum mismatch (%08x != %08x)", errCorrupt, got, want)
 	}
-	if block[4] != 0 {
-		return fmt.Errorf("%w: unknown format flags 0x%02x", errCorrupt, block[4])
+	flags := block[4]
+	if flags&^byte(frameHasSections) != 0 {
+		return fmt.Errorf("%w: unknown format flags 0x%02x", errCorrupt, flags)
 	}
 	rest := block[5:]
 	rows64, k := binary.Uvarint(rest)
@@ -540,6 +760,22 @@ func (cc *ChunkCodec) DecodeBlock(block []byte, wantRows int, buf *Chunk) error 
 			return fmt.Errorf("column %d: %w", col, err)
 		}
 		scatter(buf, col, cc.vals)
+	}
+	if flags&frameHasSections != 0 {
+		// Tagged sections follow; validate framing but skip the
+		// contents (the wide decode needs none of them, and unknown
+		// tags are forward compatibility by design). Tag 0 is reserved
+		// invalid so trailing garbage cannot masquerade as a section.
+		for len(rest) > 0 {
+			if rest[0] == 0 {
+				return fmt.Errorf("%w: reserved section tag", errCorrupt)
+			}
+			plen64, k := binary.Uvarint(rest[1:])
+			if k <= 0 || plen64 > uint64(len(rest)-1-k) {
+				return fmt.Errorf("%w: bad section length", errCorrupt)
+			}
+			rest = rest[1+k+int(plen64):]
+		}
 	}
 	if len(rest) != 0 {
 		return fmt.Errorf("%w: %d trailing bytes", errCorrupt, len(rest))
@@ -883,6 +1119,158 @@ func (cc *ChunkCodec) buildDecodeTables() error {
 	return nil
 }
 
+// decodeColumnView decodes one column payload into v in its cheapest
+// faithful form — the projection path's alternative to decodeColumn:
+// RLE stays (value, run) pairs, dictionary schemes stay the sorted
+// dictionary plus per-row index stream, raw and delta decode to wide
+// values. Validation matches the wide decode; the outputs are backed
+// by v's own arrays so several columns can be live at once.
+func (cc *ChunkCodec) decodeColumnView(payload []byte, tag byte, n, width int, v *ColView) error {
+	if tag&colLZ4 != 0 {
+		innerLen, k := binary.Uvarint(payload)
+		if k <= 0 || innerLen > uint64(n*width+64) {
+			return fmt.Errorf("%w: bad lz4 inner length", errCorrupt)
+		}
+		if cap(cc.inner) < int(innerLen) {
+			cc.inner = make([]byte, innerLen)
+		}
+		cc.inner = cc.inner[:innerLen]
+		if err := lzDecompress(payload[k:], cc.inner); err != nil {
+			return err
+		}
+		payload = cc.inner
+		tag &^= colLZ4
+	}
+	var maxVal uint64 = 1<<(8*uint(width)) - 1
+	if width == 8 {
+		maxVal = ^uint64(0)
+	}
+	switch tag {
+	case colRaw:
+		if len(payload) != n*width {
+			return fmt.Errorf("%w: raw column is %d bytes, want %d", errCorrupt, len(payload), n*width)
+		}
+		vals := v.wideBuf(n)
+		switch width {
+		case 8:
+			for i := range vals {
+				vals[i] = binary.LittleEndian.Uint64(payload[i*8:])
+			}
+		case 4:
+			for i := range vals {
+				vals[i] = uint64(binary.LittleEndian.Uint32(payload[i*4:]))
+			}
+		case 2:
+			for i := range vals {
+				vals[i] = uint64(binary.LittleEndian.Uint16(payload[i*2:]))
+			}
+		default:
+			for i := range vals {
+				vals[i] = uint64(payload[i])
+			}
+		}
+		v.Form = ViewWide
+	case colRLE:
+		v.Runs = v.Runs[:0]
+		i := 0
+		for i < n {
+			run, k := binary.Uvarint(payload)
+			if k <= 0 || run == 0 || run > uint64(n-i) {
+				return fmt.Errorf("%w: bad rle run", errCorrupt)
+			}
+			payload = payload[k:]
+			val, k := binary.Uvarint(payload)
+			if k <= 0 || val > maxVal {
+				return fmt.Errorf("%w: bad rle value", errCorrupt)
+			}
+			payload = payload[k:]
+			v.Runs = append(v.Runs, Run{Value: val, Len: int(run)})
+			i += int(run)
+		}
+		if len(payload) != 0 {
+			return fmt.Errorf("%w: trailing rle bytes", errCorrupt)
+		}
+		v.Form = ViewRuns
+	case colDelta:
+		vals := v.wideBuf(n)
+		var prev uint64
+		for i := range vals {
+			z, k := binary.Uvarint(payload)
+			if k <= 0 {
+				return fmt.Errorf("%w: truncated delta stream", errCorrupt)
+			}
+			payload = payload[k:]
+			prev += unzigzag(z)
+			if prev > maxVal {
+				return fmt.Errorf("%w: delta value overflows column width", errCorrupt)
+			}
+			vals[i] = prev
+		}
+		if len(payload) != 0 {
+			return fmt.Errorf("%w: trailing delta bytes", errCorrupt)
+		}
+		v.Form = ViewWide
+	case colDict, colDictHuff:
+		var err error
+		if payload, err = cc.readDict(payload, n, maxVal); err != nil {
+			return err
+		}
+		d := len(cc.dict)
+		if cap(v.Dict) < d {
+			v.Dict = make([]uint64, d)
+		}
+		v.Dict = v.Dict[:d]
+		copy(v.Dict, cc.dict)
+		if cap(v.Idx) < n {
+			v.Idx = make([]uint32, n)
+		}
+		v.Idx = v.Idx[:n]
+		if tag == colDict {
+			bits := bitsFor(d)
+			if need := (n*bits + 7) / 8; len(payload) != need {
+				return fmt.Errorf("%w: packed indices are %d bytes, want %d", errCorrupt, len(payload), need)
+			}
+			var acc uint64
+			var nb uint
+			pi := 0
+			mask := uint64(1)<<bits - 1
+			for i := range v.Idx {
+				for nb < uint(bits) {
+					acc |= uint64(payload[pi]) << nb
+					pi++
+					nb += 8
+				}
+				k := acc & mask
+				acc >>= uint(bits)
+				nb -= uint(bits)
+				if k >= uint64(d) {
+					return fmt.Errorf("%w: dictionary index out of range", errCorrupt)
+				}
+				v.Idx[i] = uint32(k)
+			}
+		} else {
+			if len(payload) < d {
+				return fmt.Errorf("%w: truncated code lengths", errCorrupt)
+			}
+			if cap(cc.lens) < d {
+				cc.lens = make([]uint8, d)
+			}
+			cc.lens = cc.lens[:d]
+			copy(cc.lens, payload[:d])
+			if err := cc.buildDecodeTables(); err != nil {
+				return err
+			}
+			if err := cc.huffDecodeIdx(payload[d:], v.Idx); err != nil {
+				return err
+			}
+		}
+		v.Form = ViewDict
+	default:
+		return fmt.Errorf("%w: unknown column tag 0x%02x", errCorrupt, tag)
+	}
+	return nil
+}
+
 // huffDecode decodes len(vals) symbols from the bitstream, mapping
 // them through cc.dict.
 func (cc *ChunkCodec) huffDecode(stream []byte, vals []uint64) error {
@@ -933,6 +1321,60 @@ func (cc *ChunkCodec) huffDecode(stream []byte, vals []uint64) error {
 			return fmt.Errorf("%w: huffman symbol out of range", errCorrupt)
 		}
 		vals[i] = cc.dict[sym]
+	}
+	return nil
+}
+
+// huffDecodeIdx is huffDecode emitting raw symbol indices instead of
+// dictionary values — the projection path keeps the index stream so
+// predicates translate once per chunk into id sets.
+func (cc *ChunkCodec) huffDecodeIdx(stream []byte, idx []uint32) error {
+	d := uint32(len(cc.dict))
+	totalBits := 8 * len(stream)
+	var acc uint64
+	var bits uint
+	off, consumed := 0, 0
+	for i := range idx {
+		for bits <= 56 && off < len(stream) {
+			acc |= uint64(stream[off]) << (56 - bits)
+			off++
+			bits += 8
+		}
+		e := cc.dTable[uint32(acc>>(64-huffTableBits))]
+		l := uint(e & 0xff)
+		var sym uint32
+		if l != 0 {
+			sym = e >> 8
+		} else {
+			code := uint32(0)
+			found := false
+			for cl := 1; cl <= huffMaxLen; cl++ {
+				code = code<<1 | uint32(acc>>(64-uint(cl))&1)
+				if cnt := cc.dCount[cl]; cnt > 0 && code-cc.dFirst[cl] < cnt {
+					sym = cc.dRank[cc.dOffset[cl]+code-cc.dFirst[cl]]
+					l = uint(cl)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("%w: invalid huffman code", errCorrupt)
+			}
+		}
+		consumed += int(l)
+		if consumed > totalBits {
+			return fmt.Errorf("%w: truncated huffman stream", errCorrupt)
+		}
+		acc <<= l
+		if l > bits {
+			bits = 0
+		} else {
+			bits -= l
+		}
+		if sym >= d {
+			return fmt.Errorf("%w: huffman symbol out of range", errCorrupt)
+		}
+		idx[i] = sym
 	}
 	return nil
 }

@@ -22,12 +22,20 @@ func FuzzDecodeChunk(f *testing.F) {
 		return cc.EncodeBlock(chunkOf(codecRows(rng, n)), compress, nil)
 	}
 	valid := mk(700, true)
+	// The same chunk in the pre-section legacy frame (flags==0, no zone
+	// map): old blocks must keep decoding, and the fuzzer should mutate
+	// around both frame shapes.
+	cc.noSections = true
+	legacy := cc.EncodeBlock(chunkOf(codecRows(rng, 300)), true, nil)
+	legacy = append([]byte(nil), legacy...)
+	cc.noSections = false
 	seeds := [][]byte{
 		valid,
 		mk(700, false),
 		mk(1, true),
 		mk(64, true),
 		cc.EncodeBlock(chunkOf(make([]Row, 128)), true, nil), // all-constant columns
+		legacy,
 		{},
 		valid[:5],
 		valid[:len(valid)/2],

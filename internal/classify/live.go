@@ -146,7 +146,8 @@ type LiveSemi struct {
 	ds      *Dataset
 	workers int
 	pool    *workerPool
-	bufs    []*Chunk // per-worker decode buffers for the rounds
+	bufs    []*Chunk     // per-worker decode buffers for the rounds
+	pcs     []*ProjChunk // per-worker projection buffers (pushdown rounds)
 	inLTF   []bool
 	rows    int
 	// cand holds the global indices of settled rows that could still
@@ -165,10 +166,12 @@ func NewLiveSemi(ds *Dataset, workers int) *LiveSemi {
 		workers = 1
 	}
 	bufs := make([]*Chunk, workers)
+	pcs := make([]*ProjChunk, workers)
 	for i := range bufs {
 		bufs[i] = &Chunk{}
+		pcs[i] = &ProjChunk{}
 	}
-	return &LiveSemi{ds: ds, workers: workers, pool: newWorkerPool(workers), bufs: bufs}
+	return &LiveSemi{ds: ds, workers: workers, pool: newWorkerPool(workers), bufs: bufs, pcs: pcs}
 }
 
 // Close releases the worker pool. The LiveSemi must not be used
@@ -245,6 +248,15 @@ func (ls *LiveSemi) Extend() (flipped []int) {
 	}
 	type candRun struct{ chunk, lo, hi int }
 	var runs []candRun
+	// On block-backed stores the rounds use the projection path: only
+	// the FQDN and RefFQDN columns leave the block (the resident class
+	// column is mutated in place), so a round decodes 2 of 9 columns per
+	// touched chunk. Wide stores keep the pointer-fetch chunk load.
+	useProj := false
+	if br, ok := st.(BlockReader); ok && br.HasEncodedBlocks() {
+		useProj = ls.ds.PushdownEnabled()
+	}
+	projCols := Cols(ColFQDN, ColRefFQDN)
 	for {
 		runs = runs[:0]
 		for lo := 0; lo < len(ls.cand); {
@@ -261,6 +273,26 @@ func (ls *LiveSemi) Extend() (flipped []int) {
 			out := &outs[w]
 			for r := w; r < len(runs); r += ls.workers {
 				run := runs[r]
+				if useProj {
+					pc := ProjChunkAt(st, run.chunk, projCols, ls.pcs[w])
+					cls := pc.Class
+					fq := pc.Wide(ColFQDN)
+					rf := pc.Wide(ColRefFQDN)
+					for k := run.lo; k < run.hi; k++ {
+						g := ls.cand[k]
+						i := g % chunkRows
+						if ls.inLTF[uint32(rf[i])] {
+							cls[i] = ClassSemiReferrer
+							if f := uint32(fq[i]); !ls.inLTF[f] {
+								out.newLTF = append(out.newLTF, f)
+							}
+							if g < prev {
+								out.flipped = append(out.flipped, g)
+							}
+						}
+					}
+					continue
+				}
 				c := MustChunk(st, run.chunk, ls.bufs[w])
 				for k := run.lo; k < run.hi; k++ {
 					g := ls.cand[k]

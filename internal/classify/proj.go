@@ -1,0 +1,492 @@
+package classify
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the column-projection scan path: Store.ScanCols
+// hands kernels a ProjChunk that exposes only the columns they ask
+// for, in encoded form where that is profitable — RLE columns as
+// (value, run) pairs that aggregate arithmetically, dictionary columns
+// as the sorted dictionary plus the per-row id stream so predicates
+// translate once per chunk into id sets, wide values only for raw and
+// delta columns. Nothing is read or decoded until the first column
+// access, so a kernel that inspects the zone map or the resident class
+// column and declines the chunk skips the block fetch and every decode
+// entirely.
+
+// ColID names one of the nine spilled columns, in frame order.
+type ColID uint8
+
+const (
+	ColURLHash ColID = iota
+	ColIP
+	ColFQDN
+	ColRefFQDN
+	ColPublisher
+	ColUser
+	ColDay
+	ColCountry
+	ColFlags
+)
+
+// ColSet is a bitmask of ColIDs — the projection a kernel declares to
+// ScanCols. The set is a planning hint (stores may use it to prefetch);
+// ProjChunk serves any column on demand regardless.
+type ColSet uint16
+
+// Cols builds a ColSet from column ids.
+func Cols(ids ...ColID) ColSet {
+	var s ColSet
+	for _, id := range ids {
+		s |= 1 << id
+	}
+	return s
+}
+
+// Has reports whether the set contains c.
+func (s ColSet) Has(c ColID) bool { return s&(1<<c) != 0 }
+
+// AllCols is the full-width projection.
+const AllCols = ColSet(1<<numCols - 1)
+
+// ViewForm says how a ColView holds its column.
+type ViewForm uint8
+
+const (
+	// ViewWide holds plain per-row values in Vals.
+	ViewWide ViewForm = iota
+	// ViewRuns holds (value, run-length) pairs in Runs; runs cover the
+	// chunk's rows in order.
+	ViewRuns
+	// ViewDict holds the sorted distinct values in Dict and the
+	// per-row dictionary index in Idx.
+	ViewDict
+)
+
+// Run is one RLE run: Len consecutive rows share Value.
+type Run struct {
+	Value uint64
+	Len   int
+}
+
+// ColView is one decoded column of a ProjChunk in its cheapest
+// faithful form. Exactly the fields implied by Form are valid. Views
+// are valid until the ProjChunk moves to the next chunk.
+type ColView struct {
+	Form ViewForm
+	Vals []uint64 // ViewWide (also the Wide() expansion scratch)
+	Runs []Run    // ViewRuns (also the Runs() coalescing scratch)
+	Dict []uint64 // ViewDict: sorted distinct values
+	Idx  []uint32 // ViewDict: per-row index into Dict
+}
+
+// wideBuf sizes and returns the Vals backing for n rows.
+func (v *ColView) wideBuf(n int) []uint64 {
+	if cap(v.Vals) < n {
+		v.Vals = make([]uint64, n)
+	}
+	v.Vals = v.Vals[:n]
+	return v.Vals
+}
+
+// BlockReader is the optional Store interface behind the projection
+// fast path: stores that keep chunks as framed codec blocks expose the
+// raw block so ProjChunk can decode single columns out of it.
+type BlockReader interface {
+	// BlockBytes returns chunk i's framed codec block, reading into
+	// *scratch (grown as needed) for disk-backed stores or returning
+	// the resident block directly. A nil block with nil error means
+	// chunk i is resident wide (e.g. the open tail chunk) and must be
+	// loaded through Store.Chunk.
+	BlockBytes(i int, scratch *[]byte) ([]byte, error)
+	// HasEncodedBlocks reports whether the store holds encoded blocks
+	// at all. PushdownAuto enables the projection kernels exactly when
+	// this is true: on a fully wide store the projection path would
+	// copy columns a plain Scan reads in place.
+	HasEncodedBlocks() bool
+}
+
+// ZoneMapped is the optional Store interface for resident zone maps.
+// A nil result for a chunk (open tail, block restored from a
+// checkpoint written before zone maps existed) just disables pruning
+// for that chunk.
+type ZoneMapped interface {
+	ZoneMap(i int) *ZoneMap
+}
+
+// Scan-path counters, exposed on the daemons' /metrics endpoints.
+var (
+	statChunksScanned atomic.Int64
+	statChunksSkipped atomic.Int64
+	statPushdownScans atomic.Int64
+	statFallbackScans atomic.Int64
+)
+
+// ScanStats is a snapshot of the process-wide projection-scan counters.
+type ScanStats struct {
+	// ChunksScanned counts chunks offered to ScanCols kernels;
+	// ChunksSkipped counts the subset the kernel declined without
+	// loading a single column (zone-map or class-bitmap pruning).
+	ChunksScanned int64
+	ChunksSkipped int64
+	// PushdownScans and FallbackScans count kernel invocations that
+	// ran the projection path vs the decode-to-rows path.
+	PushdownScans int64
+	FallbackScans int64
+}
+
+// ReadScanStats returns the current counter values.
+func ReadScanStats() ScanStats {
+	return ScanStats{
+		ChunksScanned: statChunksScanned.Load(),
+		ChunksSkipped: statChunksSkipped.Load(),
+		PushdownScans: statPushdownScans.Load(),
+		FallbackScans: statFallbackScans.Load(),
+	}
+}
+
+// CountPushdownScan records one kernel dispatch decision in the
+// process-wide counters.
+func CountPushdownScan(pushdown bool) {
+	if pushdown {
+		statPushdownScans.Add(1)
+	} else {
+		statFallbackScans.Add(1)
+	}
+}
+
+// ProjChunk is one chunk as seen by the projection scan path. Zone
+// (nil when the chunk has no zone map) and the resident Class column
+// are available immediately; spilled columns load lazily on first
+// access, so a kernel that returns without touching any column costs
+// one class-slice lookup and nothing else. Load failures panic with
+// MustChunk's rationale: the scan pipelines read stores this process
+// wrote moments earlier.
+type ProjChunk struct {
+	Zone  *ZoneMap
+	Class []Class
+
+	st      Store
+	br      BlockReader
+	ci      int
+	rows    int
+	want    ColSet
+	loaded  ColSet // columns with a materialized view
+	widened ColSet // columns with a materialized Wide() expansion
+	fetched bool
+	block   []byte // non-nil: framed block; nil after fetch: wide chunk
+	tags    [numCols]byte
+	pays    [numCols][]byte
+	views   [numCols]ColView
+	zoneBuf ZoneMap
+	wide    *Chunk // wide fallback (resident or decoded full-width)
+	buf     *Chunk
+	scratch []byte
+	cc      *ChunkCodec
+}
+
+var projPool = sync.Pool{New: func() any { return new(ProjChunk) }}
+
+// GetProj borrows a reusable projection scratch from the pool.
+func GetProj() *ProjChunk { return projPool.Get().(*ProjChunk) }
+
+// PutProj returns a projection scratch to the pool, dropping every
+// store reference so pooled buffers never pin class columns or blocks.
+func PutProj(pc *ProjChunk) {
+	pc.Class = nil
+	pc.Zone = nil
+	pc.st, pc.br = nil, nil
+	pc.block = nil
+	pc.wide = nil
+	for i := range pc.pays {
+		pc.pays[i] = nil
+	}
+	projPool.Put(pc)
+}
+
+// ProjChunkAt binds pc to chunk i of st for the given projection,
+// mirroring MustChunk for parallel workers that stripe chunk ranges
+// themselves. Nothing is read until the first column access.
+func ProjChunkAt(st Store, i int, cols ColSet, pc *ProjChunk) *ProjChunk {
+	br, _ := st.(BlockReader)
+	zs, _ := st.(ZoneMapped)
+	pc.begin(st, br, zs, i, cols)
+	return pc
+}
+
+func (pc *ProjChunk) begin(st Store, br BlockReader, zs ZoneMapped, ci int, want ColSet) {
+	pc.st, pc.br, pc.ci, pc.want = st, br, ci, want
+	pc.Class = st.Classes(ci)
+	pc.rows = len(pc.Class)
+	pc.Zone = nil
+	if zs != nil {
+		pc.Zone = zs.ZoneMap(ci)
+	}
+	pc.loaded, pc.widened = 0, 0
+	pc.fetched = false
+	pc.block = nil
+	pc.wide = nil
+}
+
+// Len returns the chunk's row count.
+func (pc *ProjChunk) Len() int { return pc.rows }
+
+// Loaded reports whether any column has been materialized — the
+// chunk-skip accounting test.
+func (pc *ProjChunk) Loaded() bool { return pc.fetched }
+
+func (pc *ProjChunk) codec() *ChunkCodec {
+	if pc.cc == nil {
+		pc.cc = GetCodec()
+	}
+	return pc.cc
+}
+
+// fetch pulls the chunk's backing: the framed block for block-backed
+// stores (parsing the frame headers and, if none is resident, the
+// zone-map section), or the wide chunk for everything else.
+func (pc *ProjChunk) fetch() {
+	pc.fetched = true
+	if pc.br != nil {
+		block, err := pc.br.BlockBytes(pc.ci, &pc.scratch)
+		if err != nil {
+			panic(fmt.Sprintf("classify: read block %d: %v", pc.ci, err))
+		}
+		if block != nil {
+			if err := pc.loadFrame(block); err != nil {
+				panic(fmt.Sprintf("classify: project chunk %d: %v", pc.ci, err))
+			}
+			pc.block = block
+			return
+		}
+	}
+	if pc.buf == nil {
+		pc.buf = &Chunk{}
+	}
+	pc.wide = MustChunk(pc.st, pc.ci, pc.buf)
+}
+
+// loadFrame validates the block frame exactly as DecodeBlock does and
+// records each column's tag and payload location; payloads themselves
+// stay encoded until a column is asked for.
+func (pc *ProjChunk) loadFrame(block []byte) error {
+	if len(block) < 6 {
+		return fmt.Errorf("%w: %d-byte block", errCorrupt, len(block))
+	}
+	if got, want := crc32.Checksum(block[4:], castagnoli), binary.LittleEndian.Uint32(block); got != want {
+		return fmt.Errorf("%w: checksum mismatch (%08x != %08x)", errCorrupt, got, want)
+	}
+	flags := block[4]
+	if flags&^byte(frameHasSections) != 0 {
+		return fmt.Errorf("%w: unknown format flags 0x%02x", errCorrupt, flags)
+	}
+	rest := block[5:]
+	rows64, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return fmt.Errorf("%w: bad row count", errCorrupt)
+	}
+	rest = rest[k:]
+	if int(rows64) != pc.rows {
+		return fmt.Errorf("%w: block declares %d rows, store expects %d", errCorrupt, rows64, pc.rows)
+	}
+	for col := 0; col < numCols; col++ {
+		if len(rest) < 1 {
+			return fmt.Errorf("%w: truncated at column %d", errCorrupt, col)
+		}
+		pc.tags[col] = rest[0]
+		plen64, k := binary.Uvarint(rest[1:])
+		if k <= 0 || plen64 > uint64(len(rest)-1-k) {
+			return fmt.Errorf("%w: bad payload length for column %d", errCorrupt, col)
+		}
+		pc.pays[col] = rest[1+k : 1+k+int(plen64)]
+		rest = rest[1+k+int(plen64):]
+	}
+	if flags&frameHasSections != 0 {
+		for len(rest) > 0 {
+			tag := rest[0]
+			if tag == 0 {
+				return fmt.Errorf("%w: reserved section tag", errCorrupt)
+			}
+			plen64, k := binary.Uvarint(rest[1:])
+			if k <= 0 || plen64 > uint64(len(rest)-1-k) {
+				return fmt.Errorf("%w: bad section length", errCorrupt)
+			}
+			payload := rest[1+k : 1+k+int(plen64)]
+			rest = rest[1+k+int(plen64):]
+			if tag == secZoneMap && pc.Zone == nil {
+				if err := parseZoneSection(payload, pc.rows, &pc.zoneBuf); err != nil {
+					return err
+				}
+				pc.Zone = &pc.zoneBuf
+			}
+		}
+	}
+	return nil
+}
+
+// Col returns column c's view, materializing it on first access: a
+// single-column decode out of the framed block, or a copy out of the
+// wide chunk on stores without encoded blocks.
+func (pc *ProjChunk) Col(c ColID) *ColView {
+	v := &pc.views[c]
+	if pc.loaded.Has(c) {
+		return v
+	}
+	if !pc.fetched {
+		pc.fetch()
+	}
+	if pc.block != nil {
+		if err := pc.codec().decodeColumnView(pc.pays[c], pc.tags[c], pc.rows, colWidths[c], v); err != nil {
+			panic(fmt.Sprintf("classify: decode chunk %d column %d: %v", pc.ci, c, err))
+		}
+	} else {
+		pc.viewFromWide(c, v)
+	}
+	pc.loaded |= 1 << c
+	return v
+}
+
+// viewFromWide fills v from the resident wide chunk, copying into v's
+// own scratch (never aliasing resident store memory: the view scratch
+// is written to by later decodes of the pooled ProjChunk).
+func (pc *ProjChunk) viewFromWide(c ColID, v *ColView) {
+	w := pc.wide
+	vals := v.wideBuf(w.Len())
+	switch c {
+	case ColURLHash:
+		copy(vals, w.URLHash)
+	case ColIP:
+		for i, x := range w.IP {
+			vals[i] = uint64(uint32(x))
+		}
+	case ColFQDN:
+		for i, x := range w.FQDN {
+			vals[i] = uint64(x)
+		}
+	case ColRefFQDN:
+		for i, x := range w.RefFQDN {
+			vals[i] = uint64(x)
+		}
+	case ColPublisher:
+		for i, x := range w.Publisher {
+			vals[i] = uint64(uint32(x))
+		}
+	case ColUser:
+		for i, x := range w.User {
+			vals[i] = uint64(uint32(x))
+		}
+	case ColDay:
+		for i, x := range w.Day {
+			vals[i] = uint64(x)
+		}
+	case ColCountry:
+		for i, x := range w.Country {
+			vals[i] = uint64(x)
+		}
+	case ColFlags:
+		for i, x := range w.Flags {
+			vals[i] = uint64(x)
+		}
+	}
+	v.Form = ViewWide
+	pc.widened |= 1 << c
+}
+
+// Wide returns column c as plain per-row values, expanding runs or
+// dictionary ids into the view's scratch when the encoded form is not
+// already wide — the late-materialization escape hatch.
+func (pc *ProjChunk) Wide(c ColID) []uint64 {
+	v := pc.Col(c)
+	if v.Form == ViewWide || pc.widened.Has(c) {
+		return v.Vals
+	}
+	vals := v.wideBuf(pc.rows)
+	switch v.Form {
+	case ViewRuns:
+		i := 0
+		for _, r := range v.Runs {
+			for j := 0; j < r.Len; j++ {
+				vals[i+j] = r.Value
+			}
+			i += r.Len
+		}
+	case ViewDict:
+		for i, k := range v.Idx {
+			vals[i] = v.Dict[k]
+		}
+	}
+	pc.widened |= 1 << c
+	return vals
+}
+
+// Runs returns column c as maximal (value, run) pairs, coalescing from
+// the wide form when the column was not RLE-encoded. Aggregations over
+// run-heavy columns (Country, User, Publisher, Day) iterate runs and
+// multiply instead of visiting rows.
+func (pc *ProjChunk) Runs(c ColID) []Run {
+	v := pc.Col(c)
+	if v.Form == ViewRuns {
+		return v.Runs
+	}
+	vals := pc.Wide(c)
+	v.Runs = v.Runs[:0]
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		v.Runs = append(v.Runs, Run{Value: vals[i], Len: j - i})
+		i = j
+	}
+	return v.Runs
+}
+
+// DictView returns column c's dictionary and per-row id stream when the
+// column is dictionary-encoded, so predicates evaluate once per
+// distinct value instead of once per row. ok is false otherwise.
+func (pc *ProjChunk) DictView(c ColID) (dict []uint64, idx []uint32, ok bool) {
+	v := pc.Col(c)
+	if v.Form != ViewDict {
+		return nil, nil, false
+	}
+	return v.Dict, v.Idx, true
+}
+
+// AnyTracking reports whether any class in cls marks a tracking flow,
+// with early exit. It is the authoritative chunk-skip test for
+// tracking-only kernels: the zone map's seal-time ClassBits can go
+// stale because the semi-stage fixpoint reclassifies resident classes
+// after sealing, but this scan always reads current truth.
+func AnyTracking(cls []Class) bool {
+	for _, c := range cls {
+		if c.IsTracking() {
+			return true
+		}
+	}
+	return false
+}
+
+// ScanStoreCols drives fn over every chunk of st through one pooled
+// ProjChunk — the shared body of every Store.ScanCols implementation
+// (exported so stores outside this package reuse it).
+func ScanStoreCols(st Store, cols ColSet, fn func(base int, pc *ProjChunk)) {
+	br, _ := st.(BlockReader)
+	zs, _ := st.(ZoneMapped)
+	pc := GetProj()
+	defer PutProj(pc)
+	base := 0
+	for i := 0; i < st.NumChunks(); i++ {
+		pc.begin(st, br, zs, i, cols)
+		fn(base, pc)
+		statChunksScanned.Add(1)
+		if !pc.fetched {
+			statChunksSkipped.Add(1)
+		}
+		base += pc.rows
+	}
+}

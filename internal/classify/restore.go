@@ -59,6 +59,16 @@ func (st *MemStore) RestoreChunk(block []byte, classes []Class) error {
 	if st.compress && rows == st.chunkRows {
 		st.blocks = append(st.blocks, append([]byte(nil), block...))
 		st.classes = append(st.classes, cls)
+		// Re-derive the sealed-chunk metadata from the block itself.
+		// Checkpoints written before zone maps existed yield a nil
+		// zone (pruning disabled for that chunk, reads unaffected);
+		// the validity of the frame is checked on first read as before.
+		if brows, tags, sizes, zm, zoneBytes, err := inspectBlock(block); err == nil && brows == rows {
+			st.zones = append(st.zones, zm)
+			st.breakdown.addBlock(rows, tags, sizes, zoneBytes)
+		} else {
+			st.zones = append(st.zones, nil)
+		}
 		st.n += rows
 		return nil
 	}

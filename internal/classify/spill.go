@@ -32,6 +32,8 @@ type SpillSink struct {
 	cur       *Chunk
 	enc       []byte
 	classes   [][]Class
+	zones     []*ZoneMap
+	breakdown EncBreakdown
 	offsets   []int64
 	lens      []int
 	dlens     []int
@@ -99,6 +101,10 @@ func (sk *SpillSink) flush() {
 	}
 	cc := sk.cur.codec()
 	sk.enc = cc.EncodeBlock(sk.cur, sk.compress, sk.enc[:0])
+	zm := cc.EncodedZone()
+	sk.zones = append(sk.zones, &zm)
+	tags, sizes, zoneBytes := cc.EncodedColStats()
+	sk.breakdown.addBlock(n, tags, sizes, zoneBytes)
 	if _, err := sk.w.Write(sk.enc); err != nil && sk.err == nil {
 		sk.err = fmt.Errorf("classify: write spill chunk: %w", err)
 	}
@@ -134,6 +140,8 @@ func (sk *SpillSink) Seal() (Store, error) {
 		f:         sk.f,
 		removed:   sk.removed,
 		classes:   sk.classes,
+		zones:     sk.zones,
+		breakdown: sk.breakdown,
 		offsets:   sk.offsets,
 		lens:      sk.lens,
 		dlens:     sk.dlens,
@@ -150,6 +158,8 @@ type SpillStore struct {
 	f         *os.File
 	removed   bool
 	classes   [][]Class
+	zones     []*ZoneMap
+	breakdown EncBreakdown
 	offsets   []int64
 	lens      []int
 	dlens     []int
@@ -207,6 +217,54 @@ func (st *SpillStore) Chunk(i int, buf *Chunk) (*Chunk, error) {
 	}
 	buf.Class = st.classes[i]
 	return buf, nil
+}
+
+// ScanCols implements Store.
+func (st *SpillStore) ScanCols(cols ColSet, fn func(base int, pc *ProjChunk)) {
+	ScanStoreCols(st, cols, fn)
+}
+
+// BlockBytes implements BlockReader: it preads chunk i's framed block
+// into *scratch, growing it as needed. Concurrent calls are safe with
+// distinct scratch buffers (positioned reads).
+func (st *SpillStore) BlockBytes(i int, scratch *[]byte) ([]byte, error) {
+	need := st.dlens[i]
+	if cap(*scratch) < need {
+		*scratch = make([]byte, need)
+	}
+	raw := (*scratch)[:need]
+	if _, err := st.f.ReadAt(raw, st.offsets[i]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("spill file truncated")
+		}
+		return nil, fmt.Errorf("classify: read spill chunk %d: %w", i, err)
+	}
+	return raw, nil
+}
+
+// HasEncodedBlocks implements BlockReader. Even an uncompressed spill
+// store benefits from the projection path: blocks are framed raw
+// columns, so a projected read scatters only the requested columns.
+func (st *SpillStore) HasEncodedBlocks() bool { return true }
+
+// ZoneMap implements ZoneMapped.
+func (st *SpillStore) ZoneMap(i int) *ZoneMap {
+	if i < len(st.zones) {
+		return st.zones[i]
+	}
+	return nil
+}
+
+// Footprint implements Store: spilled blocks count as compressed
+// bytes, the resident class column as resident bytes.
+func (st *SpillStore) Footprint() Footprint {
+	return Footprint{
+		Rows:            st.n,
+		ResidentBytes:   int64(st.n), // one resident class byte per row
+		CompressedBytes: st.Size(),
+		SealedChunks:    len(st.lens),
+		Breakdown:       st.breakdown,
+	}
 }
 
 // Close implements Store: it closes and removes the spill file.

@@ -160,6 +160,14 @@ type Store interface {
 	// Classes returns the resident, mutable class column of chunk i
 	// without loading the spilled columns.
 	Classes(i int) []Class
+	// ScanCols walks the store chunk by chunk through the projection
+	// path: fn receives a ProjChunk whose zone map and resident class
+	// column are available immediately and whose spilled columns load
+	// lazily, in encoded form where profitable. cols declares the
+	// projection the kernel intends to touch.
+	ScanCols(cols ColSet, fn func(base int, pc *ProjChunk))
+	// Footprint reports the store's memory and encoding accounting.
+	Footprint() Footprint
 	// Close releases any resources backing the store (spill files).
 	// The store must not be used afterwards.
 	Close() error
@@ -206,10 +214,15 @@ type MemStore struct {
 	chunks []*Chunk
 
 	// Compressed mode: sealed blocks + resident classes, plus the open
-	// tail chunk (nil until the first append after a seal).
-	blocks  [][]byte
-	classes [][]Class
-	open    *Chunk
+	// tail chunk (nil until the first append after a seal). zones holds
+	// each sealed block's zone map resident (nil entries for blocks
+	// restored from checkpoints that predate zone maps); breakdown
+	// accumulates the per-scheme encoding census.
+	blocks    [][]byte
+	classes   [][]Class
+	zones     []*ZoneMap
+	breakdown EncBreakdown
+	open      *Chunk
 }
 
 // NewMemStore returns an empty in-memory columnar store with the
@@ -281,6 +294,10 @@ func (st *MemStore) Append(r Row) {
 func (st *MemStore) sealOpen() {
 	cc := GetCodec()
 	st.blocks = append(st.blocks, cc.EncodeBlock(st.open, true, nil))
+	zm := cc.EncodedZone()
+	st.zones = append(st.zones, &zm)
+	tags, sizes, zoneBytes := cc.EncodedColStats()
+	st.breakdown.addBlock(st.open.Len(), tags, sizes, zoneBytes)
 	PutCodec(cc)
 	st.classes = append(st.classes, st.open.Class)
 	st.open = nil
@@ -350,6 +367,36 @@ func (st *MemStore) Classes(i int) []Class {
 // Close implements Store; in-memory stores hold no external resources.
 func (st *MemStore) Close() error { return nil }
 
+// ScanCols implements Store.
+func (st *MemStore) ScanCols(cols ColSet, fn func(base int, pc *ProjChunk)) {
+	ScanStoreCols(st, cols, fn)
+}
+
+// BlockBytes implements BlockReader: sealed compressed blocks are
+// returned resident (scratch unused); wide chunks and the open tail
+// report nil so the projection path loads them through Chunk.
+func (st *MemStore) BlockBytes(i int, _ *[]byte) ([]byte, error) {
+	if st.compress && i < len(st.blocks) {
+		return st.blocks[i], nil
+	}
+	return nil, nil
+}
+
+// HasEncodedBlocks implements BlockReader. A wide MemStore reports
+// false: its chunks are resident full-width, so the projection path
+// would only add copies on top of what Scan reads in place.
+func (st *MemStore) HasEncodedBlocks() bool { return st.compress }
+
+// ZoneMap implements ZoneMapped. Wide stores and the open tail chunk
+// have none; blocks restored from pre-zone-map checkpoints may yield
+// nil entries.
+func (st *MemStore) ZoneMap(i int) *ZoneMap {
+	if i < len(st.zones) {
+		return st.zones[i]
+	}
+	return nil
+}
+
 // Footprint is the memory accounting of a store: how many bytes of row
 // data are resident wide, how many live as compressed codec blocks, and
 // how many chunks are sealed. RawEquivalentBytes (Rows*RowWidthBytes)
@@ -360,6 +407,65 @@ type Footprint struct {
 	ResidentBytes   int64 // wide columns (including resident class columns)
 	CompressedBytes int64 // sealed codec blocks
 	SealedChunks    int
+	// Breakdown is the per-scheme encoding census of the sealed
+	// blocks (zero-valued for wide stores).
+	Breakdown EncBreakdown
+}
+
+// EncBreakdown is the per-scheme encoding census of a store's sealed
+// blocks: the column-rows (rows × columns) each scheme covers, the
+// framed bytes it produced, the column-rows that additionally went
+// through the LZ4 wrapper, and the bytes spent on zone-map sections.
+type EncBreakdown struct {
+	SchemeRows   [numSchemes]int64
+	SchemeBytes  [numSchemes]int64
+	LZ4Rows      int64
+	ZoneMapBytes int64
+}
+
+// SchemeName returns the display name of encoding scheme index s
+// (the EncBreakdown array index space).
+func SchemeName(s int) string {
+	switch s {
+	case colRaw:
+		return "raw"
+	case colRLE:
+		return "rle"
+	case colDelta:
+		return "delta"
+	case colDict:
+		return "dict"
+	case colDictHuff:
+		return "dictHuff"
+	default:
+		return "unknown"
+	}
+}
+
+// addBlock folds one encoded block's column stats into the census.
+func (b *EncBreakdown) addBlock(rows int, tags [numCols]byte, sizes [numCols]int, zoneBytes int) {
+	for col, tag := range tags {
+		base := int(tag &^ colLZ4)
+		if base >= numSchemes {
+			continue
+		}
+		b.SchemeRows[base] += int64(rows)
+		b.SchemeBytes[base] += int64(sizes[col])
+		if tag&colLZ4 != 0 {
+			b.LZ4Rows += int64(rows)
+		}
+	}
+	b.ZoneMapBytes += int64(zoneBytes)
+}
+
+// add merges another census into b (snapshot aggregation).
+func (b *EncBreakdown) add(o EncBreakdown) {
+	for i := 0; i < numSchemes; i++ {
+		b.SchemeRows[i] += o.SchemeRows[i]
+		b.SchemeBytes[i] += o.SchemeBytes[i]
+	}
+	b.LZ4Rows += o.LZ4Rows
+	b.ZoneMapBytes += o.ZoneMapBytes
 }
 
 // RawEquivalentBytes returns the fully-wide size of the stored rows.
@@ -370,7 +476,7 @@ func (f Footprint) RawEquivalentBytes() int64 { return int64(f.Rows) * RowWidthB
 // count their block bytes plus the one-byte-per-row class column that
 // stays wide and mutable, and the open tail chunk counts fully wide.
 func (st *MemStore) Footprint() Footprint {
-	fp := Footprint{Rows: st.n, SealedChunks: len(st.blocks)}
+	fp := Footprint{Rows: st.n, SealedChunks: len(st.blocks), Breakdown: st.breakdown}
 	if !st.compress {
 		for _, c := range st.chunks {
 			fp.ResidentBytes += int64(c.Len()) * RowWidthBytes

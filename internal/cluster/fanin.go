@@ -54,6 +54,9 @@ type Fanin struct {
 	pullErr map[string]error
 
 	snap atomic.Pointer[ingest.Snapshot]
+	// remerges counts published snapshots (each is one full re-merge of
+	// the cached shard exports).
+	remerges atomic.Uint64
 
 	once sync.Once
 	stop chan struct{}
@@ -204,11 +207,15 @@ func (f *Fanin) RefreshOnce() (published bool, err error) {
 		return false, err
 	}
 	f.snap.Store(snap)
+	f.remerges.Add(1)
 	f.mu.Lock()
 	f.merged = epochs
 	f.mu.Unlock()
 	return true, firstErr
 }
+
+// Remerges returns how many merged snapshots have been published.
+func (f *Fanin) Remerges() uint64 { return f.remerges.Load() }
 
 // Start launches the poll loop. Stop ends it.
 func (f *Fanin) Start() {

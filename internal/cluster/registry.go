@@ -91,13 +91,19 @@ type Registry struct {
 
 	mu      sync.Mutex
 	members map[string]*memberState
+	// Liveness transition counters, diffed at read time (states are
+	// derived, not stored, so a transition is observed the first time a
+	// read sees the new state). Guarded by mu.
+	transAlive, transSuspect, transDead uint64
 }
 
 type memberState struct {
-	addr     string
-	epoch    uint64
-	rows     uint64
-	lastSeen time.Time
+	addr       string
+	epoch      uint64
+	rows       uint64
+	lastSeen   time.Time
+	lastState  State
+	stateKnown bool
 }
 
 // NewRegistry returns an empty registry with the given liveness
@@ -188,10 +194,25 @@ func (r *Registry) Members() []Member {
 	now := r.now()
 	out := make([]Member, 0, len(r.members))
 	for node, m := range r.members {
+		st := r.stateOf(m, now)
+		if !m.stateKnown {
+			m.stateKnown = true
+			m.lastState = st
+		} else if st != m.lastState {
+			switch st {
+			case StateAlive:
+				r.transAlive++
+			case StateSuspect:
+				r.transSuspect++
+			case StateDead:
+				r.transDead++
+			}
+			m.lastState = st
+		}
 		out = append(out, Member{
 			Node:     node,
 			Addr:     m.addr,
-			State:    r.stateOf(m, now),
+			State:    st,
 			Epoch:    int(m.epoch),
 			Rows:     int(m.rows),
 			LastSeen: m.lastSeen,
@@ -199,6 +220,18 @@ func (r *Registry) Members() []Member {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out
+}
+
+// Transitions returns the cumulative liveness transition counts: how
+// many times a member became alive (recovered), suspect, or dead since
+// the registry started. Transitions are observed at read time — states
+// derive from heartbeat recency, so a flap between two reads that lands
+// back on the previous state is not counted.
+func (r *Registry) Transitions() (toAlive, toSuspect, toDead uint64) {
+	r.Members() // fold current states into the counters first
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.transAlive, r.transSuspect, r.transDead
 }
 
 // Lookup returns one member's entry.

@@ -14,6 +14,7 @@ import (
 	"crossborder/internal/classify"
 	"crossborder/internal/geo"
 	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
 )
 
 // Flow is the origin/destination of one tracking flow at country
@@ -165,7 +166,13 @@ func Analyze(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bo
 	if workers > chunks {
 		workers = chunks
 	}
+	// The projection kernel serves the common no-filter call: a filter
+	// needs full rows anyway, so it keeps the decode-to-rows path.
+	pushdown := filter == nil && ds.PushdownEnabled()
 	if workers <= 1 {
+		if pushdown {
+			return analyzeChunksProj(ds, svc, 0, chunks)
+		}
 		return analyzeChunks(ds, svc, filter, 0, chunks)
 	}
 	parts := make([]*Analysis, workers)
@@ -180,7 +187,11 @@ func Analyze(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bo
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			parts[w] = analyzeChunks(ds, svc, filter, lo, hi)
+			if pushdown {
+				parts[w] = analyzeChunksProj(ds, svc, lo, hi)
+			} else {
+				parts[w] = analyzeChunks(ds, svc, filter, lo, hi)
+			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -214,6 +225,104 @@ func analyzeChunks(ds *classify.Dataset, svc geo.Service, filter func(classify.R
 				continue
 			}
 			a.Add(src, loc.Country, 1)
+		}
+	}
+	return a
+}
+
+// analyzeChunksProj is the decode-free projection kernel over chunks
+// [lo, hi): it reads only the Country and IP columns in their encoded
+// forms. Chunks with no tracking rows load nothing (the resident class
+// column decides — the zone map's class bitmap can go stale after the
+// semi-stage fixpoint). Country arrives as RLE runs, so the origin
+// country resolves once per run rather than once per row; IP usually
+// arrives as a dictionary, so Locate runs once per distinct address and
+// per-run counts fold into one Add per (origin, destination) pair. The
+// result is identical to analyzeChunks with a nil filter: counter
+// addition commutes, so folding rows by run and by dictionary id
+// changes the order of Adds but not any total.
+func analyzeChunksProj(ds *classify.Dataset, svc geo.Service, lo, hi int) *Analysis {
+	a := NewAnalysis()
+	pc := classify.GetProj()
+	defer classify.PutProj(pc)
+	cols := classify.Cols(classify.ColIP, classify.ColCountry)
+	var (
+		locs    []geodata.Country // memoized Locate result per dict id
+		locSt   []uint8           // 0 unresolved, 1 located, 2 unknown
+		cnt     []int64           // per-run count per dict id
+		touched []uint32          // dict ids with cnt != 0 this run
+	)
+	for ci := lo; ci < hi; ci++ {
+		classify.ProjChunkAt(ds.Store, ci, cols, pc)
+		cls := pc.Class
+		if !classify.AnyTracking(cls) {
+			continue
+		}
+		runs := pc.Runs(classify.ColCountry)
+		dict, idx, haveDict := pc.DictView(classify.ColIP)
+		if haveDict {
+			if cap(locs) < len(dict) {
+				locs = make([]geodata.Country, len(dict))
+				locSt = make([]uint8, len(dict))
+				cnt = make([]int64, len(dict))
+			}
+			locs = locs[:len(dict)]
+			locSt = locSt[:len(dict)]
+			cnt = cnt[:len(dict)]
+			for i := range locSt {
+				locSt[i] = 0
+			}
+		}
+		var ips []uint64
+		if !haveDict {
+			ips = pc.Wide(classify.ColIP)
+		}
+		row := 0
+		for _, r := range runs {
+			src := ds.Countries[r.Value]
+			end := row + r.Len
+			if haveDict {
+				touched = touched[:0]
+				for i := row; i < end; i++ {
+					if !cls[i].IsTracking() {
+						continue
+					}
+					k := idx[i]
+					if cnt[k] == 0 {
+						touched = append(touched, k)
+					}
+					cnt[k]++
+				}
+				for _, k := range touched {
+					if locSt[k] == 0 {
+						if loc, ok := svc.Locate(netsim.IP(dict[k])); ok {
+							locs[k] = loc.Country
+							locSt[k] = 1
+						} else {
+							locSt[k] = 2
+						}
+					}
+					if locSt[k] == 1 {
+						a.Add(src, locs[k], cnt[k])
+					} else {
+						a.AddUnknown(cnt[k])
+					}
+					cnt[k] = 0
+				}
+			} else {
+				for i := row; i < end; i++ {
+					if !cls[i].IsTracking() {
+						continue
+					}
+					loc, ok := svc.Locate(netsim.IP(ips[i]))
+					if !ok {
+						a.AddUnknown(1)
+						continue
+					}
+					a.Add(src, loc.Country, 1)
+				}
+			}
+			row = end
 		}
 	}
 	return a

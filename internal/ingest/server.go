@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"crossborder/internal/classify"
 	"crossborder/internal/core"
 	"crossborder/internal/experiments"
 )
@@ -348,6 +349,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("collectd_rows", "Dataset rows at the latest epoch.", float64(snap.Rows()))
 	gauge("collectd_users", "Distinct users observed in rows.", float64(snap.Stats().Users))
 	gauge("collectd_uptime_seconds", "Seconds since the collector started.", time.Since(s.c.started).Seconds())
+	ss := classify.ReadScanStats()
+	counter("collectd_scan_chunks_total", "Chunks offered to projection scan kernels.", ss.ChunksScanned)
+	counter("collectd_scan_chunks_skipped_total", "Chunks pruned without loading a column (zone map / class bitmap).", ss.ChunksSkipped)
+	counter("collectd_pushdown_scans_total", "Experiment scans served by the projection path.", ss.PushdownScans)
+	counter("collectd_fallback_scans_total", "Experiment scans served by the decode-to-rows path.", ss.FallbackScans)
 }
 
 // PendingEvents returns the number of accepted events awaiting the next

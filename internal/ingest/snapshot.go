@@ -32,11 +32,16 @@ type snapChunk struct {
 type snapStore struct {
 	chunks    []snapChunk
 	classes   [][]classify.Class
+	zones     []*classify.ZoneMap
+	fp        classify.Footprint
+	hasBlocks bool
 	chunkRows int
 	n         int
 }
 
 var _ classify.Store = (*snapStore)(nil)
+var _ classify.BlockReader = (*snapStore)(nil)
+var _ classify.ZoneMapped = (*snapStore)(nil)
 
 func (st *snapStore) Len() int       { return st.n }
 func (st *snapStore) NumChunks() int { return len(st.chunks) }
@@ -61,6 +66,33 @@ func (st *snapStore) Chunk(i int, buf *classify.Chunk) (*classify.Chunk, error) 
 }
 
 func (st *snapStore) Classes(i int) []classify.Class { return st.classes[i] }
+
+// ScanCols implements classify.Store through the shared projection
+// driver, so snapshot queries run the decode-free kernels over the
+// very blocks the live store sealed.
+func (st *snapStore) ScanCols(cols classify.ColSet, fn func(base int, pc *classify.ProjChunk)) {
+	classify.ScanStoreCols(st, cols, fn)
+}
+
+// BlockBytes implements classify.BlockReader: sealed chunks share the
+// live store's immutable blocks; wide epoch-tail chunks report nil.
+func (st *snapStore) BlockBytes(i int, _ *[]byte) ([]byte, error) {
+	return st.chunks[i].block, nil
+}
+
+// HasEncodedBlocks implements classify.BlockReader.
+func (st *snapStore) HasEncodedBlocks() bool { return st.hasBlocks }
+
+// ZoneMap implements classify.ZoneMapped.
+func (st *snapStore) ZoneMap(i int) *classify.ZoneMap {
+	if i < len(st.zones) {
+		return st.zones[i]
+	}
+	return nil
+}
+
+// Footprint implements classify.Store (captured at snapshot build).
+func (st *snapStore) Footprint() classify.Footprint { return st.fp }
 
 // Close is a no-op: the snapshot borrows the live store's columns.
 func (st *snapStore) Close() error { return nil }
@@ -101,18 +133,45 @@ type StoreFootprint struct {
 	WALUncoveredBytes   int64  `json:"wal_uncovered_bytes"`
 	LastCheckpointBytes int64  `json:"last_checkpoint_bytes"`
 	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
+	// Per-column-encoding census of the sealed blocks: which schemes
+	// cover how many column-rows and at what encoded cost, plus the
+	// bytes spent on zone-map sections and the column-rows whose
+	// payload additionally went through the LZ4 wrapper.
+	PerScheme     []SchemeFootprint `json:"per_scheme,omitempty"`
+	LZ4ColumnRows int64             `json:"lz4_column_rows,omitempty"`
+	ZoneMapBytes  int64             `json:"zone_map_bytes,omitempty"`
+}
+
+// SchemeFootprint is one encoding scheme's share of the sealed blocks.
+type SchemeFootprint struct {
+	Scheme       string `json:"scheme"`
+	ColumnRows   int64  `json:"column_rows"`
+	EncodedBytes int64  `json:"encoded_bytes"`
 }
 
 // footprintOf converts the store's accounting to the /v1/stats block.
-func footprintOf(st *classify.MemStore) StoreFootprint {
+func footprintOf(st classify.Store) StoreFootprint {
 	fp := st.Footprint()
-	return StoreFootprint{
+	out := StoreFootprint{
 		Rows:               fp.Rows,
 		SealedChunks:       fp.SealedChunks,
 		ResidentBytes:      fp.ResidentBytes,
 		CompressedBytes:    fp.CompressedBytes,
 		RawEquivalentBytes: fp.RawEquivalentBytes(),
+		LZ4ColumnRows:      fp.Breakdown.LZ4Rows,
+		ZoneMapBytes:       fp.Breakdown.ZoneMapBytes,
 	}
+	for s, rows := range fp.Breakdown.SchemeRows {
+		if rows == 0 {
+			continue
+		}
+		out.PerScheme = append(out.PerScheme, SchemeFootprint{
+			Scheme:       classify.SchemeName(s),
+			ColumnRows:   rows,
+			EncodedBytes: fp.Breakdown.SchemeBytes[s],
+		})
+	}
+	return out
 }
 
 // Footprint returns the live store's memory accounting as of this
@@ -184,6 +243,7 @@ func (c *Collector) buildSnapshot(prev *Snapshot, prevRows int, dirty map[int]st
 	}
 	chunks := make([]snapChunk, numChunks)
 	classes := make([][]classify.Class, numChunks)
+	zones := make([]*classify.ZoneMap, numChunks)
 	for ci := 0; ci < numChunks; ci++ {
 		changed := ci >= firstDirty
 		if !changed && dirty != nil {
@@ -198,9 +258,11 @@ func (c *Collector) buildSnapshot(prev *Snapshot, prevRows int, dirty map[int]st
 			classes[ci] = cp
 		}
 		if ci < sealed {
-			// Sealed compressed chunk: share the immutable block; the
-			// snapshot never pays wide-column memory for it.
+			// Sealed compressed chunk: share the immutable block (and
+			// its zone map); the snapshot never pays wide-column memory
+			// for it.
 			chunks[ci] = snapChunk{block: st.Block(ci), rows: len(classes[ci])}
+			zones[ci] = st.ZoneMap(ci)
 			continue
 		}
 		// Wide chunk (every chunk of a wide store; the open tail of a
@@ -232,7 +294,11 @@ func (c *Collector) buildSnapshot(prev *Snapshot, prevRows int, dirty map[int]st
 	}
 	nPubs := len(live.Publishers)
 	ds := &classify.Dataset{
-		Store:      &snapStore{chunks: chunks, classes: classes, chunkRows: chunkRows, n: st.Len()},
+		Store: &snapStore{
+			chunks: chunks, classes: classes, zones: zones,
+			fp: st.Footprint(), hasBlocks: sealed > 0,
+			chunkRows: chunkRows, n: st.Len(),
+		},
 		FQDNs:      c.internClone,
 		Countries:  append([]geodata.Country(nil), live.Countries...),
 		Publishers: live.Publishers[:nPubs:nPubs],

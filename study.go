@@ -34,6 +34,10 @@ type Options struct {
 	// value compresses disk stores and keeps memory stores wide; see
 	// WithCompression).
 	Compression Compression
+	// Pushdown overrides the experiments' projection scan path (the zero
+	// value enables it exactly where the store serves encoded blocks; see
+	// WithPushdown).
+	Pushdown Pushdown
 }
 
 // Experiment is one registered artifact of the paper's evaluation: id,
@@ -119,6 +123,12 @@ func New(ctx context.Context, opts ...Option) (*Study, error) {
 	s, err := scenario.BuildContext(ctx, params)
 	if err != nil {
 		return nil, err
+	}
+	switch o.Pushdown {
+	case PushdownOn:
+		s.Dataset.Pushdown = classify.PushdownOn
+	case PushdownOff:
+		s.Dataset.Pushdown = classify.PushdownOff
 	}
 	su := experiments.NewSuite(s)
 	// The same WithProgress callback that observed the build phases also
