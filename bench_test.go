@@ -25,6 +25,7 @@ import (
 	"crossborder/internal/netflow"
 	"crossborder/internal/netsim"
 	"crossborder/internal/scenario"
+	"crossborder/internal/scenario/pack"
 	"crossborder/internal/webgraph"
 )
 
@@ -612,4 +613,21 @@ func BenchmarkCoreAnalyze(b *testing.B) {
 		core.Analyze(su.S.Dataset, su.S.Truth, nil)
 	}
 	b.ReportMetric(float64(su.S.Dataset.Len()), "rows")
+}
+
+// BenchmarkSweepCell measures one cell of a scenario-pack sweep grid:
+// a full packed build (here the routing pack, whose world hook
+// re-registers every tracking zone) plus the cross-study Summarize
+// pass — the unit of work cmd/sweep schedules per (seed, pack).
+func BenchmarkSweepCell(b *testing.B) {
+	params, err := pack.Params(scenario.Params{Seed: 1, Scale: 0.02, VisitsPerUser: 10}, "routing")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sum scenario.Summary
+	for i := 0; i < b.N; i++ {
+		sum = scenario.Summarize(scenario.Build(params))
+	}
+	b.ReportMetric(float64(sum.Flows), "flows")
 }

@@ -45,6 +45,7 @@ import (
 	"crossborder/internal/cluster"
 	"crossborder/internal/ingest"
 	"crossborder/internal/scenario"
+	"crossborder/internal/scenario/pack"
 )
 
 func main() {
@@ -52,6 +53,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	visits := flag.Int("visits", 0, "mean visits per user (0 = the paper's 219)")
 	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	packName := flag.String("pack", "", "scenario pack to apply to the simulated world (empty or \"default\" = the unmodified study)")
 	dump := flag.Int("dump", 0, "emit every Nth captured request as CSV (0 = none)")
 	replay := flag.Bool("replay", false, "upload the simulated event stream to a collectd instance instead of classifying locally")
 	target := flag.String("target", "", "collectd base URL for -replay (e.g. http://localhost:8477)")
@@ -65,10 +67,10 @@ func main() {
 
 	if *replay {
 		if *targets != "" {
-			runClusterReplay(*seed, *scale, *visits, *workers, *targets, *registry, *batch, *binary, !*noflush)
+			runClusterReplay(*seed, *scale, *visits, *workers, *packName, *targets, *registry, *batch, *binary, !*noflush)
 			return
 		}
-		runReplay(*seed, *scale, *visits, *workers, *target, *batch, *uploaders, *binary, !*noflush)
+		runReplay(*seed, *scale, *visits, *workers, *packName, *target, *batch, *uploaders, *binary, !*noflush)
 		return
 	}
 
@@ -76,7 +78,8 @@ func main() {
 		crossborder.WithSeed(*seed),
 		crossborder.WithScale(*scale),
 		crossborder.WithVisitsPerUser(*visits),
-		crossborder.WithWorkers(*workers))
+		crossborder.WithWorkers(*workers),
+		crossborder.WithPack(*packName))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -107,15 +110,30 @@ func main() {
 	}
 }
 
+// worldParams assembles the replay modes' scenario parameters,
+// resolving the named scenario pack (exiting on an unknown name).
+func worldParams(seed int64, scale float64, visits, workers int, packName string) scenario.Params {
+	params := scenario.Params{Seed: seed, Scale: scale, VisitsPerUser: visits, Workers: workers}
+	if packName == "" {
+		return params
+	}
+	params, err := pack.Params(params, packName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawlsim:", err)
+		os.Exit(2)
+	}
+	return params
+}
+
 // runReplay simulates the browsing study and uploads the captured event
 // stream to a collectd instance, reporting throughput.
-func runReplay(seed int64, scale float64, visits, workers int, target string, batch, uploaders int, binary, flush bool) {
+func runReplay(seed int64, scale float64, visits, workers int, packName, target string, batch, uploaders int, binary, flush bool) {
 	if target == "" {
 		fmt.Fprintln(os.Stderr, "crawlsim: -replay requires -target (collectd base URL)")
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "crawlsim: building world and simulating (seed=%d scale=%.2f)...\n", seed, scale)
-	world := scenario.BuildWorld(scenario.Params{Seed: seed, Scale: scale, VisitsPerUser: visits, Workers: workers})
+	world := scenario.BuildWorld(worldParams(seed, scale, visits, workers, packName))
 	events := ingest.RecordSimulation(world, visits, workers)
 	total := 0
 	for _, evs := range events {
@@ -147,7 +165,7 @@ func runReplay(seed int64, scale float64, visits, workers int, target string, ba
 // captured streams across a partitioned cluster: users hash to shards
 // on the consistent ring, one uploader per shard, retargeting through
 // the registry when a shard moves.
-func runClusterReplay(seed int64, scale float64, visits, workers int, targets, registry string, batch int, binary, flush bool) {
+func runClusterReplay(seed int64, scale float64, visits, workers int, packName, targets, registry string, batch int, binary, flush bool) {
 	addrs := make(map[string]string)
 	var nodes []string
 	for _, pair := range strings.Split(targets, ",") {
@@ -176,7 +194,7 @@ func runClusterReplay(seed int64, scale float64, visits, workers int, targets, r
 	}
 
 	fmt.Fprintf(os.Stderr, "crawlsim: building world and simulating (seed=%d scale=%.2f)...\n", seed, scale)
-	world := scenario.BuildWorld(scenario.Params{Seed: seed, Scale: scale, VisitsPerUser: visits, Workers: workers})
+	world := scenario.BuildWorld(worldParams(seed, scale, visits, workers, packName))
 	events := ingest.RecordSimulation(world, visits, workers)
 	total := 0
 	for _, evs := range events {

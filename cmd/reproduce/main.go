@@ -6,8 +6,9 @@
 //
 //	reproduce [-scale 0.25] [-seed 1] [-visits 219] [-workers 0]
 //	          [-diskstore] [-compress auto|on|off] [-pushdown auto|on|off]
-//	          [-only fig7,table8] [-json|-csv] [-progress]
+//	          [-pack routing] [-only fig7,table8] [-json|-csv] [-progress]
 //	reproduce -list
+//	reproduce -list-packs
 //
 // -list prints the registry (id, paper section, title) without building
 // anything. -only takes one or more comma-separated, case-insensitive
@@ -49,6 +50,8 @@ func main() {
 	compress := flag.String("compress", "auto", "row-store chunk codec: auto (on for -diskstore, off in memory), on, or off; identical output either way")
 	pushdown := flag.String("pushdown", "auto", "projection scans over encoded chunks: auto (on for block-backed stores), on, or off; identical output either way")
 	only := flag.String("only", "", "comma-separated experiment ids to render (e.g. fig7,table8; case-insensitive); empty = all")
+	packName := flag.String("pack", "", "scenario pack to apply (see -list-packs; empty or \"default\" = the unmodified study)")
+	listPacks := flag.Bool("list-packs", false, "print the registered scenario packs and exit")
 	list := flag.Bool("list", false, "print the experiment registry (id, section, title) and exit")
 	asJSON := flag.Bool("json", false, "emit the structured results as one JSON array")
 	asCSV := flag.Bool("csv", false, "emit the structured results as flattened CSV rows")
@@ -58,6 +61,12 @@ func main() {
 	if *list {
 		for _, e := range crossborder.Experiments() {
 			fmt.Printf("%-8s %-6s %s\n", e.ID, e.Section, e.Title)
+		}
+		return
+	}
+	if *listPacks {
+		for _, p := range crossborder.Packs() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Description)
 		}
 		return
 	}
@@ -105,6 +114,9 @@ func main() {
 		crossborder.WithScale(*scale),
 		crossborder.WithVisitsPerUser(*visits),
 		crossborder.WithWorkers(*workers),
+	}
+	if *packName != "" {
+		opts = append(opts, crossborder.WithPack(*packName))
 	}
 	if *diskStore {
 		opts = append(opts, crossborder.WithRowStore(crossborder.DiskRowStore("")))

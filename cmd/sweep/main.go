@@ -1,0 +1,173 @@
+// Command sweep runs a seed × scenario-pack grid of studies on the
+// worker pool and renders the cross-study comparison experiments:
+// per-pack deltas of the Table 1/2 aggregates, classifier accuracy,
+// tracking flow counts and EU28 confinement, and the tracker inventory,
+// each against the default (unmodified) build at the same seeds.
+//
+// Usage:
+//
+//	sweep [-seeds 1,2,3] [-packs default,routing,adversarial,population]
+//	      [-scale 0.05] [-visits 40] [-workers 0] [-check] [-json]
+//	sweep -list-packs
+//
+// The grid is deterministic at any -workers value: each cell builds on
+// its own worker-count-invariant pipeline and results assemble in cell
+// order. -check additionally asserts every pack's registered invariants
+// against the default build at the same seed (requires "default" among
+// -packs) and exits non-zero on violation. -json emits the raw summary
+// grid instead of the rendered comparison tables.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"crossborder/internal/experiments"
+	"crossborder/internal/scenario"
+	"crossborder/internal/scenario/pack"
+)
+
+func main() {
+	seedsFlag := flag.String("seeds", "1,2", "comma-separated world seeds")
+	packsFlag := flag.String("packs", strings.Join(pack.Names(), ","), "comma-separated pack names")
+	scale := flag.Float64("scale", 0.05, "population scale per cell")
+	visits := flag.Int("visits", 40, "mean page visits per user (0 = the paper's 219)")
+	workers := flag.Int("workers", 0, "concurrent cells (0 = 4; each cell also parallelizes internally)")
+	check := flag.Bool("check", false, "assert every pack's invariants against the default build at the same seed")
+	asJSON := flag.Bool("json", false, "emit the raw summary grid as JSON instead of the comparison tables")
+	listPacks := flag.Bool("list-packs", false, "print the registered scenario packs and exit")
+	flag.Parse()
+
+	if *listPacks {
+		for _, p := range pack.All() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Description)
+		}
+		return
+	}
+
+	seeds, err := parseSeeds(*seedsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+	var packs []string
+	for _, n := range strings.Split(*packsFlag, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			packs = append(packs, n)
+		}
+	}
+	if len(seeds) == 0 || len(packs) == 0 {
+		fmt.Fprintln(os.Stderr, "sweep: need at least one seed and one pack")
+		os.Exit(2)
+	}
+
+	base := scenario.Params{Scale: *scale, VisitsPerUser: *visits}
+	cells, err := pack.Cells(seeds, packs, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+
+	cellWorkers := *workers
+	if cellWorkers <= 0 {
+		cellWorkers = 4
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "sweep: %d cells (%d seeds x %d packs) at scale %.2f, %d concurrent\n",
+		len(cells), len(seeds), len(packs), *scale, cellWorkers)
+	results, err := scenario.Sweep(ctx, cells, cellWorkers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep aborted:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: grid built in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	} else {
+		grid := &experiments.SweepGrid{Results: results}
+		for _, c := range experiments.Comparisons() {
+			fmt.Println(c.Run(grid).Render())
+			fmt.Println(strings.Repeat("=", 78))
+		}
+	}
+
+	if *check {
+		if code := runChecks(results); code != 0 {
+			os.Exit(code)
+		}
+	}
+}
+
+// runChecks asserts every non-default cell's pack invariants against
+// the default build at the same seed, reporting each verdict.
+func runChecks(results []scenario.CellResult) int {
+	base := map[int64]scenario.Summary{}
+	for _, r := range results {
+		if r.Cell.Label == "default" {
+			base[r.Cell.Seed] = r.Summary
+		}
+	}
+	if len(base) == 0 {
+		fmt.Fprintln(os.Stderr, "sweep: -check needs the default pack in -packs")
+		return 2
+	}
+	failures := 0
+	for _, r := range results {
+		p, err := pack.Get(r.Cell.Label)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			return 2
+		}
+		if p.Check == nil {
+			continue
+		}
+		b, ok := base[r.Cell.Seed]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sweep: no default cell for seed %d\n", r.Cell.Seed)
+			return 2
+		}
+		if err := p.Check(b, r.Summary); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL seed %d pack %s: %v\n", r.Cell.Seed, r.Cell.Label, err)
+			failures++
+		} else {
+			fmt.Fprintf(os.Stderr, "ok   seed %d pack %s\n", r.Cell.Seed, r.Cell.Label)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d invariant failure(s)\n", failures)
+		return 1
+	}
+	return 0
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -95,6 +95,29 @@
 // checksummed, so backend and compression choices never change a
 // rendered artifact.
 //
+// # Scenario packs and sweeps
+//
+// The base world is one fixed scenario; scenario packs make it
+// pluggable without sacrificing reproducibility. A pack (see
+// internal/scenario/pack) installs deterministic mutation hooks at
+// fixed points of the build — a world hook running between filter-list
+// generation and the DNS/world freezes, and a per-user profile hook —
+// drawing randomness only from a pack-private stream derived from
+// (seed, pack name), so the shared build rng and the per-user browsing
+// streams consume exactly the draws of an unmodified build.
+// WithPack("default") is therefore byte-identical to no pack at all,
+// while the shipped families deliberately bend one subsystem each:
+// "routing" re-registers tracker zones as EU-biased multi-region
+// deployments under weighted/latency/failover GSLB policies,
+// "adversarial" adds filter-list-invisible cloaked and rotating
+// hostnames to stress the classifier, and "population" mixes in
+// mobile, VPN, and blocker-running users. Each pack declares
+// post-study invariants (EU28 confinement rises, the stage-1 catch
+// share drops, request volume drops) checked against the default
+// build at the same seed. cmd/sweep runs seed × pack grids on a
+// worker pool — deterministic at any concurrency — and renders
+// cross-study comparison artifacts from a separate registry.
+//
 // # Live collection and the cluster tier
 //
 // The batch study has a streaming twin: cmd/collectd ingests

@@ -96,6 +96,28 @@ func MakeUsers(pop []CountryCount) []*User {
 	return users
 }
 
+// Profile adjusts one user's simulated behaviour; the zero value is
+// the paper's baseline desktop user and changes nothing — not a single
+// extra RNG draw — so populations that assign zero profiles simulate
+// byte-identically to populations with no profiles at all.
+type Profile struct {
+	// ResolveCountry, when non-empty, is the country the DNS substrate
+	// sees for this user's queries instead of their home country: a VPN
+	// exit or a roaming SIM. Classification and the flow analysis keep
+	// the true home country as the origin, so VPN users are exactly the
+	// measurement the paper could not de-confound.
+	ResolveCountry geodata.Country
+	// VisitFactor scales the user's drawn visit count (0 means 1.0).
+	// Mobile-heavy users browse fewer full page loads per study.
+	VisitFactor float64
+	// BlockShare is the probability that a direct tracker tag is never
+	// fetched — a content-blocker install. Only first-party-context
+	// tracker tags are suppressed; RTB cascades behind ad slots still
+	// run (blockers kill the tag, not the auction the publisher runs
+	// server-side).
+	BlockShare float64
+}
+
 // Config tunes the browsing simulation.
 type Config struct {
 	// Start and End bound the measurement window (defaults: Sep 1 2017 to
@@ -116,6 +138,13 @@ type Config struct {
 	CDNAssetsMin, CDNAssetsMax int
 	// HTTPSShare is the fraction of requests over TLS (default 0.83).
 	HTTPSShare float64
+	// ProfileFor, when non-nil, assigns each user a behaviour profile.
+	// It must be a pure function of the user (scenario packs derive it
+	// from a hash of the pack seed and user ID): it may be called from
+	// any worker, any number of times, and must always return the same
+	// profile for the same user. A nil hook — or one returning zero
+	// profiles — leaves the simulation byte-identical to the baseline.
+	ProfileFor func(u *User) Profile
 	// RTB tunes the auction cascades.
 	RTB rtb.Config
 }
@@ -283,12 +312,22 @@ func newScratch() *scratch {
 // whole dataset is discarded on error.
 func (s *Simulator) runUser(ctx context.Context, u *User, seed int64, sinks []Sink, sc *scratch) error {
 	rng := rand.New(rand.NewSource(UserSeed(seed, u.ID)))
+	var prof Profile
+	if s.cfg.ProfileFor != nil {
+		prof = s.cfg.ProfileFor(u)
+	}
 	visits := s.visitCount(rng)
+	if prof.VisitFactor > 0 {
+		visits = int(float64(visits) * prof.VisitFactor)
+		if visits < 1 {
+			visits = 1
+		}
+	}
 	for v := 0; v < visits; v++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		s.visit(rng, u, sinks, sc)
+		s.visit(rng, u, prof, sinks, sc)
 	}
 	return nil
 }
@@ -304,12 +343,19 @@ func (s *Simulator) visitCount(rng *rand.Rand) int {
 }
 
 // visit renders one page.
-func (s *Simulator) visit(rng *rand.Rand, u *User, sinks []Sink, sc *scratch) {
+func (s *Simulator) visit(rng *rand.Rand, u *User, prof Profile, sinks []Sink, sc *scratch) {
 	cfg := s.cfg
 	p := s.pubPick.pick(rng)
 	at := cfg.Start.Add(time.Duration(rng.Int63n(int64(cfg.End.Sub(cfg.Start)))))
 	for _, sk := range sinks {
 		sk.OnVisit(u, p, at)
+	}
+
+	// The resolver sees the VPN exit / roaming country when the profile
+	// sets one; every captured Event still carries the true home user.
+	resolveCountry := u.Country
+	if prof.ResolveCountry != "" {
+		resolveCountry = prof.ResolveCountry
 	}
 
 	// Per-visit DNS cache: repeated requests to one FQDN reuse the answer,
@@ -319,7 +365,7 @@ func (s *Simulator) visit(rng *rand.Rand, u *User, sinks []Sink, sc *scratch) {
 	emit := func(call rtb.Call) {
 		ip, ok := cache[call.FQDN]
 		if !ok {
-			resolved, err := s.resolver.Resolve(rng, call.FQDN, u.Country, at)
+			resolved, err := s.resolver.Resolve(rng, call.FQDN, resolveCountry, at)
 			if err != nil {
 				return // dead embed; the extension never sees a request
 			}
@@ -342,7 +388,12 @@ func (s *Simulator) visit(rng *rand.Rand, u *User, sinks []Sink, sc *scratch) {
 	between := func(lo, hi int) int { return lo + rng.Intn(hi-lo+1) }
 
 	// 1. Direct tracker tags (first-party context, referrer = page).
+	// The BlockShare coin draws only for users with a blocker profile,
+	// so baseline users consume exactly the baseline draw sequence.
 	for _, svc := range p.DirectTrackers {
+		if prof.BlockShare > 0 && rng.Float64() < prof.BlockShare {
+			continue
+		}
 		for i, n := 0, between(cfg.TrackerRepeatsMin, cfg.TrackerRepeatsMax); i < n; i++ {
 			emit(rtb.DirectTrackerCall(rng, svc))
 		}

@@ -154,6 +154,63 @@ const analyzeRowsPerShard = 1 << 16
 // must not mutate shared state. The result is identical to the
 // sequential scan, for any worker count and either store backend.
 func Analyze(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bool) *Analysis {
+	return analyze(ds, svc, filter, -1)
+}
+
+// Predicate narrows Analyze to a subset of rows in a form the scan
+// planner can understand. Row, when non-nil, is an opaque per-row
+// filter — it forces the decode-to-rows path, exactly like Analyze's
+// filter argument. EqCountry, when non-empty, declares the predicate to
+// be "user country equals EqCountry": AnalyzeWhere then keeps the
+// decode-free projection path, where chunk zone maps prune whole chunks
+// whose country range excludes the value and the Country column's RLE
+// runs skip non-matching spans without visiting a row. When both are
+// set, Row further narrows the country-equal rows (row path).
+type Predicate struct {
+	Row       func(classify.Row) bool
+	EqCountry geodata.Country
+}
+
+// CountryEquals is the Predicate selecting one origin country.
+func CountryEquals(c geodata.Country) Predicate {
+	return Predicate{EqCountry: c}
+}
+
+// AnalyzeWhere is Analyze with a typed predicate. A country-equality
+// predicate runs on the projection kernel with zone-map chunk pruning;
+// an opaque Row predicate is equivalent to Analyze(ds, svc, p.Row). The
+// result is always identical to the row-path scan with the equivalent
+// row filter.
+func AnalyzeWhere(ds *classify.Dataset, svc geo.Service, p Predicate) *Analysis {
+	if p.EqCountry == "" {
+		return analyze(ds, svc, p.Row, -1)
+	}
+	eqID := -1
+	for i, c := range ds.Countries {
+		if c == p.EqCountry {
+			eqID = i
+			break
+		}
+	}
+	if eqID < 0 {
+		// The dataset never saw a user from that country.
+		return NewAnalysis()
+	}
+	cid := uint8(eqID)
+	filter := func(r classify.Row) bool { return r.Country == cid }
+	if p.Row != nil {
+		inner := p.Row
+		combined := func(r classify.Row) bool { return r.Country == cid && inner(r) }
+		return analyze(ds, svc, combined, -1)
+	}
+	return analyze(ds, svc, filter, eqID)
+}
+
+// analyze is the shared scan driver. eqID >= 0 declares filter to be
+// the country-equality predicate on that Countries index, which keeps
+// the projection kernel eligible (it enforces the equality itself);
+// eqID < 0 treats a non-nil filter as opaque.
+func analyze(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bool, eqID int) *Analysis {
 	st := ds.Store
 	if st == nil {
 		return NewAnalysis()
@@ -166,12 +223,13 @@ func Analyze(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bo
 	if workers > chunks {
 		workers = chunks
 	}
-	// The projection kernel serves the common no-filter call: a filter
-	// needs full rows anyway, so it keeps the decode-to-rows path.
-	pushdown := filter == nil && ds.PushdownEnabled()
+	// The projection kernel serves the no-filter call and the declared
+	// country-equality predicate; an opaque filter needs full rows, so
+	// it keeps the decode-to-rows path.
+	pushdown := (filter == nil || eqID >= 0) && ds.PushdownEnabled()
 	if workers <= 1 {
 		if pushdown {
-			return analyzeChunksProj(ds, svc, 0, chunks)
+			return analyzeChunksProj(ds, svc, eqID, 0, chunks)
 		}
 		return analyzeChunks(ds, svc, filter, 0, chunks)
 	}
@@ -188,7 +246,7 @@ func Analyze(ds *classify.Dataset, svc geo.Service, filter func(classify.Row) bo
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			if pushdown {
-				parts[w] = analyzeChunksProj(ds, svc, lo, hi)
+				parts[w] = analyzeChunksProj(ds, svc, eqID, lo, hi)
 			} else {
 				parts[w] = analyzeChunks(ds, svc, filter, lo, hi)
 			}
@@ -241,7 +299,13 @@ func analyzeChunks(ds *classify.Dataset, svc geo.Service, filter func(classify.R
 // result is identical to analyzeChunks with a nil filter: counter
 // addition commutes, so folding rows by run and by dictionary id
 // changes the order of Adds but not any total.
-func analyzeChunksProj(ds *classify.Dataset, svc geo.Service, lo, hi int) *Analysis {
+//
+// eqID >= 0 restricts the scan to rows whose Country column holds that
+// id: the chunk's zone map (min/max over the immutable Country column,
+// authoritative) drops whole chunks before any block fetch, and
+// non-matching RLE runs skip without touching the IP column. The result
+// is identical to analyzeChunks with the equivalent row filter.
+func analyzeChunksProj(ds *classify.Dataset, svc geo.Service, eqID int, lo, hi int) *Analysis {
 	a := NewAnalysis()
 	pc := classify.GetProj()
 	defer classify.PutProj(pc)
@@ -254,6 +318,12 @@ func analyzeChunksProj(ds *classify.Dataset, svc geo.Service, lo, hi int) *Analy
 	)
 	for ci := lo; ci < hi; ci++ {
 		classify.ProjChunkAt(ds.Store, ci, cols, pc)
+		if eqID >= 0 {
+			if z := pc.Zone; z != nil &&
+				(uint64(eqID) < z.Min[classify.ColCountry] || uint64(eqID) > z.Max[classify.ColCountry]) {
+				continue
+			}
+		}
 		cls := pc.Class
 		if !classify.AnyTracking(cls) {
 			continue
@@ -279,8 +349,12 @@ func analyzeChunksProj(ds *classify.Dataset, svc geo.Service, lo, hi int) *Analy
 		}
 		row := 0
 		for _, r := range runs {
-			src := ds.Countries[r.Value]
 			end := row + r.Len
+			if eqID >= 0 && r.Value != uint64(eqID) {
+				row = end
+				continue
+			}
+			src := ds.Countries[r.Value]
 			if haveDict {
 				touched = touched[:0]
 				for i := row; i < end; i++ {

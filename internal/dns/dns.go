@@ -39,6 +39,22 @@ const (
 	// PolicyRandom picks uniformly among all the org's servers; models
 	// third-party resolvers defeating geo-DNS (§7.3 broadband effect).
 	PolicyRandom
+	// PolicyWeighted draws among the active bindings proportionally to
+	// ServerIP.Weight (zero counts as 1) — GSLB-style weighted
+	// round-robin, the knob scenario packs turn to bias traffic toward
+	// chosen regions without touching the deployment footprint.
+	PolicyWeighted
+	// PolicyLatency serves the binding with the lowest modeled RTT to
+	// the user (great-circle distance through geodata.MinRTTms),
+	// ignoring country and continent boundaries entirely. Ties resolve
+	// to the lowest IP, so the answer is deterministic per (user
+	// country, active set).
+	PolicyLatency
+	// PolicyFailover serves the highest-Weight active binding (ties to
+	// the lowest IP): bindings form priority tiers and the answer falls
+	// to the next tier only when every higher-priority binding is
+	// outside its activity window — DNS-level primary/backup failover.
+	PolicyFailover
 )
 
 func (p Policy) String() string {
@@ -51,6 +67,12 @@ func (p Policy) String() string {
 		return "hq"
 	case PolicyRandom:
 		return "random"
+	case PolicyWeighted:
+		return "weighted"
+	case PolicyLatency:
+		return "latency"
+	case PolicyFailover:
+		return "failover"
 	default:
 		return fmt.Sprintf("Policy(%d)", uint8(p))
 	}
@@ -63,6 +85,10 @@ type ServerIP struct {
 	Country geodata.Country
 	// Provider is the cloud hosting the address ("" for own facilities).
 	Provider geodata.CloudProvider
+	// Weight biases PolicyWeighted draws and orders PolicyFailover
+	// priority tiers; zero means 1 under PolicyWeighted and lowest
+	// priority under PolicyFailover. Other policies ignore it.
+	Weight int
 	// Active window of the binding.
 	From, To time.Time
 }
@@ -245,6 +271,40 @@ func pick(rng *rand.Rand, policy Policy, active []ServerIP, user geodata.Country
 	switch policy {
 	case PolicyRandom:
 		return active[rng.Intn(len(active))].IP
+	case PolicyWeighted:
+		total := 0
+		for i := range active {
+			total += weightOf(&active[i])
+		}
+		x := rng.Intn(total)
+		for i := range active {
+			x -= weightOf(&active[i])
+			if x < 0 {
+				return active[i].IP
+			}
+		}
+		panic("dns: weighted draw out of range")
+	case PolicyLatency:
+		best, bestRTT := 0, -1.0
+		for i, sv := range active {
+			d := geodata.DistanceKm(user, sv.Country)
+			if d < 0 {
+				d = 1e9
+			}
+			rtt := geodata.MinRTTms(d)
+			if bestRTT < 0 || rtt < bestRTT {
+				best, bestRTT = i, rtt
+			}
+		}
+		return active[best].IP
+	case PolicyFailover:
+		best := 0
+		for i := 1; i < len(active); i++ {
+			if active[i].Weight > active[best].Weight {
+				best = i
+			}
+		}
+		return active[best].IP
 	case PolicyHQ:
 		// HQ policy still has only the org's deployments to choose from;
 		// prefer the first (registration order puts HQ blocks first in
@@ -311,6 +371,14 @@ func pick(rng *rand.Rand, policy Policy, active []ServerIP, user geodata.Country
 		// 3. Globally nearest.
 		return nearestServer(active, user)
 	}
+}
+
+// weightOf returns a binding's PolicyWeighted draw weight (zero = 1).
+func weightOf(sv *ServerIP) int {
+	if sv.Weight <= 0 {
+		return 1
+	}
+	return sv.Weight
 }
 
 // nthMatch returns the IP of the n-th (0-based) server satisfying ok.

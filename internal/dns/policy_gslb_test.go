@@ -1,0 +1,142 @@
+package dns
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"crossborder/internal/geodata"
+	"crossborder/internal/netsim"
+)
+
+func wsv(ip uint32, c geodata.Country, w int) ServerIP {
+	s := sv(ip, c)
+	s.Weight = w
+	return s
+}
+
+func TestResolveWeightedFollowsWeights(t *testing.T) {
+	s := NewServer(nil)
+	s.Register("w.example.com", "example", PolicyWeighted, 300*time.Second, []ServerIP{
+		wsv(0x20000001, "US", 1),
+		wsv(0x20000002, "DE", 9),
+	})
+	rng := rand.New(rand.NewSource(7))
+	hits := map[netsim.IP]int{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		ip, err := s.Resolve(rng, "w.example.com", "FR", mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits[ip]++
+	}
+	de := float64(hits[0x20000002]) / n
+	if de < 0.85 || de > 0.95 {
+		t.Fatalf("DE share with 9:1 weights = %.3f, want ~0.9", de)
+	}
+	if hits[0x20000001] == 0 {
+		t.Fatal("weight-1 server never drawn")
+	}
+}
+
+func TestResolveWeightedZeroWeightCountsAsOne(t *testing.T) {
+	s := NewServer(nil)
+	s.Register("z.example.com", "example", PolicyWeighted, 300*time.Second, []ServerIP{
+		wsv(0x20000011, "US", 0),
+		wsv(0x20000012, "DE", 0),
+	})
+	rng := rand.New(rand.NewSource(8))
+	hits := map[netsim.IP]int{}
+	for i := 0; i < 2000; i++ {
+		ip, err := s.Resolve(rng, "z.example.com", "ES", mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits[ip]++
+	}
+	if hits[0x20000011] < 800 || hits[0x20000012] < 800 {
+		t.Fatalf("zero weights should draw uniformly, got %v", hits)
+	}
+}
+
+func TestResolveLatencyPicksLowestRTT(t *testing.T) {
+	s := NewServer(nil)
+	s.Register("lat.example.com", "example", PolicyLatency, 300*time.Second, []ServerIP{
+		sv(0x20000021, "US"),
+		sv(0x20000022, "DE"),
+		sv(0x20000023, "JP"),
+	})
+	rng := rand.New(rand.NewSource(9))
+	// A Spanish user is closest to the German server; a Japanese user to
+	// the Tokyo one — latency routing ignores continents, it just takes
+	// the lowest modeled RTT, and repeats are deterministic.
+	for i := 0; i < 10; i++ {
+		ip, err := s.Resolve(rng, "lat.example.com", "ES", mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip != 0x20000022 {
+			t.Fatalf("ES user resolved to %s, want the DE server", ip)
+		}
+		ip, err = s.Resolve(rng, "lat.example.com", "TW", mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip != 0x20000023 {
+			t.Fatalf("TW user resolved to %s, want the JP server", ip)
+		}
+	}
+}
+
+func TestResolveFailoverPriorityTiers(t *testing.T) {
+	s := NewServer(nil)
+	// Primary (weight 10) active only in the first half of the study;
+	// backup (weight 5) and last-resort (weight 0) cover the whole window.
+	primary := wsv(0x20000031, "DE", 10)
+	primary.To = mid
+	s.Register("fo.example.com", "example", PolicyFailover, 300*time.Second, []ServerIP{
+		primary,
+		wsv(0x20000032, "GB", 5),
+		wsv(0x20000033, "US", 0),
+	})
+	rng := rand.New(rand.NewSource(10))
+	early := mid.Add(-24 * time.Hour)
+	late := mid.Add(24 * time.Hour)
+	if ip, _ := s.Resolve(rng, "fo.example.com", "FR", early); ip != 0x20000031 {
+		t.Fatalf("before failover resolved to %s, want the DE primary", ip)
+	}
+	if ip, _ := s.Resolve(rng, "fo.example.com", "FR", late); ip != 0x20000032 {
+		t.Fatalf("after primary window resolved to %s, want the GB backup", ip)
+	}
+}
+
+func TestResolveFailoverTieBreaksToLowestIP(t *testing.T) {
+	s := NewServer(nil)
+	s.Register("tie.example.com", "example", PolicyFailover, 300*time.Second, []ServerIP{
+		wsv(0x20000042, "GB", 5),
+		wsv(0x20000041, "DE", 5),
+	})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5; i++ {
+		ip, err := s.Resolve(rng, "tie.example.com", "FR", mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip != 0x20000041 {
+			t.Fatalf("equal-weight failover resolved to %s, want the lowest IP", ip)
+		}
+	}
+}
+
+func TestGSLBPolicyStrings(t *testing.T) {
+	for p, want := range map[Policy]string{
+		PolicyWeighted: "weighted",
+		PolicyLatency:  "latency",
+		PolicyFailover: "failover",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("Policy(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}

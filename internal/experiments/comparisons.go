@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crossborder/internal/scenario"
+)
+
+// Cross-study comparison experiments: artifacts computed over a seed ×
+// pack sweep grid rather than a single study. They live in their own
+// registry — the main registry is pinned to the paper's artifacts and
+// its id set is part of the public contract — and are rendered by
+// cmd/sweep after a scenario.Sweep run.
+
+// SweepGrid is the comparison experiments' input: the results of one
+// seed × pack sweep, in cell order.
+type SweepGrid struct {
+	Results []scenario.CellResult
+}
+
+// Packs returns the grid's pack labels in first-seen order ("default"
+// always sorts first when present).
+func (g *SweepGrid) Packs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range g.Results {
+		if !seen[r.Cell.Label] {
+			seen[r.Cell.Label] = true
+			out = append(out, r.Cell.Label)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i] == "default" && out[j] != "default"
+	})
+	return out
+}
+
+// Seeds returns the grid's seeds in first-seen order.
+func (g *SweepGrid) Seeds() []int64 {
+	seen := map[int64]bool{}
+	var out []int64
+	for _, r := range g.Results {
+		if !seen[r.Cell.Seed] {
+			seen[r.Cell.Seed] = true
+			out = append(out, r.Cell.Seed)
+		}
+	}
+	return out
+}
+
+// summaries returns the pack's summaries across seeds, in seed order.
+func (g *SweepGrid) summaries(pack string) []scenario.Summary {
+	var out []scenario.Summary
+	for _, seed := range g.Seeds() {
+		for _, r := range g.Results {
+			if r.Cell.Label == pack && r.Cell.Seed == seed {
+				out = append(out, r.Summary)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Comparison is one registered cross-study artifact.
+type Comparison struct {
+	// ID is the canonical identifier, e.g. "cmp-table1".
+	ID string
+	// Title is the artifact's caption.
+	Title string
+	// Desc is the one-line description for the markdown index.
+	Desc string
+	// Run computes the artifact from a sweep grid.
+	Run func(g *SweepGrid) Artifact
+}
+
+var (
+	comparisons      []Comparison
+	comparisonsIndex = make(map[string]int)
+)
+
+// RegisterComparison adds a comparison experiment; registration order
+// is render order. Panics mirror Register's.
+func RegisterComparison(c Comparison) {
+	id := strings.ToLower(strings.TrimSpace(c.ID))
+	if id == "" {
+		panic("experiments: RegisterComparison with empty ID")
+	}
+	if c.Run == nil {
+		panic("experiments: RegisterComparison " + id + " with nil Run")
+	}
+	if _, dup := comparisonsIndex[id]; dup {
+		panic("experiments: duplicate comparison " + id)
+	}
+	c.ID = id
+	comparisonsIndex[id] = len(comparisons)
+	comparisons = append(comparisons, c)
+}
+
+// Comparisons returns the registered comparison experiments in order.
+func Comparisons() []Comparison {
+	out := make([]Comparison, len(comparisons))
+	copy(out, comparisons)
+	return out
+}
+
+// GetComparison looks a comparison up by id, case-insensitively.
+func GetComparison(id string) (Comparison, bool) {
+	i, ok := comparisonsIndex[strings.ToLower(strings.TrimSpace(id))]
+	if !ok {
+		return Comparison{}, false
+	}
+	return comparisons[i], true
+}
+
+// packRow is one pack's per-seed values plus the mean, used by every
+// comparison table below.
+type packRow struct {
+	Pack   string    `json:"pack"`
+	Values []float64 `json:"values"` // one per seed, seed order
+	Mean   float64   `json:"mean"`
+}
+
+// CompareResult is one comparison metric across the grid.
+type CompareResult struct {
+	Metric string    `json:"metric"`
+	Seeds  []int64   `json:"seeds"`
+	Rows   []packRow `json:"rows"`
+}
+
+// CompareSet is a titled group of metrics, the value type every
+// comparison artifact carries.
+type CompareSet struct {
+	Title   string          `json:"title"`
+	Metrics []CompareResult `json:"metrics"`
+}
+
+// compare extracts one metric across the whole grid.
+func compare(g *SweepGrid, metric string, f func(scenario.Summary) float64) CompareResult {
+	out := CompareResult{Metric: metric, Seeds: g.Seeds()}
+	for _, pack := range g.Packs() {
+		row := packRow{Pack: pack}
+		for _, s := range g.summaries(pack) {
+			row.Values = append(row.Values, f(s))
+		}
+		for _, v := range row.Values {
+			row.Mean += v
+		}
+		if len(row.Values) > 0 {
+			row.Mean /= float64(len(row.Values))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Render formats the set as aligned plain-text tables, one per metric,
+// with per-pack deltas against the first (default) row.
+func (cs CompareSet) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", cs.Title)
+	for _, m := range cs.Metrics {
+		fmt.Fprintf(&b, "\n%s\n", m.Metric)
+		fmt.Fprintf(&b, "  %-12s", "pack")
+		for _, s := range m.Seeds {
+			fmt.Fprintf(&b, " %12s", fmt.Sprintf("seed %d", s))
+		}
+		fmt.Fprintf(&b, " %12s %9s\n", "mean", "vs def")
+		var base float64
+		for i, r := range m.Rows {
+			if i == 0 {
+				base = r.Mean
+			}
+			fmt.Fprintf(&b, "  %-12s", r.Pack)
+			for _, v := range r.Values {
+				fmt.Fprintf(&b, " %12.3f", v)
+			}
+			delta := "—"
+			if i > 0 {
+				delta = fmt.Sprintf("%+.3f", r.Mean-base)
+			}
+			fmt.Fprintf(&b, " %12.3f %9s\n", r.Mean, delta)
+		}
+	}
+	return b.String()
+}
+
+func regCompare(id, title, desc string, metrics func(g *SweepGrid) []CompareResult) {
+	RegisterComparison(Comparison{
+		ID: id, Title: title, Desc: desc,
+		Run: func(g *SweepGrid) Artifact {
+			cs := CompareSet{Title: title, Metrics: metrics(g)}
+			return NewArtifact(cs, cs.Render)
+		},
+	})
+}
+
+func init() {
+	regCompare("cmp-table1", "Table 1 deltas per pack",
+		"Dataset-shape shifts across packs: users, third-party FQDNs, and request volume vs the default build.",
+		func(g *SweepGrid) []CompareResult {
+			return []CompareResult{
+				compare(g, "users", func(s scenario.Summary) float64 { return float64(s.Stats.Users) }),
+				compare(g, "third-party FQDNs", func(s scenario.Summary) float64 { return float64(s.Stats.ThirdPartyFQDNs) }),
+				compare(g, "third-party requests", func(s scenario.Summary) float64 { return float64(s.Stats.ThirdPartyReqs) }),
+			}
+		})
+	regCompare("cmp-table2", "Table 2 / classifier deltas per pack",
+		"Catch composition and accuracy shifts: filter-list vs semi-automatic share, precision, recall.",
+		func(g *SweepGrid) []CompareResult {
+			return []CompareResult{
+				compare(g, "filter-list catch share", func(s scenario.Summary) float64 {
+					return float64(s.Table2.ABP.TotalRequests) / float64(s.Stats.ThirdPartyReqs)
+				}),
+				compare(g, "semi-automatic catch share", func(s scenario.Summary) float64 {
+					return float64(s.Table2.Semi.TotalRequests) / float64(s.Stats.ThirdPartyReqs)
+				}),
+				compare(g, "precision", func(s scenario.Summary) float64 { return s.Accuracy.Precision() }),
+				compare(g, "recall", func(s scenario.Summary) float64 { return s.Accuracy.Recall() }),
+			}
+		})
+	regCompare("cmp-flows", "Tracking flow and confinement deltas per pack",
+		"Truth-joined tracking flow counts and EU28 confinement (in-country / in-EU28 / in-Europe) vs the default build.",
+		func(g *SweepGrid) []CompareResult {
+			return []CompareResult{
+				compare(g, "tracking flows", func(s scenario.Summary) float64 { return float64(s.Flows) }),
+				compare(g, "EU28 in-country share", func(s scenario.Summary) float64 { return s.InCountry }),
+				compare(g, "EU28 in-EU28 share", func(s scenario.Summary) float64 { return s.InEU28 }),
+				compare(g, "EU28 in-Europe share", func(s scenario.Summary) float64 { return s.InEurope }),
+			}
+		})
+	regCompare("cmp-inventory", "Tracker inventory deltas per pack",
+		"Tracker database shifts: known IPs, directly observed IPs, and tracking hostnames per pack.",
+		func(g *SweepGrid) []CompareResult {
+			return []CompareResult{
+				compare(g, "tracker IPs", func(s scenario.Summary) float64 { return float64(s.TrackerIPs) }),
+				compare(g, "observed tracker IPs", func(s scenario.Summary) float64 { return float64(s.ObservedIPs) }),
+				compare(g, "tracking FQDNs", func(s scenario.Summary) float64 { return float64(s.TrackingFQDNs) }),
+			}
+		})
+}

@@ -38,5 +38,18 @@ func MarkdownIndex() string {
 	b.WriteString("independent experiments in parallel over the precomputed geolocation\n")
 	b.WriteString("joins and runs dependencies (e.g. `table8` before `fig12`) first.\n")
 	b.WriteString("Output order is always paper order, byte-identical for a fixed seed.\n")
+	b.WriteString("\n")
+	b.WriteString("## Cross-study comparisons\n")
+	b.WriteString("\n")
+	b.WriteString("Comparison experiments live in a separate registry: they consume a\n")
+	b.WriteString("seed × scenario-pack sweep grid (`cmd/sweep`, `scenario.Sweep`)\n")
+	b.WriteString("instead of a single study, and report per-pack deltas against the\n")
+	b.WriteString("default build.\n")
+	b.WriteString("\n")
+	b.WriteString("| ID | Title | Description |\n")
+	b.WriteString("|----|-------|-------------|\n")
+	for _, c := range comparisons {
+		fmt.Fprintf(&b, "| `%s` | %s | %s |\n", c.ID, c.Title, c.Desc)
+	}
 	return b.String()
 }

@@ -69,6 +69,7 @@ func RecordSimulation(world *scenario.Scenario, visitsPerUser, workers int) map[
 	}
 	sim := browser.NewSimulator(world.Graph, world.DNS, browser.Config{
 		Start: world.Start, End: world.End, VisitsPerUser: visits,
+		ProfileFor: world.ProfileFor(),
 	})
 	var recs []*Recorder
 	sim.RunWorkers(world.Params.Seed, world.Users, workers, func(int) []browser.Sink {

@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"math/rand"
+	"time"
+
+	"crossborder/internal/browser"
+	"crossborder/internal/dns"
+	"crossborder/internal/netsim"
+	"crossborder/internal/pdns"
+	"crossborder/internal/webgraph"
+)
+
+// Mutators is the bundle of deterministic world-mutation hooks a
+// scenario pack installs on Params. Hooks run at fixed points of the
+// build pipeline and draw randomness only from the pack-private rng
+// stream handed to them, so the shared build rng and the per-user
+// browsing streams consume exactly the draws of an unmodified build —
+// which is what keeps the default (nil-Mutators) study byte-identical
+// and lets untouched subsystems stay byte-stable under any pack.
+type Mutators struct {
+	// Name identifies the pack; together with the study seed it derives
+	// the pack-private rng stream.
+	Name string
+	// World, when non-nil, mutates the built world after org
+	// deployment, zone construction, and filter-list generation, but
+	// before the world and resolver freeze: it may deploy additional
+	// datacenters, re-register DNS zones (multi-region server sets, new
+	// policies), and attach new FQDNs to existing services. Hostnames
+	// added here are invisible to the already-generated filter lists —
+	// exactly the blind spot CNAME-cloaking packs exploit.
+	World func(m *WorldMutation)
+	// Profile, when non-nil, assigns per-user behaviour profiles
+	// (browser.Config.ProfileFor). It must be a pure function of (seed,
+	// user): derive any randomness by hashing, never by drawing from a
+	// stateful source, so the assignment is identical at any worker
+	// count.
+	Profile func(seed int64, u *browser.User) browser.Profile
+}
+
+// WorldMutation is the view of the half-built world a pack's World hook
+// mutates. Everything reachable from it is still unfrozen.
+type WorldMutation struct {
+	// Rng is the pack-private stream: seeded from (study seed, pack
+	// name), disjoint from the shared build rng by construction.
+	Rng *rand.Rand
+
+	Graph *webgraph.Graph
+	World *netsim.World
+	DNS   *dns.Server
+	PDNS  *pdns.DB
+
+	// Start/End bound the extension study; ISPEnd closes the pDNS
+	// binding windows (matching Scenario's fields).
+	Start, End, ISPEnd time.Time
+
+	// Scale is the study's population scale, for sizing mutations.
+	Scale float64
+}
+
+// packRand derives the pack-private rng for (seed, name): a
+// splitmix64-style finalizer over the seed and the pack name's bytes,
+// so distinct packs — and distinct seeds — get disjoint streams without
+// perturbing the shared build rng's draw order.
+func packRand(seed int64, name string) *rand.Rand {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(name); i++ {
+		z = (z ^ uint64(name[i])) * 0xbf58476d1ce4e5b9
+	}
+	z = (z ^ (z >> 30)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// applyWorldHook runs the pack's World hook (if any) over the unfrozen
+// world. Called from buildWorldBase between filter-list generation and
+// the World/DNS freezes.
+func (p Params) applyWorldHook(s *Scenario) {
+	if p.Mutators == nil || p.Mutators.World == nil {
+		return
+	}
+	p.Mutators.World(&WorldMutation{
+		Rng:    packRand(p.Seed, p.Mutators.Name),
+		Graph:  s.Graph,
+		World:  s.World,
+		DNS:    s.DNS,
+		PDNS:   s.PDNS,
+		Start:  s.Start,
+		End:    s.End,
+		ISPEnd: s.ISPEnd,
+		Scale:  p.Scale,
+	})
+}
+
+// profileHook adapts the pack's Profile hook to browser.Config's
+// ProfileFor shape (nil when the pack declares none).
+func (p Params) profileHook() func(u *browser.User) browser.Profile {
+	if p.Mutators == nil || p.Mutators.Profile == nil {
+		return nil
+	}
+	seed, hook := p.Seed, p.Mutators.Profile
+	return func(u *browser.User) browser.Profile { return hook(seed, u) }
+}
+
+// ProfileFor exposes the built world's per-user profile hook for
+// external simulation drivers (e.g. the ingest replay path), so a
+// pack's population profiles apply wherever the users browse. nil when
+// no pack or no profile hook is installed.
+func (s *Scenario) ProfileFor() func(u *browser.User) browser.Profile {
+	return s.Params.profileHook()
+}

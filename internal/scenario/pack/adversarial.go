@@ -1,0 +1,141 @@
+package pack
+
+import (
+	"fmt"
+	"time"
+
+	"crossborder/internal/dns"
+	"crossborder/internal/scenario"
+)
+
+// The adversarial pack stresses the classifier with hostnames the
+// filter lists never saw. The hook runs after blocklist generation but
+// before the DNS freeze, so:
+//
+//   - cloaked names: a share of mid-tier trackers gain a neutral
+//     hostname on a fresh registrable domain (CNAME-cloaking-style
+//     first-party delegation: none of the generated ||etld+1^ rules nor
+//     the tracker keyword vocabulary match it) serving from the same
+//     infrastructure;
+//   - rotating names: another share gains a pair of generation-suffixed
+//     hostnames whose DNS bindings split the study window, the
+//     list-evasion-by-churn pattern pDNS validity windows expose.
+//
+// Publishers embed services by reference, so the new names immediately
+// receive their share of calls; ground truth still marks them tracking
+// (role-derived), while stage 1 misses them — recall must drop.
+
+func adversarialMutators() *scenario.Mutators {
+	return &scenario.Mutators{
+		Name: "adversarial",
+		World: func(m *scenario.WorldMutation) {
+			rng := m.Rng
+			mid := m.Start.Add(m.End.Sub(m.Start) / 2)
+			serial := 0
+			for _, svc := range m.Graph.Services {
+				if !svc.Role.IsTracking() || svc.Major {
+					continue
+				}
+				servers := m.DNS.Servers(svc.Primary())
+				if len(servers) == 0 {
+					continue
+				}
+				policy, _ := m.DNS.Policy(svc.Primary())
+				ttl := m.DNS.TTL(svc.Primary())
+				cloaks := 0
+				if rng.Float64() < 0.8 {
+					cloaks = 1 + rng.Intn(2)
+				}
+				rotate := rng.Float64() < 0.35
+				for c := 0; c < cloaks; c++ {
+					serial++
+					name := fmt.Sprintf("assets.cdn%03d-media.net", serial)
+					m.Graph.AddFQDN(svc, name)
+					m.DNS.Register(name, svc.Org, policy, ttl, servers)
+					for _, sv := range servers {
+						m.PDNS.ObserveWindow(name, sv.IP, sv.From, sv.To)
+					}
+				}
+				if rotate {
+					serial++
+					for gen := 0; gen < 2; gen++ {
+						name := fmt.Sprintf("g%d.edge%03d-static.net", gen+1, serial)
+						m.Graph.AddFQDN(svc, name)
+						windowed := windowServers(servers, gen, m, mid)
+						m.DNS.Register(name, svc.Org, policy, ttl, windowed)
+						for _, sv := range windowed {
+							m.PDNS.ObserveWindow(name, sv.IP, sv.From, sv.To)
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+// windowServers clamps a generation's bindings to its half of the
+// study: generation 0 serves Start..mid, generation 1 mid..ISPEnd.
+// Bindings that do not overlap the window are dropped; if nothing
+// overlaps, the generation falls back to full-window copies so the
+// name always resolves.
+func windowServers(servers []dns.ServerIP, gen int, m *scenario.WorldMutation, mid time.Time) []dns.ServerIP {
+	from, to := m.Start, mid
+	if gen == 1 {
+		from, to = mid, m.ISPEnd
+	}
+	out := make([]dns.ServerIP, 0, len(servers))
+	for _, sv := range servers {
+		if sv.To.Before(from) || sv.From.After(to) {
+			continue
+		}
+		if sv.From.Before(from) {
+			sv.From = from
+		}
+		if sv.To.After(to) {
+			sv.To = to
+		}
+		sv.Weight = 0
+		out = append(out, sv)
+	}
+	if len(out) == 0 {
+		for _, sv := range servers {
+			sv.From, sv.To, sv.Weight = from, to, 0
+			out = append(out, sv)
+		}
+	}
+	return out
+}
+
+func checkAdversarial(base, got scenario.Summary) error {
+	if got.Stats.ThirdPartyFQDNs <= base.Stats.ThirdPartyFQDNs {
+		return fmt.Errorf("adversarial: third-party FQDN count did not grow (%d -> %d)",
+			base.Stats.ThirdPartyFQDNs, got.Stats.ThirdPartyFQDNs)
+	}
+	// The filter-list stage must catch a smaller share of traffic: the
+	// cloaked domains are invisible to every generated rule, so catch
+	// shifts from stage 1 to the semi-automatic stages. (Absolute recall
+	// is NOT asserted — the semi stages recover most cloaked rows, which
+	// is the paper's point, and trace resampling noise can swamp the
+	// remainder at small scales.)
+	abpShare := func(s scenario.Summary) float64 {
+		return float64(s.Table2.ABP.TotalRequests) / float64(s.Stats.ThirdPartyReqs)
+	}
+	if abpShare(got) >= abpShare(base) {
+		return fmt.Errorf("adversarial: filter-list catch share did not drop (%.4f -> %.4f)",
+			abpShare(base), abpShare(got))
+	}
+	if got.TrackingFQDNs <= base.TrackingFQDNs {
+		return fmt.Errorf("adversarial: tracker inventory FQDNs did not grow (%d -> %d)",
+			base.TrackingFQDNs, got.TrackingFQDNs)
+	}
+	return nil
+}
+
+func init() {
+	Register(&Pack{
+		Name:        "adversarial",
+		Description: "CNAME-cloaking-style fresh domains and rotating generation hostnames that evade the generated filter lists",
+		Mutators:    adversarialMutators,
+		Check:       checkAdversarial,
+	})
+}

@@ -1,0 +1,130 @@
+// Package pack is the scenario-pack registry: named, deterministic
+// world mutations layered on the base study plus the invariants each
+// mutation is expected to produce.
+//
+// A pack bundles scenario.Mutators (hooks that run at fixed points of
+// scenario.BuildContext, drawing only from a pack-private rng stream so
+// untouched subsystems stay byte-stable) with a post-study Check that
+// compares the pack's Summary against the default build at the same
+// seed. The default pack installs no mutators and reproduces the base
+// study byte for byte; the shipped families stress routing
+// (multi-region GSLB policies), classification (CNAME-cloaking-style
+// first-party names and rotating FQDNs), and population structure
+// (device, VPN, and blocklist-adoption mixes).
+package pack
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"crossborder/internal/scenario"
+)
+
+// Pack is one named scenario variation.
+type Pack struct {
+	// Name is the registry key ("default", "routing", ...).
+	Name string
+	// Description is the one-line summary shown by -list-packs.
+	Description string
+	// Mutators builds the scenario hooks; nil for the default pack.
+	// Called per build so packs never share mutable state across cells.
+	Mutators func() *scenario.Mutators
+	// Check asserts the pack's expected invariants given the default
+	// pack's summary (base) and this pack's summary (got) at the same
+	// seed and scale. nil means no invariant beyond building cleanly.
+	Check func(base, got scenario.Summary) error
+}
+
+var registry = map[string]*Pack{}
+
+// Register adds a pack; duplicate names are programming errors.
+func Register(p *Pack) {
+	if p.Name == "" {
+		panic("pack: Register with empty name")
+	}
+	if _, dup := registry[p.Name]; dup {
+		panic("pack: duplicate pack " + p.Name)
+	}
+	registry[p.Name] = p
+}
+
+// Get returns the named pack, or an error listing the valid names.
+func Get(name string) (*Pack, error) {
+	if p, ok := registry[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("pack: unknown pack %q (have: %v)", name, Names())
+}
+
+// Names returns the registered pack names in sorted order, "default"
+// first.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if (out[i] == "default") != (out[j] == "default") {
+			return out[i] == "default"
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// All returns the packs in Names() order.
+func All() []*Pack {
+	names := Names()
+	out := make([]*Pack, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// Params returns base with the named pack's mutators installed (the
+// default pack returns base unchanged apart from clearing Mutators).
+func Params(base scenario.Params, name string) (scenario.Params, error) {
+	p, err := Get(name)
+	if err != nil {
+		return base, err
+	}
+	if p.Mutators == nil {
+		base.Mutators = nil
+		return base, nil
+	}
+	base.Mutators = p.Mutators()
+	return base, nil
+}
+
+// Cells expands a seed × pack grid into sweep cells, ordered seed-major
+// then pack order as given.
+func Cells(seeds []int64, names []string, base scenario.Params) ([]scenario.Cell, error) {
+	cells := make([]scenario.Cell, 0, len(seeds)*len(names))
+	for _, seed := range seeds {
+		for _, name := range names {
+			params, err := Params(base, name)
+			if err != nil {
+				return nil, err
+			}
+			params.Seed = seed
+			cells = append(cells, scenario.Cell{Seed: seed, Label: name, Params: params})
+		}
+	}
+	return cells, nil
+}
+
+func init() {
+	Register(&Pack{
+		Name:        "default",
+		Description: "the unmodified base study (byte-identical to a pack-less build)",
+		Check: func(base, got scenario.Summary) error {
+			base.Pack, got.Pack = "", ""
+			if !reflect.DeepEqual(base, got) {
+				return fmt.Errorf("default pack diverged from the base build: %+v vs %+v", got, base)
+			}
+			return nil
+		},
+	})
+}

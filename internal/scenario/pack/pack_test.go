@@ -1,0 +1,101 @@
+package pack
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"crossborder/internal/scenario"
+)
+
+func smallParams(seed int64) scenario.Params {
+	return scenario.Params{Seed: seed, Scale: 0.02, VisitsPerUser: 10}
+}
+
+func TestRegistryNamesAndGet(t *testing.T) {
+	names := Names()
+	if len(names) < 4 || names[0] != "default" {
+		t.Fatalf("Names() = %v, want default first and >=4 packs", names)
+	}
+	want := map[string]bool{"default": true, "routing": true, "adversarial": true, "population": true}
+	for n := range want {
+		if _, err := Get(n); err != nil {
+			t.Errorf("Get(%q): %v", n, err)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get(nope) succeeded, want error listing valid names")
+	}
+	if got := All(); len(got) != len(names) {
+		t.Errorf("All() returned %d packs, Names() %d", len(got), len(names))
+	}
+}
+
+func TestCellsGridShape(t *testing.T) {
+	cells, err := Cells([]int64{3, 5}, []string{"default", "population"}, smallParams(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	if cells[0].Label != "default" || cells[0].Seed != 3 || cells[3].Label != "population" || cells[3].Seed != 5 {
+		t.Errorf("cell order wrong: %+v", cells)
+	}
+	if cells[1].Params.Mutators == nil || cells[1].Params.Mutators.Name != "population" {
+		t.Errorf("population cell missing mutators")
+	}
+	if cells[0].Params.Mutators != nil {
+		t.Errorf("default cell has mutators installed")
+	}
+}
+
+// TestDefaultPackMatchesBareBuild: installing the default pack is a
+// no-op — the summary equals a pack-less build's summary exactly.
+func TestDefaultPackMatchesBareBuild(t *testing.T) {
+	bare := scenario.Summarize(scenario.Build(smallParams(7)))
+	params, err := Params(smallParams(7), "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := scenario.Summarize(scenario.Build(params))
+	if !reflect.DeepEqual(bare, packed) {
+		t.Fatalf("default pack diverged:\nbare:   %+v\npacked: %+v", bare, packed)
+	}
+}
+
+// TestPackInvariantsAcrossSeeds builds every shipped pack at three
+// seeds and asserts each pack's expected invariants against the
+// default build at the same seed.
+func TestPackInvariantsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed pack builds are not -short material")
+	}
+	seeds := []int64{1, 2, 3}
+	cells, err := Cells(seeds, Names(), smallParams(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := scenario.Sweep(context.Background(), cells, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[int64]scenario.Summary{}
+	for _, r := range results {
+		if r.Cell.Label == "default" {
+			base[r.Cell.Seed] = r.Summary
+		}
+	}
+	for _, r := range results {
+		p, err := Get(r.Cell.Label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Check == nil {
+			continue
+		}
+		if err := p.Check(base[r.Cell.Seed], r.Summary); err != nil {
+			t.Errorf("seed %d: %v", r.Cell.Seed, err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package pack
+
+import (
+	"fmt"
+
+	"crossborder/internal/browser"
+	"crossborder/internal/geodata"
+	"crossborder/internal/scenario"
+)
+
+// The population pack varies who is behind the extension: a mobile
+// cohort browsing fewer pages per day, a VPN/roaming cohort whose
+// resolver sees an exit country different from home, and a
+// blocklist-adoption cohort whose blocker strips most direct tracker
+// tags. Profiles are a pure hash of (seed, user ID) — no stateful rng —
+// so the assignment is identical at any worker count and the untouched
+// cohort replays the default pack's exact traces.
+
+// vpnExits is the pool of modeled VPN exit countries.
+var vpnExits = []geodata.Country{"US", "GB", "NL", "SE", "CH"}
+
+const (
+	mobileShare  = 35 // % of users on mobile (VisitFactor 0.6)
+	vpnShare     = 10 // % of users behind a VPN exit
+	blockerShare = 25 // % of users running a blocker (BlockShare 0.85)
+)
+
+// profileHash is a splitmix64-style finalizer over (seed, user, lane),
+// giving each decision an independent uniform draw.
+func profileHash(seed int64, user int, lane uint64) uint64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(user)*0xbf58476d1ce4e5b9 + lane
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func populationProfile(seed int64, u *browser.User) browser.Profile {
+	var prof browser.Profile
+	if profileHash(seed, u.ID, 1)%100 < mobileShare {
+		prof.VisitFactor = 0.6
+	}
+	if h := profileHash(seed, u.ID, 2); h%100 < vpnShare {
+		prof.ResolveCountry = vpnExits[(h>>8)%uint64(len(vpnExits))]
+	}
+	if profileHash(seed, u.ID, 3)%100 < blockerShare {
+		prof.BlockShare = 0.85
+	}
+	return prof
+}
+
+func populationMutators() *scenario.Mutators {
+	return &scenario.Mutators{
+		Name:    "population",
+		Profile: populationProfile,
+	}
+}
+
+func checkPopulation(base, got scenario.Summary) error {
+	if got.Stats.Users != base.Stats.Users {
+		return fmt.Errorf("population: user count changed (%d -> %d)", base.Stats.Users, got.Stats.Users)
+	}
+	if got.Stats.ThirdPartyReqs >= base.Stats.ThirdPartyReqs {
+		return fmt.Errorf("population: third-party request volume did not drop (%d -> %d)",
+			base.Stats.ThirdPartyReqs, got.Stats.ThirdPartyReqs)
+	}
+	if got.Flows >= base.Flows {
+		return fmt.Errorf("population: tracking flow count did not drop (%d -> %d)", base.Flows, got.Flows)
+	}
+	return nil
+}
+
+func init() {
+	Register(&Pack{
+		Name:        "population",
+		Description: "mobile/VPN/blocker user mixes: fewer visits, shifted resolver countries, stripped tracker tags",
+		Mutators:    populationMutators,
+		Check:       checkPopulation,
+	})
+}

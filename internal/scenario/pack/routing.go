@@ -1,0 +1,101 @@
+package pack
+
+import (
+	"fmt"
+
+	"crossborder/internal/dns"
+	"crossborder/internal/geodata"
+	"crossborder/internal/scenario"
+)
+
+// The routing pack gives every tracker FQDN a multi-region deployment
+// resolved by GSLB-style policies (weighted draws, modeled-latency
+// steering, weighted failover tiers) with EU28 regions weighted up —
+// the "what if trackers load-balanced into Europe" counterfactual the
+// paper's §5 confinement tables invite. Orgs with no EU presence get
+// one pack-deployed EU datacenter, so every tracking zone has at least
+// one in-region binding.
+
+// euRegions is the candidate pool for pack-added EU datacenters.
+var euRegions = []geodata.Country{"DE", "IE", "NL", "FR", "SE"}
+
+const euWeight = 8 // EU28 bindings outweigh others 8:1 under PolicyWeighted/Failover
+
+func routingMutators() *scenario.Mutators {
+	return &scenario.Mutators{
+		Name: "routing",
+		World: func(m *scenario.WorldMutation) {
+			rng := m.Rng
+			policies := []dns.Policy{dns.PolicyWeighted, dns.PolicyLatency, dns.PolicyFailover}
+			// One pack-deployed EU pool per org, created lazily.
+			euPool := map[string][]dns.ServerIP{}
+			for _, svc := range m.Graph.Services {
+				if !svc.Role.IsTracking() {
+					continue
+				}
+				for _, fqdn := range svc.FQDNs {
+					servers := m.DNS.Servers(fqdn)
+					if len(servers) == 0 {
+						continue
+					}
+					hasEU := false
+					for i := range servers {
+						if geodata.IsEU28(servers[i].Country) {
+							servers[i].Weight = euWeight
+							hasEU = true
+						} else {
+							servers[i].Weight = 1
+						}
+					}
+					if !hasEU {
+						added := euPool[svc.Org]
+						if added == nil {
+							added = deployEU(m, svc.Org)
+							euPool[svc.Org] = added
+						}
+						servers = append(servers, added...)
+						for _, sv := range added {
+							m.PDNS.ObserveWindow(fqdn, sv.IP, sv.From, sv.To)
+						}
+					}
+					policy := policies[rng.Intn(len(policies))]
+					m.DNS.Register(fqdn, svc.Org, policy, m.DNS.TTL(fqdn), servers)
+				}
+			}
+		},
+	}
+}
+
+// deployEU creates one EU datacenter for the org and returns two
+// full-window server bindings from its block.
+func deployEU(m *scenario.WorldMutation, org string) []dns.ServerIP {
+	country := euRegions[m.Rng.Intn(len(euRegions))]
+	dep := m.World.Deploy(m.World.Org(org), country, "", 26)
+	size := dep.Block.Size()
+	a := dep.Block.Nth(uint32(m.Rng.Intn(int(size))))
+	b := dep.Block.Nth(uint32(m.Rng.Intn(int(size))))
+	out := []dns.ServerIP{{IP: a, Country: country, Weight: euWeight, From: m.Start, To: m.ISPEnd}}
+	if b != a {
+		out = append(out, dns.ServerIP{IP: b, Country: country, Weight: euWeight, From: m.Start, To: m.ISPEnd})
+	}
+	return out
+}
+
+func checkRouting(base, got scenario.Summary) error {
+	if got.Flows == 0 {
+		return fmt.Errorf("routing: no tracking flows")
+	}
+	if got.InEU28 <= base.InEU28 {
+		return fmt.Errorf("routing: EU28 confinement did not rise (%.4f -> %.4f)", base.InEU28, got.InEU28)
+	}
+	return nil
+}
+
+func init() {
+	Register(&Pack{
+		Name:        "routing",
+		Description: "multi-region tracker deployments under weighted/latency/failover GSLB policies, EU-biased",
+		Mutators:    routingMutators,
+		Check:       checkRouting,
+	})
+}

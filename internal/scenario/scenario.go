@@ -66,6 +66,10 @@ type Params struct {
 	// in-memory columnar store. The merged row stream is identical for
 	// every backend; only the storage layout differs.
 	RowSink func() (classify.RowSink, error)
+	// Mutators, when non-nil, installs a scenario pack's deterministic
+	// world mutations and per-user profiles (see Mutators). nil — the
+	// default pack — builds the unmodified study, byte for byte.
+	Mutators *Mutators
 }
 
 func (p Params) withDefaults() Params {
@@ -172,6 +176,7 @@ func BuildContext(ctx context.Context, p Params) (*Scenario, error) {
 	collector := classify.NewShardedCollector(s.Graph, s.EasyList, s.EasyPrivacy, studyStart, workers)
 	sim := browser.NewSimulator(s.Graph, s.DNS, browser.Config{
 		Start: studyStart, End: studyEnd, VisitsPerUser: visits,
+		ProfileFor: p.profileHook(),
 	})
 	err = sim.RunWorkersContext(ctx, p.Seed, s.Users, workers, func(w int) []browser.Sink {
 		return []browser.Sink{collector.Shard(w)}
@@ -282,12 +287,11 @@ func buildWorldBase(ctx context.Context, p Params, rng *rand.Rand, prog *progres
 	if err := b.build(); err != nil {
 		return nil, err
 	}
-	s.World.Freeze()
-	// Zone construction is done; freezing makes the resolver provably
-	// read-only for concurrent browsing or upload-classification workers.
-	s.DNS.Freeze()
 
-	// Filter lists over the finished graph.
+	// Filter lists over the finished graph. Generating them before the
+	// pack hook runs is deliberate: hostnames a pack adds afterwards
+	// (CNAME cloaking, first-party delegation) are exactly the ones real
+	// filter lists lag behind on.
 	elText, epText := blocklist.Generate(rng, s.Graph, blocklist.Coverage{})
 	var errs []error
 	s.EasyList, errs = blocklist.Parse("easylist", elText)
@@ -298,6 +302,17 @@ func buildWorldBase(ctx context.Context, p Params, rng *rand.Rand, prog *progres
 	if len(errs) != 0 {
 		panic("scenario: generated easyprivacy failed to parse")
 	}
+
+	// Scenario-pack world mutations: the one point where the world is
+	// fully built but still unfrozen. The hook draws only from its
+	// pack-private rng, so the shared rng's draw sequence above is
+	// byte-identical with or without a pack.
+	p.applyWorldHook(s)
+
+	s.World.Freeze()
+	// Zone construction is done; freezing makes the resolver provably
+	// read-only for concurrent browsing or upload-classification workers.
+	s.DNS.Freeze()
 	prog.finishPhase()
 	return s, nil
 }

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestSweepWorkerCountInvariance: the same cell grid summarizes
+// identically at every worker count, in cell order.
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	cells := []Cell{
+		{Seed: 1, Label: "a", Params: Params{Seed: 1, Scale: 0.02, VisitsPerUser: 8}},
+		{Seed: 2, Label: "b", Params: Params{Seed: 2, Scale: 0.02, VisitsPerUser: 8}},
+		{Seed: 3, Label: "c", Params: Params{Seed: 3, Scale: 0.02, VisitsPerUser: 8}},
+	}
+	var ref []CellResult
+	for _, workers := range []int{1, 3, 8} {
+		got, err := Sweep(context.Background(), cells, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = got
+			for i, r := range got {
+				if r.Cell.Label != cells[i].Label {
+					t.Fatalf("result %d out of cell order: %q", i, r.Cell.Label)
+				}
+				if r.Summary.Flows == 0 {
+					t.Fatalf("cell %q summarized zero flows", r.Cell.Label)
+				}
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: sweep results differ from sequential baseline", workers)
+		}
+	}
+}
+
+// TestSweepCancellation: a cancelled context aborts the sweep with an
+// error instead of returning partial results.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Sweep(ctx, []Cell{{Seed: 1, Params: Params{Seed: 1, Scale: 0.02, VisitsPerUser: 4}}}, 2)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -118,6 +118,24 @@ func (g *Graph) TotalWeight() float64 {
 }
 
 // indexServices populates the lookup maps; the builder calls it last.
+// AddFQDN attaches an extra hostname to an existing service and indexes
+// it, so ServiceByFQDN resolves the new name to the same operator.
+// Scenario packs use this to model CNAME cloaking and first-party
+// subdomain delegation: the hostname is new (filter lists generated
+// earlier never saw it) but the serving organization — and therefore
+// the ground-truth tracking role — is unchanged. Panics if the FQDN
+// already belongs to a different service.
+func (g *Graph) AddFQDN(svc *Service, fqdn string) {
+	if prev, dup := g.byFQDN[fqdn]; dup {
+		if prev != svc {
+			panic("webgraph: FQDN " + fqdn + " registered to two services")
+		}
+		return
+	}
+	svc.FQDNs = append(svc.FQDNs, fqdn)
+	g.byFQDN[fqdn] = svc
+}
+
 func (g *Graph) indexServices() {
 	g.byRole = make(map[Role][]*Service)
 	g.byFQDN = make(map[string]*Service)

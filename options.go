@@ -2,6 +2,7 @@ package crossborder
 
 import (
 	"crossborder/internal/scenario"
+	"crossborder/internal/scenario/pack"
 )
 
 // PhaseEvent is one progress report from the build pipeline: the phase
@@ -166,4 +167,28 @@ func (rs RowStore) WithChunkRows(n int) RowStore {
 // WithRowStore selects the dataset row storage backend.
 func WithRowStore(rs RowStore) Option {
 	return func(o *Options) { o.RowStore = rs }
+}
+
+// WithPack applies a named scenario pack: a registered set of
+// deterministic world mutations (multi-region GSLB routing, filter-list
+// evasion, population mixes) layered on the base study. "" or "default"
+// builds the unmodified study byte for byte. New returns an error for
+// unknown names; Packs lists the valid ones.
+func WithPack(name string) Option {
+	return func(o *Options) { o.Pack = name }
+}
+
+// PackInfo describes one registered scenario pack.
+type PackInfo struct {
+	Name        string
+	Description string
+}
+
+// Packs lists the registered scenario packs, "default" first.
+func Packs() []PackInfo {
+	var out []PackInfo
+	for _, p := range pack.All() {
+		out = append(out, PackInfo{Name: p.Name, Description: p.Description})
+	}
+	return out
 }

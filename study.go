@@ -6,6 +6,7 @@ import (
 	"crossborder/internal/classify"
 	"crossborder/internal/experiments"
 	"crossborder/internal/scenario"
+	"crossborder/internal/scenario/pack"
 )
 
 // Options configures a reproduction run. Most callers should use New
@@ -38,6 +39,9 @@ type Options struct {
 	// value enables it exactly where the store serves encoded blocks; see
 	// WithPushdown).
 	Pushdown Pushdown
+	// Pack names the scenario pack to apply ("" or "default" builds the
+	// unmodified study; see WithPack and Packs).
+	Pack string
 }
 
 // Experiment is one registered artifact of the paper's evaluation: id,
@@ -93,6 +97,13 @@ func New(ctx context.Context, opts ...Option) (*Study, error) {
 		VisitsPerUser: o.VisitsPerUser,
 		Workers:       o.Workers,
 		Progress:      o.Progress,
+	}
+	if o.Pack != "" {
+		var err error
+		params, err = pack.Params(params, o.Pack)
+		if err != nil {
+			return nil, err
+		}
 	}
 	compress := o.RowStore.disk // codec default: on for spill, off for memory
 	switch o.Compression {
