@@ -6,8 +6,11 @@
 package crossborder
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sort"
@@ -519,6 +522,52 @@ func BenchmarkIngestThroughputWAL(b *testing.B) {
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			benchIngestRun(b, ingest.Config{EpochEvents: 1 << 14, DataDir: "x", WALSync: bc.pol}, bc.ckpt)
+		})
+	}
+}
+
+// BenchmarkIngestThroughputHTTP replays the captured upload batches
+// through the collector's HTTP handler itself (request construction,
+// routing, decode, ingest, JSON ack — no sockets, so the numbers
+// isolate handler cost from kernel networking). "bare" is the handler
+// with no limits; "guarded" runs the full overload-protection path a
+// production collectd enables — admission semaphore, MaxBytesReader
+// body cap, per-request read/write deadlines. The guarded variant is
+// the no-fault tax of the protection layer and is pinned within 5% of
+// bare in BENCH_baseline.json: protection must be free until it fires.
+func BenchmarkIngestThroughputHTTP(b *testing.B) {
+	world, batches, total := benchIngestCapture(b)
+	for _, bc := range []struct {
+		name string
+		opts []ingest.ServerOption
+	}{
+		{"bare", nil},
+		{"guarded", []ingest.ServerOption{ingest.WithLimits(ingest.Limits{
+			MaxInFlight:    64,
+			MaxUploadBytes: 64 << 20,
+			UploadTimeout:  30 * time.Second,
+		})}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := ingest.NewCollector(world, ingest.Config{EpochEvents: 1 << 14})
+				h := ingest.NewServer(c, bc.opts...)
+				for _, raw := range batches {
+					req := httptest.NewRequest(http.MethodPost, "/v1/upload", bytes.NewReader(raw))
+					req.Header.Set("Content-Type", ingest.ContentTypeBinary)
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Fatalf("upload: %d %s", rec.Code, rec.Body.String())
+					}
+				}
+				c.Flush()
+				c.Close()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+			b.ReportMetric(float64(total), "events/op")
 		})
 	}
 }

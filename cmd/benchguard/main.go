@@ -9,6 +9,13 @@
 // -emit it also writes every parsed benchmark result as JSON, the file
 // CI uploads as the per-PR benchmark artifact.
 //
+// -ratio adds machine-independent gates between two benches of the
+// same run: `-ratio 'BenchX/guarded<=1.05*BenchX/bare'` fails when
+// guarded's best ns/op exceeds 1.05x bare's, whatever the runner's
+// absolute speed — the right shape for "feature Y costs <= N% on the
+// hot path" claims, where an absolute pin would conflate the claim
+// with the machine.
+//
 // Usage:
 //
 //	go test -run=NONE -bench='^BenchmarkScenarioBuild$' -benchtime=5x -benchmem . |
@@ -62,6 +69,7 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0.25, "default maximum allowed ns/op regression as a fraction of the baseline (a post_pr entry's max_regress overrides it)")
 	maxAllocs := flag.Float64("max-allocs-regress", 0.25, "default maximum allowed allocs/op regression as a fraction of the baseline (a post_pr entry's max_allocs_regress overrides it; gated only when the baseline pins allocs and the run used -benchmem)")
 	emit := flag.String("emit", "", "write every parsed benchmark result to this JSON file")
+	ratio := flag.String("ratio", "", "comma-separated same-run ratio gates, each 'num<=1.05*den': fail when bench num's best ns/op exceeds the factor times bench den's (machine-independent overhead bounds)")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -159,10 +167,42 @@ func main() {
 			}
 		}
 	}
+	for _, spec := range strings.Split(*ratio, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		m := ratioSpec.FindStringSubmatch(spec)
+		if m == nil {
+			fatalf("bad -ratio spec %q (want 'numBench<=1.05*denBench')", spec)
+		}
+		limit, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || limit <= 0 {
+			fatalf("bad -ratio factor in %q", spec)
+		}
+		num, ok := results[m[1]]
+		if !ok {
+			fatalf("no %s result found on stdin", m[1])
+		}
+		den, ok := results[m[3]]
+		if !ok {
+			fatalf("no %s result found on stdin", m[3])
+		}
+		got := num.NsPerOp / den.NsPerOp
+		fmt.Printf("benchguard: %s / %s = %.3f (limit %.3f)\n", m[1], m[3], got, limit)
+		if got > limit {
+			fmt.Fprintf(os.Stderr, "benchguard: %s exceeds %.3fx of %s\n", m[1], limit, m[3])
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
 }
+
+// ratioSpec parses one -ratio gate: `num<=FACTOR*den`. Bench names
+// never contain the `<=`/`*` punctuation, so a lazy split suffices.
+var ratioSpec = regexp.MustCompile(`^(.+?)<=([\d.]+)\*(.+)$`)
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)

@@ -32,6 +32,14 @@
 // listener is up during recovery: /healthz says alive, /readyz reports
 // replay progress, uploads get 503 + Retry-After until ready.
 //
+// The daemon protects itself under overload: at most -max-inflight
+// uploads are admitted concurrently (excess answers 429 + Retry-After
+// immediately — retrying clients back off instead of piling onto the
+// ingest lock), request bodies are capped at -max-upload-bytes, each
+// upload gets a -upload-timeout connection deadline so a trickling
+// client cannot pin a slot, and the listener itself carries
+// -read-header-timeout / -idle-timeout slowloris guards.
+//
 // SIGTERM/SIGINT shut down gracefully: new uploads 503, in-flight
 // requests drain, a final epoch + checkpoint is written, exit 0.
 // -checkpoint-bytes additionally cuts checkpoints mid-run whenever the
@@ -81,6 +89,13 @@ func main() {
 	walSyncEvery := flag.Duration("wal-sync-interval", 100*time.Millisecond, "background fsync cadence under -wal-sync=interval")
 	walSegment := flag.Int64("wal-segment", 64<<20, "WAL segment size before rotation, bytes")
 	ckptBytes := flag.Int64("checkpoint-bytes", 0, "cut a checkpoint automatically once the uncovered WAL exceeds this many bytes (0 = only on flush/shutdown; needs -data)")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrently admitted uploads; excess gets 429 + Retry-After (0 = unlimited)")
+	maxUpload := flag.Int64("max-upload-bytes", 0, "max upload request body, bytes (0 = 64 MiB)")
+	uploadTimeout := flag.Duration("upload-timeout", 30*time.Second, "per-upload read+apply deadline (0 = none)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", 0, "http.Server ReadTimeout (0 = none; uploads are already bounded by -upload-timeout)")
+	writeTimeout := flag.Duration("write-timeout", 0, "http.Server WriteTimeout (0 = none)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	node := flag.String("node", "", "stable shard name in a cluster (enables heartbeating with -registry)")
 	advertise := flag.String("advertise", "", "base URL clients and the merge tier reach this shard at (default http://<addr>)")
 	registry := flag.String("registry", "", "comma-separated registry base URLs to heartbeat into (typically the mergerd address)")
@@ -111,7 +126,18 @@ func main() {
 		CheckpointBytes: *ckptBytes,
 	})
 	defer c.Close()
-	srv := &http.Server{Handler: ingest.NewServer(c)}
+	handler := ingest.NewServer(c, ingest.WithLimits(ingest.Limits{
+		MaxInFlight:    *maxInflight,
+		MaxUploadBytes: *maxUpload,
+		UploadTimeout:  *uploadTimeout,
+	}))
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	// Listen before recovering: during a long WAL replay the daemon
 	// already answers /healthz (alive) and /readyz (progress), and

@@ -17,7 +17,13 @@
 //
 // A shard that dies keeps contributing its last pulled export, so the
 // merged view never silently drops a partition; /readyz holds 503 until
-// every name in -shards has reported at least once.
+// every name in -shards has reported at least once. A shard that keeps
+// failing its pulls trips a per-shard circuit breaker (-breaker-fails,
+// -breaker-cooldown): the fan-in stops hammering it and probes after
+// the cooldown, while its cached export keeps serving. Degradation is
+// visible, not silent — /readyz flips its status to "degraded" (still
+// 200), /v1/stats carries a per-shard health block, and /metrics
+// exposes breaker trips/probes plus stale-shard gauges (-stale-after).
 //
 // Run a two-collector cluster locally:
 //
@@ -52,6 +58,11 @@ func main() {
 	poll := flag.Duration("poll", 2*time.Second, "shard snapshot poll cadence")
 	suspect := flag.Duration("suspect", 3*time.Second, "heartbeat age after which a shard is suspect")
 	dead := flag.Duration("dead", 10*time.Second, "heartbeat age after which a shard is dead")
+	breakerFails := flag.Int("breaker-fails", 3, "consecutive pull failures before a shard's circuit opens")
+	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "how long an open circuit skips a shard before probing it")
+	staleAfter := flag.Duration("stale-after", 30*time.Second, "age without a fresh pull before a shard's cached export counts as stale")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "mergerd: building world (seed=%d scale=%.2f)...\n", *seed, *scale)
@@ -74,20 +85,32 @@ func main() {
 
 	reg := cluster.NewRegistry(*suspect, *dead)
 	fanin := &cluster.Fanin{
-		World:    world,
-		Registry: reg,
-		Shards:   expect,
-		Workers:  *workers,
-		Interval: *poll,
+		World:           world,
+		Registry:        reg,
+		Shards:          expect,
+		Workers:         *workers,
+		Interval:        *poll,
+		BreakerFails:    *breakerFails,
+		BreakerCooldown: *breakerCooldown,
+		StaleAfter:      *staleAfter,
 	}
 	fanin.Start()
 	defer fanin.Stop()
 
+	qs := ingest.NewQueryServer(fanin.Snapshot, fanin.Ready)
+	qs.OnHealth(func() (any, bool) {
+		return fanin.Health(), len(fanin.Degraded()) > 0
+	})
 	mux := http.NewServeMux()
 	mux.Handle("/cluster/v1/", reg.Handler())
 	mux.Handle("GET /metrics", cluster.MetricsHandler(reg, fanin))
-	mux.Handle("/", ingest.NewQueryServer(fanin.Snapshot, fanin.Ready))
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	mux.Handle("/", qs)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()

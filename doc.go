@@ -132,4 +132,23 @@
 // API. The invariant at every tier is byte parity: single collector,
 // crash-recovered collector, and eight-shard merged cluster all
 // render the exact bytes of the batch study over the same events.
+//
+// # Fault tolerance and chaos testing
+//
+// The serving tier is hardened for hostile conditions and proves it
+// with deterministic fault injection (internal/chaos): every fault
+// draw comes from a splitmix64 stream keyed by (seed, site), so a
+// failing schedule replays exactly. chaos.Transport injects network
+// faults — latency, resets, responses lost after the server applied
+// them, truncated/corrupted bodies, 503 bursts — and chaos.FS tears
+// the WAL/checkpoint write path with short writes, fsync failures,
+// and failed renames. Against those faults, collectd bounds its
+// in-flight uploads (429 + Retry-After on overload, 413 on oversize
+// bodies, per-upload deadlines), clients back off honoring
+// Retry-After and re-send idempotently, and mergerd trips a
+// per-shard circuit breaker, serving the failed shard's cached
+// export while /readyz, /v1/stats, and /metrics report the
+// degradation. The chaos harness (internal/ingest/chaostest) runs
+// the full cluster under all fault families at fixed seeds, heals,
+// and asserts byte parity with the uninterrupted batch study.
 package crossborder

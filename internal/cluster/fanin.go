@@ -26,7 +26,11 @@ import (
 // Failure model: a shard that stops answering keeps contributing its
 // last pulled export — the merged view is the freshest consistent
 // union available, never a partial one that silently dropped a
-// partition. Readiness (Ready) holds off until every expected shard
+// partition. A per-shard circuit breaker (BreakerFails,
+// BreakerCooldown) stops hammering a shard that keeps failing and
+// probes it after a cooldown; Health and Degraded report which shards
+// are being served from stale cached data, without ever flipping the
+// tier un-Ready. Readiness (Ready) holds off until every expected shard
 // has contributed at least once, so a cluster warming up reports "not
 // ready: waiting for shard X" instead of serving artifacts over a
 // subset of users.
@@ -47,16 +51,34 @@ type Fanin struct {
 	Workers int
 	// Interval is the poll cadence of the Start loop (0 = 2s).
 	Interval time.Duration
+	// BreakerFails is how many consecutive pull failures open a shard's
+	// circuit (0 = 3). While open, the shard is not pulled — its cached
+	// export keeps contributing to the merged view (degraded serving) —
+	// until BreakerCooldown (0 = 10s) elapses and a half-open probe
+	// tests recovery.
+	BreakerFails    int
+	BreakerCooldown time.Duration
+	// StaleAfter is how long without a successful pull before a shard's
+	// cached contribution counts as stale in Health/Degraded (0 = 30s).
+	StaleAfter time.Duration
+	// Clock overrides time.Now for the breaker and staleness clocks
+	// (nil = time.Now). Tests inject a fake to step through cooldowns.
+	Clock func() time.Time
 
-	mu      sync.Mutex
-	cache   map[string]*shardCache
-	merged  map[string]int // shard -> epoch folded into the published snapshot
-	pullErr map[string]error
+	mu       sync.Mutex
+	cache    map[string]*shardCache
+	merged   map[string]int // shard -> epoch folded into the published snapshot
+	pullErr  map[string]error
+	breakers map[string]*breaker
 
 	snap atomic.Pointer[ingest.Snapshot]
 	// remerges counts published snapshots (each is one full re-merge of
 	// the cached shard exports).
 	remerges atomic.Uint64
+	// bTrips / bProbes count circuit-open transitions and half-open
+	// probes across all shards.
+	bTrips  atomic.Uint64
+	bProbes atomic.Uint64
 
 	once sync.Once
 	stop chan struct{}
@@ -167,7 +189,13 @@ func (f *Fanin) RefreshOnce() (published bool, err error) {
 			// Serve its last export; re-pull resumes when it returns.
 			continue
 		}
+		if !f.admitPull(m.Node) {
+			// Circuit open: skip the pull, keep serving the cached
+			// export. The breaker re-admits a probe after its cooldown.
+			continue
+		}
 		err := f.pull(m.Node, m.Addr)
+		f.recordPull(m.Node, err)
 		f.mu.Lock()
 		f.pullErr[m.Node] = err
 		f.mu.Unlock()

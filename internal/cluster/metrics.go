@@ -50,6 +50,19 @@ func MetricsHandler(reg *Registry, fanin *Fanin) http.Handler {
 				ready = 1
 			}
 			gauge("mergerd_ready", "1 once the merged view covers every expected shard.", ready)
+			counter("mergerd_breaker_trips_total", "Shard circuits opened after consecutive pull failures.", int64(fanin.BreakerTrips()))
+			counter("mergerd_breaker_probes_total", "Half-open probes admitted to test shard recovery.", int64(fanin.BreakerProbes()))
+			var open, stale int
+			for _, h := range fanin.Health() {
+				if h.Breaker != "closed" {
+					open++
+				}
+				if h.Stale {
+					stale++
+				}
+			}
+			gauge("mergerd_breaker_open", "Shards whose circuit is currently open or probing.", float64(open))
+			gauge("mergerd_stale_shards", "Shards served from a cached export past the staleness window.", float64(stale))
 		}
 		ss := classify.ReadScanStats()
 		counter("mergerd_scan_chunks_total", "Chunks offered to projection scan kernels.", ss.ChunksScanned)

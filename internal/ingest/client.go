@@ -8,6 +8,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -88,11 +89,15 @@ func RecordSimulation(world *scenario.Scenario, visitsPerUser, workers int) map[
 }
 
 // RetryPolicy makes a Client ride out transient failures: transport
-// errors (connection reset, refused, timeout) and 5xx responses —
-// notably the 503s a recovering or draining collector returns. Retries
-// back off exponentially with full jitter. Uploads are safe to retry
-// blindly: the collector's sequence floors dedup re-sent events, so a
-// request whose response was lost applies exactly once.
+// errors (connection reset, refused, timeout), 5xx responses — notably
+// the 503s a recovering or draining collector returns — 429 admission
+// rejections, and 200s whose body was mangled in flight. Retries back
+// off exponentially with full jitter; a Retry-After header on the
+// failed response raises the next backoff's floor (capped by MaxDelay),
+// so clients honor the server's own estimate of when to come back.
+// Uploads are safe to retry blindly: the collector's sequence floors
+// dedup re-sent events, so a request whose response was lost applies
+// exactly once.
 type RetryPolicy struct {
 	// MaxAttempts is the total try budget, first attempt included
 	// (0 = 5).
@@ -148,9 +153,26 @@ func (cl *Client) http() *http.Client {
 }
 
 // retryable reports whether a response status is worth another attempt:
-// the server-side errors a restart or drain heals. 4xx are permanent —
-// the request itself is wrong (or, for 409, needs different data).
-func retryable(status int) bool { return status >= 500 }
+// the server-side errors a restart, a drain, or admission-control
+// backpressure heals. Other 4xx are permanent — the request itself is
+// wrong (or, for 409, needs different data).
+func retryable(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// retryAfter parses a Retry-After header as delay-seconds (the form
+// this system's servers send). 0 means absent or unparseable.
+func retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
 
 // do issues one request with the retry policy. The body is a byte
 // slice, not a Reader, precisely so every attempt can re-send it from
@@ -160,11 +182,25 @@ func (cl *Client) do(method, path, contentType string, body []byte, out any) err
 	if cl.Retry != nil {
 		policy = cl.Retry.withDefaults()
 	}
-	var lastErr error
+	var (
+		lastErr error
+		// floor is the server's Retry-After from the previous attempt:
+		// the backoff sleeps at least that long (capped by MaxDelay — a
+		// client never lets a server park it indefinitely).
+		floor time.Duration
+	)
 	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(policy.backoff(attempt - 1))
+			d := policy.backoff(attempt - 1)
+			if floor > policy.MaxDelay {
+				floor = policy.MaxDelay
+			}
+			if d < floor {
+				d = floor
+			}
+			time.Sleep(d)
 		}
+		floor = 0
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -190,12 +226,20 @@ func (cl *Client) do(method, path, contentType string, body []byte, out any) err
 		if resp.StatusCode != http.StatusOK {
 			lastErr = fmt.Errorf("ingest: %s: %s: %s", path, resp.Status, bytes.TrimSpace(raw))
 			if retryable(resp.StatusCode) {
+				floor = retryAfter(resp.Header)
 				continue
 			}
 			return lastErr
 		}
 		if out != nil {
-			return json.Unmarshal(raw, out)
+			if err := json.Unmarshal(raw, out); err != nil {
+				// A 200 whose body does not parse is a mangled response
+				// (truncated or corrupted in flight), not a server
+				// verdict: retry it like a transport failure.
+				lastErr = fmt.Errorf("ingest: %s: undecodable response: %w", path, err)
+				continue
+			}
+			return nil
 		}
 		return nil
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"crossborder/internal/browser"
+	"crossborder/internal/chaos"
 	"crossborder/internal/classify"
 	"crossborder/internal/core"
 	"crossborder/internal/ingest/wal"
@@ -75,6 +76,18 @@ type Config struct {
 	// shutdown. An auto-checkpoint failure never fails the triggering
 	// upload; it is recorded and surfaced via /v1/stats.
 	CheckpointBytes int64
+	// FS overrides the filesystem under the WAL and checkpoint writer
+	// (default chaos.OS, the real one). The chaos harness injects
+	// short writes, fsync failures, and torn renames through it.
+	FS chaos.FS
+}
+
+// fs returns the configured filesystem (the real one by default).
+func (c Config) fs() chaos.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return chaos.OS
 }
 
 func (c Config) withDefaults() Config {

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"crossborder/internal/chaos"
 	"crossborder/internal/classify"
 	"crossborder/internal/core"
 	"crossborder/internal/geodata"
@@ -136,7 +137,18 @@ func (c Config) walOptions() (wal.Options, error) {
 		Policy:       pol,
 		Interval:     c.WALSyncInterval,
 		SegmentBytes: c.WALSegmentBytes,
+		FS:           c.FS,
 	}, nil
+}
+
+// JournalError returns the error that poisoned the journal, or nil
+// while the collector is healthy. A poisoned collector fails every
+// Ingest with ErrJournal until it is rebuilt and recovered; the chaos
+// harness's supervisor polls this to know when to restart a shard.
+func (c *Collector) JournalError() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.walErr
 }
 
 // Durable reports whether the collector journals and checkpoints
@@ -210,7 +222,7 @@ func (c *Collector) Recover() (RecoveryStats, error) {
 	if c.ready.Load() {
 		return stats, errors.New("ingest: Recover called twice")
 	}
-	if err := os.MkdirAll(c.cfg.DataDir, 0o755); err != nil {
+	if err := c.cfg.fs().MkdirAll(c.cfg.DataDir, 0o755); err != nil {
 		return stats, err
 	}
 
@@ -220,13 +232,13 @@ func (c *Collector) Recover() (RecoveryStats, error) {
 	// without the newest could silently drop that prefix. A crash never
 	// tears a checkpoint (temp + rename), so an unreadable one means
 	// disk corruption — fail loudly, like mid-WAL corruption.
-	epochs, err := listCheckpoints(c.cfg.DataDir)
+	epochs, err := listCheckpoints(c.cfg.fs(), c.cfg.DataDir)
 	if err != nil {
 		return stats, err
 	}
 	if len(epochs) > 0 {
 		name := ckptName(epochs[len(epochs)-1])
-		meta, blocks, classes, err := readCheckpoint(filepath.Join(c.cfg.DataDir, name))
+		meta, blocks, classes, err := readCheckpoint(c.cfg.fs(), filepath.Join(c.cfg.DataDir, name))
 		if err != nil {
 			return stats, fmt.Errorf("ingest: %s: %w", name, err)
 		}
@@ -316,20 +328,20 @@ func (c *Collector) checkpointLocked() error {
 		return err
 	}
 	epoch := len(c.epochs)
-	if err := writeFileAtomic(c.cfg.DataDir, ckptName(epoch), body); err != nil {
+	if err := writeFileAtomic(c.cfg.fs(), c.cfg.DataDir, ckptName(epoch), body); err != nil {
 		return err
 	}
 	// The checkpoint is durable: reclaim everything it covers. GC
 	// failures are non-fatal (stale files replay as duplicates or are
 	// skipped as older checkpoints) but surface as errors so operators
 	// notice a disk that stops honoring removes.
-	epochs, err := listCheckpoints(c.cfg.DataDir)
+	epochs, err := listCheckpoints(c.cfg.fs(), c.cfg.DataDir)
 	if err != nil {
 		return err
 	}
 	for _, e := range epochs {
 		if e != epoch {
-			if err := os.Remove(filepath.Join(c.cfg.DataDir, ckptName(e))); err != nil {
+			if err := c.cfg.fs().Remove(filepath.Join(c.cfg.DataDir, ckptName(e))); err != nil {
 				return err
 			}
 		}
@@ -413,8 +425,8 @@ func (c *Collector) encodeCheckpoint(walSeg int) ([]byte, error) {
 var errCkptCorrupt = errors.New("ingest: corrupt checkpoint")
 
 // readCheckpoint parses and validates one checkpoint file.
-func readCheckpoint(path string) (*ckptMeta, [][]byte, [][]classify.Class, error) {
-	data, err := os.ReadFile(path)
+func readCheckpoint(fs chaos.FS, path string) (*ckptMeta, [][]byte, [][]classify.Class, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -557,8 +569,8 @@ func (c *Collector) restoreCheckpoint(meta *ckptMeta, blocks [][]byte, classes [
 
 // listCheckpoints returns the checkpoint epochs present in dir,
 // ascending.
-func listCheckpoints(dir string) ([]int, error) {
-	entries, err := os.ReadDir(dir)
+func listCheckpoints(fs chaos.FS, dir string) ([]int, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -577,13 +589,15 @@ func listCheckpoints(dir string) ([]int, error) {
 }
 
 // writeFileAtomic writes name under dir via temp + rename + dir sync,
-// so the file either exists complete or not at all.
-func writeFileAtomic(dir, name string, data []byte) error {
-	tmp, err := os.CreateTemp(dir, name+".tmp*")
+// so the file either exists complete or not at all. A failure at any
+// step (including the injected ones) leaves at most a stray .tmp file,
+// which listCheckpoints ignores.
+func writeFileAtomic(fs chaos.FS, dir, name string, data []byte) error {
+	tmp, err := fs.CreateTemp(dir, name+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fs.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
@@ -595,13 +609,8 @@ func writeFileAtomic(dir, name string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+	if err := fs.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		return err
 	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return fs.SyncDir(dir)
 }

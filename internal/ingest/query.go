@@ -24,9 +24,17 @@ var ErrNoSnapshot = errors.New("ingest: no snapshot published yet")
 type QueryServer struct {
 	snap    func() *Snapshot // nil result = nothing published yet
 	ready   func() error     // nil func or nil result = ready
+	health  func() (detail any, degraded bool)
 	started time.Time
 	mux     *http.ServeMux
 }
+
+// OnHealth registers a degradation probe, called per request. detail
+// (e.g. a []cluster.ShardHealth) rides on /v1/stats as "shards" and on
+// /readyz whenever degraded is true, where it flips the status string
+// to "degraded" — still 200: a degraded view serves, it just says so.
+// Set before the server starts handling requests.
+func (q *QueryServer) OnHealth(f func() (detail any, degraded bool)) { q.health = f }
 
 // NewQueryServer builds a query server over a snapshot source. snap is
 // called per request and must be cheap and concurrency-safe (an atomic
@@ -53,7 +61,11 @@ func NewQueryServer(snap func() *Snapshot, ready func() error) *QueryServer {
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, statsResponse(snap, 0))
+		resp := statsResponse(snap, 0)
+		if q.health != nil {
+			resp.Shards, _ = q.health()
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	q.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -68,11 +80,18 @@ func NewQueryServer(snap func() *Snapshot, ready func() error) *QueryServer {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "not ready", "error": err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		resp := map[string]any{
 			"status": "ready",
 			"epoch":  snap.Epoch(),
 			"rows":   snap.Rows(),
-		})
+		}
+		if q.health != nil {
+			if detail, degraded := q.health(); degraded {
+				resp["status"] = "degraded"
+				resp["shards"] = detail
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	return q
 }

@@ -1,0 +1,113 @@
+package ingest
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientHonorsRetryAfterFloor: a 503 carrying Retry-After raises
+// the next backoff above the policy's own (tiny) jitter window, and
+// MaxDelay still caps what the server can demand.
+func TestClientHonorsRetryAfterFloor(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1") // 1s: far beyond MaxDelay
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]int{"epoch": 1, "rows": 0})
+	}))
+	defer srv.Close()
+
+	const maxDelay = 120 * time.Millisecond
+	cl := &Client{
+		Base: srv.URL,
+		// BaseDelay 1ms: the jittered backoff alone sleeps ~1ms, so any
+		// wait near maxDelay is the Retry-After floor at work.
+		Retry: &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: maxDelay},
+	}
+	start := time.Now()
+	if _, _, err := cl.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	elapsed := time.Since(start)
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+	if elapsed < maxDelay {
+		t.Fatalf("retried after %v; Retry-After floor (capped at %v) ignored", elapsed, maxDelay)
+	}
+	if elapsed > 5*maxDelay {
+		t.Fatalf("retried after %v; MaxDelay cap on the Retry-After floor ignored", elapsed)
+	}
+}
+
+// TestClientRetries429: admission-control rejections are transient and
+// must be retried like 5xx.
+func TestClientRetries429(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]int{"epoch": 1, "rows": 0})
+	}))
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, Retry: &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond}}
+	if _, _, err := cl.Flush(); err != nil {
+		t.Fatalf("flush after 429: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+// TestClientRetriesMangledResponse: a 200 whose JSON body was truncated
+// or corrupted in flight is retried, not surfaced as a decode error.
+func TestClientRetriesMangledResponse(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Write([]byte(`{"epoch": 1, "ro`)) // truncated mid-body
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]int{"epoch": 1, "rows": 7})
+	}))
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, Retry: &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond}}
+	_, rows, err := cl.Flush()
+	if err != nil {
+		t.Fatalf("flush after mangled body: %v", err)
+	}
+	if rows != 7 || calls.Load() != 2 {
+		t.Fatalf("rows=%d calls=%d, want the second attempt's answer", rows, calls.Load())
+	}
+}
+
+// TestClientGivesUpOnPermanent4xx: 4xx other than 429 still fail fast
+// under a retry policy.
+func TestClientGivesUpOnPermanent4xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, Retry: &RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}}
+	_, _, err := cl.Flush()
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("want immediate 400 failure, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls for a permanent 400, want 1", calls.Load())
+	}
+}

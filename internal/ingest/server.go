@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"crossborder/internal/classify"
@@ -29,6 +30,35 @@ const ContentTypeSnapshot = "application/x-crossborder-checkpoint"
 // holds a MaxBatchEvents binary batch).
 const maxUploadBytes = 64 << 20
 
+// ErrOverloaded is the admission-control rejection: the server already
+// has Limits.MaxInFlight uploads in flight. 429 + Retry-After over
+// HTTP; clients with a RetryPolicy back off and re-send.
+var ErrOverloaded = errors.New("ingest: too many uploads in flight")
+
+// Limits is the server's overload protection. The zero value keeps the
+// open-door behavior: unlimited concurrency, the default body cap, no
+// per-request deadline.
+type Limits struct {
+	// MaxInFlight bounds concurrently admitted uploads. Excess requests
+	// are rejected immediately with 429 + Retry-After instead of piling
+	// onto the ingest lock without bound (0 = unlimited).
+	MaxInFlight int
+	// MaxUploadBytes caps one upload request body (0 = 64 MiB).
+	MaxUploadBytes int64
+	// UploadTimeout bounds one upload's whole read-decode-apply-respond
+	// window via per-request connection deadlines, so a client trickling
+	// its body byte-by-byte cannot hold a handler forever (0 = none).
+	UploadTimeout time.Duration
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithLimits sets the server's overload protection.
+func WithLimits(l Limits) ServerOption {
+	return func(s *Server) { s.lim = l }
+}
+
 // StatsResponse is the /v1/stats payload: the incremental aggregates of
 // the latest epoch snapshot.
 type StatsResponse struct {
@@ -39,6 +69,10 @@ type StatsResponse struct {
 	Flows   map[string]flowsBlock `json:"flows"` // per geolocation service
 	Epochs  []EpochStat           `json:"epochs"`
 	Pending int                   `json:"pending_events"`
+	// Shards, on a cluster query tier with a health probe registered
+	// (QueryServer.OnHealth), carries per-shard breaker and staleness
+	// detail; absent on a single collector.
+	Shards any `json:"shards,omitempty"`
 }
 
 type statsBlock struct {
@@ -75,11 +109,22 @@ type flowsBlock struct {
 type Server struct {
 	c   *Collector
 	mux *http.ServeMux
+	lim Limits
+	// sem is the upload admission semaphore (nil = unlimited).
+	sem chan struct{}
+	// mOverload counts 429 admission rejections for /metrics.
+	mOverload atomic.Int64
 }
 
 // NewServer wraps a collector.
-func NewServer(c *Collector) *Server {
+func NewServer(c *Collector, opts ...ServerOption) *Server {
 	s := &Server{c: c, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.lim.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, s.lim.MaxInFlight)
+	}
 	s.mux.HandleFunc("POST /v1/upload", s.handleUpload)
 	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
@@ -106,7 +151,31 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.mOverload.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, ErrOverloaded)
+			return
+		}
+	}
+	if s.lim.UploadTimeout > 0 {
+		// Per-request deadline on the connection itself: covers the slow
+		// body read, not just the headers. Errors are ignored — test
+		// recorders don't implement deadlines, real servers do.
+		rc := http.NewResponseController(w)
+		dl := time.Now().Add(s.lim.UploadTimeout)
+		rc.SetReadDeadline(dl)
+		rc.SetWriteDeadline(dl)
+	}
+	bodyCap := int64(maxUploadBytes)
+	if s.lim.MaxUploadBytes > 0 {
+		bodyCap = s.lim.MaxUploadBytes
+	}
+	body := http.MaxBytesReader(w, r.Body, bodyCap)
 	ct := r.Header.Get("Content-Type")
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
 		ct = ct[:i]
@@ -129,6 +198,11 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -136,10 +210,11 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrSequenceGap):
 		writeError(w, http.StatusConflict, err)
-	case errors.Is(err, ErrNotReady), errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrNotReady), errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
 		// Transient by design: clients with a retry policy (see
 		// RetryPolicy) wait out recovery or find the replacement after
-		// a drain.
+		// a drain. ErrClosed is transient too when a supervisor is
+		// swapping in a recovered collector behind the same listener.
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrJournal):
@@ -345,6 +420,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("collectd_duplicate_events_total", "Events skipped as already-seen retransmits.", s.c.mDupEvents.Load())
 	counter("collectd_sequence_gaps_total", "Batches rejected for a sequence gap.", s.c.mSeqGaps.Load())
 	counter("collectd_rejected_batches_total", "Batches rejected by validation.", s.c.mRejected.Load())
+	counter("collectd_overload_rejected_total", "Uploads rejected 429 by admission control.", s.mOverload.Load())
+	gauge("collectd_inflight_uploads", "Uploads currently admitted.", float64(len(s.sem)))
 	gauge("collectd_epoch", "Latest committed epoch.", float64(snap.Epoch()))
 	gauge("collectd_rows", "Dataset rows at the latest epoch.", float64(snap.Rows()))
 	gauge("collectd_users", "Distinct users observed in rows.", float64(snap.Stats().Users))

@@ -1,0 +1,133 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"crossborder/internal/chaos"
+)
+
+// TestChaosShortWritesPoisonThenRecover drives appends through a
+// FaultFS that tears writes at random (seeded) points. The contract
+// under test is the WAL's whole crash story: a failed append poisons
+// the log, a reopen truncates the torn record, the caller re-sends,
+// and the final journal holds every acknowledged record exactly once,
+// in order — nothing lost, nothing duplicated, no torn bytes surviving.
+func TestChaosShortWritesPoisonThenRecover(t *testing.T) {
+	dir := t.TempDir()
+	inj := chaos.New(0xC0FFEE)
+	fs := chaos.NewFaultFS(inj, "wal", chaos.FSFaults{ShortWrite: 0.05}, nil)
+	opts := Options{Policy: SyncNone, SegmentBytes: 1 << 12, FS: fs}
+
+	w, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var acked []string
+	reopens := 0
+	for i := 0; i < 400; i++ {
+		rec := fmt.Sprintf("record-%04d", i)
+		for {
+			if _, err := w.Append([]byte(rec)); err == nil {
+				acked = append(acked, rec)
+				break
+			}
+			// Poisoned: the torn tail must not be buried. Reopen (which
+			// truncates it) and re-send, like the HTTP client would.
+			w.Close()
+			reopens++
+			if w, err = Open(dir, opts); err != nil {
+				t.Fatalf("reopen %d: %v", reopens, err)
+			}
+		}
+	}
+	if reopens == 0 {
+		t.Fatal("no short write fired; the fault schedule is dead")
+	}
+	w.Close()
+
+	final, err := Open(dir, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatalf("final open: %v", err)
+	}
+	defer final.Close()
+	var got []string
+	if err := final.Replay(func(_ int, p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(got) != len(acked) {
+		t.Fatalf("replayed %d records, acked %d (after %d poison/reopen cycles)", len(got), len(acked), reopens)
+	}
+	for i := range acked {
+		if got[i] != acked[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], acked[i])
+		}
+	}
+	t.Logf("%d records acked through %d poison/reopen cycles", len(acked), reopens)
+}
+
+// TestChaosSyncFailureSurfacesWithoutPoisoning: an fsync failure is
+// reported to the caller but does not poison the append path — the
+// bytes are written, only their durability is in doubt, and the next
+// sync may succeed.
+func TestChaosSyncFailureSurfacesWithoutPoisoning(t *testing.T) {
+	dir := t.TempDir()
+	// Segment creation syncs too: lay down segment 0 with the real FS
+	// so the fault window opens only once appends start.
+	w0, err := Open(dir, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	w0.Close()
+	inj := chaos.New(2)
+	fs := chaos.NewFaultFS(inj, "wal", chaos.FSFaults{SyncFail: 1}, nil)
+	w, err := Open(dir, Options{Policy: SyncNone, FS: fs})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w.Close()
+	if _, err := w.Append([]byte("a")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("sync = %v, want injected failure", err)
+	}
+	if _, err := w.Append([]byte("b")); err != nil {
+		t.Fatalf("append after sync failure: %v", err)
+	}
+	inj.Heal()
+	if err := w.Sync(); err != nil {
+		t.Fatalf("healed sync: %v", err)
+	}
+}
+
+// TestChaosSyncAlwaysPoisonsOnFailedAppendSync: under SyncAlways the
+// ack is the fsync, so an injected sync failure must fail and poison
+// the append — acknowledging it would promise durability the journal
+// didn't deliver.
+func TestChaosSyncAlwaysPoisonsOnFailedAppendSync(t *testing.T) {
+	dir := t.TempDir()
+	w0, err := Open(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	w0.Close()
+
+	inj := chaos.New(2)
+	fs := chaos.NewFaultFS(inj, "wal", chaos.FSFaults{SyncFail: 1}, nil)
+	w, err := Open(dir, Options{Policy: SyncAlways, FS: fs})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w.Close()
+	if _, err := w.Append([]byte("x")); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("append = %v, want injected sync failure", err)
+	}
+	if _, err := w.Append([]byte("y")); err == nil {
+		t.Fatal("append after poisoned sync succeeded")
+	}
+}

@@ -1,0 +1,163 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"crossborder/internal/chaos"
+)
+
+// tearFS tears exactly one armed Write through files it opened: half
+// the bytes land, then an error — a deterministic stand-in for the
+// chaos injector's short-write fault, aimed at a specific call.
+type tearFS struct {
+	chaos.FS
+	mu    sync.Mutex
+	armed bool
+}
+
+func (f *tearFS) arm() {
+	f.mu.Lock()
+	f.armed = true
+	f.mu.Unlock()
+}
+
+func (f *tearFS) OpenFile(name string, flag int, perm os.FileMode) (chaos.File, error) {
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &tearFile{File: file, fs: f}, nil
+}
+
+type tearFile struct {
+	chaos.File
+	fs *tearFS
+}
+
+func (t *tearFile) Write(p []byte) (int, error) {
+	t.fs.mu.Lock()
+	fire := t.fs.armed && len(p) > 1
+	if fire {
+		t.fs.armed = false
+	}
+	t.fs.mu.Unlock()
+	if fire {
+		n, _ := t.File.Write(p[:len(p)/2])
+		return n, errors.New("tearfs: torn write")
+	}
+	return t.File.Write(p)
+}
+
+// TestTornRotationDoesNotBuryTail is the regression test for the bug
+// the chaos harness found: a torn segment-header write during Rotate
+// used to leave the half-created file on disk. Every later rotation
+// then hit O_EXCL on the stray while appends kept landing in the old
+// segment — so after one more torn append, reopening repaired the
+// stray as the final segment and reported the real tail as a torn
+// record in a non-final segment: permanent ErrCorrupt. A failed create
+// must leave no trace, appends must keep working, and a poisoned log
+// must refuse Rotate like it refuses Append.
+func TestTornRotationDoesNotBuryTail(t *testing.T) {
+	dir := t.TempDir()
+	fs := &tearFS{FS: chaos.OS}
+	w := mustOpen(t, dir, Options{Policy: SyncNone, FS: fs})
+
+	var acked [][]byte
+	ack := func(i int) {
+		t.Helper()
+		rec := []byte(fmt.Sprintf("record-%03d", i))
+		if _, err := w.Append(rec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		acked = append(acked, rec)
+	}
+	for i := 0; i < 10; i++ {
+		ack(i)
+	}
+
+	fs.arm()
+	if _, err := w.Rotate(); err == nil {
+		t.Fatal("rotate with a torn header write must fail")
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("failed rotation left %s behind (stat err %v)", segName(1), err)
+	}
+	if got := w.Segments(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("segments after failed rotation = %v, want [0]", got)
+	}
+
+	// The log is not poisoned by a failed rotation — the tear happened
+	// in the discarded file, never in the live segment.
+	for i := 10; i < 15; i++ {
+		ack(i)
+	}
+
+	// Now tear an append for real: this poisons, and a poisoned log
+	// must refuse to rotate (rotating would bury the torn tail in a
+	// non-final segment).
+	fs.arm()
+	if _, err := w.Append([]byte("doomed")); err == nil {
+		t.Fatal("torn append must fail")
+	}
+	if _, err := w.Rotate(); err == nil {
+		t.Fatal("rotate on a poisoned log must fail")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Reopen on the clean filesystem: the torn tail truncates away and
+	// exactly the acknowledged records replay.
+	w2 := mustOpen(t, dir, Options{Policy: SyncNone})
+	got := collect(t, w2)
+	if len(got) != len(acked) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(acked))
+	}
+	for i := range acked {
+		if string(got[i]) != string(acked[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], acked[i])
+		}
+	}
+}
+
+// TestRotateClearsStraySegmentFile: a crash between creating the next
+// segment file and registering it (or a pre-fix torn create) leaves a
+// stray at the next id. Rotation must clear it and proceed rather than
+// fail O_EXCL forever.
+func TestRotateClearsStraySegmentFile(t *testing.T) {
+	for _, stray := range []string{"XW", "not-a-segment-header"} {
+		t.Run(fmt.Sprintf("stray-%q", stray), func(t *testing.T) {
+			dir := t.TempDir()
+			w := mustOpen(t, dir, Options{Policy: SyncNone})
+			if _, err := w.Append([]byte("before")); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, segName(1)), []byte(stray), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			seg, err := w.Rotate()
+			if err != nil {
+				t.Fatalf("rotate over stray: %v", err)
+			}
+			if seg != 1 {
+				t.Fatalf("rotated to segment %d, want 1", seg)
+			}
+			if _, err := w.Append([]byte("after")); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			w2 := mustOpen(t, dir, Options{})
+			got := collect(t, w2)
+			if len(got) != 2 || string(got[0]) != "before" || string(got[1]) != "after" {
+				t.Fatalf("replayed %q, want [before after]", got)
+			}
+		})
+	}
+}

@@ -39,6 +39,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"crossborder/internal/chaos"
 )
 
 // SyncPolicy selects when appends reach stable storage.
@@ -92,6 +94,10 @@ type Options struct {
 	// SegmentBytes rotates to a new segment once the current one
 	// exceeds this size (default 64 MiB).
 	SegmentBytes int64
+	// FS overrides the filesystem (default chaos.OS, the real one).
+	// The chaos harness injects short writes, fsync failures, and torn
+	// renames through it.
+	FS chaos.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +106,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 20
+	}
+	if o.FS == nil {
+		o.FS = chaos.OS
 	}
 	return o
 }
@@ -127,7 +136,7 @@ type WAL struct {
 
 	mu     sync.Mutex
 	segs   []int // ascending segment ids present on disk
-	f      *os.File
+	f      chaos.File
 	size   int64
 	dirty  bool // bytes written since the last fsync
 	broken bool // a failed append poisoned the tail; refuse further writes
@@ -143,10 +152,10 @@ type WAL struct {
 // The caller replays records via Replay before appending new ones.
 func Open(dir string, opts Options) (*WAL, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := opts.FS.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +190,7 @@ func Open(dir string, opts Options) (*WAL, error) {
 		}
 	} else {
 		last := segs[len(segs)-1]
-		f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_RDWR, 0)
+		f, err := opts.FS.OpenFile(filepath.Join(dir, segName(last)), os.O_RDWR, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +214,7 @@ func Open(dir string, opts Options) (*WAL, error) {
 // is truncated in place; for any other segment it is corruption.
 func (w *WAL) validateSegment(id int, final bool) error {
 	path := filepath.Join(w.dir, segName(id))
-	data, err := os.ReadFile(path)
+	data, err := w.opts.FS.ReadFile(path)
 	if err != nil {
 		return err
 	}
@@ -226,12 +235,12 @@ func (w *WAL) validateSegment(id int, final bool) error {
 		// append-ready. (scanSegment never returns 0 < good < header.)
 		hdr := append([]byte(nil), segMagic[:]...)
 		hdr = binary.AppendUvarint(hdr, uint64(id))
-		if err := os.WriteFile(path, hdr, 0o644); err != nil {
+		if err := w.opts.FS.WriteFile(path, hdr, 0o644); err != nil {
 			return err
 		}
 		return nil
 	}
-	return os.Truncate(path, good)
+	return w.opts.FS.Truncate(path, good)
 }
 
 // scanSegment walks a segment's bytes. It returns the offset after the
@@ -302,26 +311,43 @@ func isPrefix(data, of []byte) bool {
 	return string(data) == string(of[:len(data)])
 }
 
-// createSegment starts segment id and makes it the append target.
+// createSegment starts segment id and makes it the append target. A
+// failed create must not leave the half-written file behind: segment
+// ids are allocated monotonically and the id is only registered on
+// success, so a stray file at this id would become the final segment
+// at the next open — burying the true append tail in a non-final
+// segment, where a torn record is unrepairable corruption instead of
+// a truncatable tail. (Found by the chaos harness: a torn
+// checkpoint rotation followed by a torn append was unrecoverable.)
 func (w *WAL) createSegment(id int) error {
 	hdr := append([]byte(nil), segMagic[:]...)
 	hdr = binary.AppendUvarint(hdr, uint64(id))
 	path := filepath.Join(w.dir, segName(id))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	f, err := w.opts.FS.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if errors.Is(err, os.ErrExist) {
+		// A stray from a crashed create of this id (the crash skipped
+		// the cleanup below). Never a live segment — those are
+		// registered or strictly older — so clear it and retry.
+		if rmErr := w.opts.FS.Remove(path); rmErr == nil {
+			f, err = w.opts.FS.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+		}
+	}
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(hdr); err != nil {
+	abort := func(err error) error {
 		f.Close()
+		w.opts.FS.Remove(path)
 		return err
+	}
+	if _, err := f.Write(hdr); err != nil {
+		return abort(err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+		return abort(err)
 	}
-	if err := syncDir(w.dir); err != nil {
-		f.Close()
-		return err
+	if err := w.opts.FS.SyncDir(w.dir); err != nil {
+		return abort(err)
 	}
 	if w.f != nil {
 		// Seal the previous segment: whatever the sync policy, a
@@ -412,6 +438,9 @@ func (w *WAL) Rotate() (int, error) {
 }
 
 func (w *WAL) rotateLocked() error {
+	if w.broken {
+		return errors.New("wal: poisoned by an earlier failed append; reopen to recover")
+	}
 	return w.createSegment(w.segs[len(w.segs)-1] + 1)
 }
 
@@ -438,7 +467,7 @@ func (w *WAL) Replay(fn func(seg int, payload []byte) error) error {
 
 // ReplaySegment streams one segment's records to fn.
 func (w *WAL) ReplaySegment(id int, fn func(seg int, payload []byte) error) error {
-	data, err := os.ReadFile(filepath.Join(w.dir, segName(id)))
+	data, err := w.opts.FS.ReadFile(filepath.Join(w.dir, segName(id)))
 	if err != nil {
 		return err
 	}
@@ -475,7 +504,7 @@ func (w *WAL) RemoveBefore(seg int) error {
 			kept = append(kept, id)
 			continue
 		}
-		if err := os.Remove(filepath.Join(w.dir, segName(id))); err != nil {
+		if err := w.opts.FS.Remove(filepath.Join(w.dir, segName(id))); err != nil {
 			// Keep the list truthful: everything not removed stays.
 			kept = append(kept, id)
 			w.segs = kept
@@ -483,7 +512,7 @@ func (w *WAL) RemoveBefore(seg int) error {
 		}
 	}
 	w.segs = kept
-	return syncDir(w.dir)
+	return w.opts.FS.SyncDir(w.dir)
 }
 
 // Close flushes and closes the journal.
@@ -526,13 +555,4 @@ func (w *WAL) flushLoop() {
 			return
 		}
 	}
-}
-
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }
